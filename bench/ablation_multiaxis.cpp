@@ -1,0 +1,96 @@
+/// \file ablation_multiaxis.cpp
+/// Ablation of the paper's §8 future-work proposal: "If the box is instead
+/// cut along more axes, it could lead to finer partitioning granularity
+/// and hence better work assignments, which would in turn reduce the
+/// load-imbalance."
+///
+/// The effect shows when the workload is coarse-grained — few large boxes
+/// whose longest-axis planes carry a lot of work each.  We sweep two
+/// workloads (the paper trace clustered coarsely, and a handful of large
+/// anisotropic patches) across minimum-box-size settings.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace ssamr;
+
+namespace {
+
+/// The paper trace, clustered very coarsely (GrACE-like large patches).
+std::vector<BoxList> coarse_trace_epochs(int n) {
+  TraceConfig cfg = exp::paper_trace_config();
+  cfg.cluster.efficiency = 0.25;
+  cfg.cluster.small_box_cells = 1 << 16;
+  SyntheticAmrTrace trace(cfg);
+  std::vector<BoxList> out;
+  for (int e = 0; e < n; ++e) out.push_back(trace.boxes_at_epoch(e));
+  return out;
+}
+
+/// A few large, anisotropic patches (coarse-grained hierarchy).
+std::vector<BoxList> blocky_epochs() {
+  BoxList a;
+  a.push_back(Box::from_extent(IntVec(0, 0, 0), IntVec(128, 32, 32), 0));
+  a.push_back(Box::from_extent(IntVec(40, 8, 8), IntVec(36, 30, 22), 1));
+  a.push_back(Box::from_extent(IntVec(90, 0, 0), IntVec(22, 34, 26), 1));
+  BoxList b;
+  b.push_back(Box::from_extent(IntVec(0, 0, 0), IntVec(128, 32, 32), 0));
+  b.push_back(Box::from_extent(IntVec(52, 4, 10), IntVec(42, 26, 30), 1));
+  b.push_back(Box::from_extent(IntVec(104, 6, 2), IntVec(18, 38, 42), 1));
+  return {a, b};
+}
+
+void run_workload(const char* name, const std::vector<BoxList>& epochs,
+                  CsvWriter& csv) {
+  const auto caps = exp::reference_capacities4();
+  const WorkModel work;
+  std::cout << "workload: " << name << "\n";
+  Table t({"min box size", "longest-axis imbalance", "multi-axis imbalance",
+           "splits (single/multi)"});
+  for (coord_t min_size : {4, 8, 16, 24}) {
+    PartitionConstraints constraints;
+    constraints.min_box_size = min_size;
+    HeterogeneousPartitioner single(constraints);
+    MultiAxisPartitioner multi(constraints);
+
+    real_t single_sum = 0, multi_sum = 0;
+    int single_splits = 0, multi_splits = 0;
+    for (const BoxList& boxes : epochs) {
+      const auto rs = single.partition(boxes, caps, work);
+      const auto rm = multi.partition(boxes, caps, work);
+      single_sum += effective_imbalance_pct(rs);
+      multi_sum += effective_imbalance_pct(rm);
+      single_splits += rs.splits;
+      multi_splits += rm.splits;
+    }
+    const auto n = static_cast<real_t>(epochs.size());
+    t.add_row({std::to_string(min_size), fmt(single_sum / n, 2) + "%",
+               fmt(multi_sum / n, 2) + "%",
+               std::to_string(single_splits) + "/" +
+                   std::to_string(multi_splits)});
+    csv.add_row({name, std::to_string(min_size), fmt(single_sum / n, 3),
+                 fmt(multi_sum / n, 3)});
+  }
+  std::cout << t.str() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: longest-axis-only vs multi-axis box "
+               "splitting (paper §8 future work) ===\n\n";
+  CsvWriter csv("ablation_multiaxis.csv",
+                {"workload", "min_box_size", "single_pct", "multi_pct"});
+  run_workload("paper trace, coarse clustering", coarse_trace_epochs(6),
+               csv);
+  run_workload("large anisotropic patches", blocky_epochs(), csv);
+  std::cout
+      << "Expected shape: the multi-axis variant never increases the "
+         "effective imbalance, and the gap\nwidens as the workload "
+         "coarsens — the paper's predicted benefit of finer granularity.\n"
+         "raw series written to ablation_multiaxis.csv\n";
+  return 0;
+}

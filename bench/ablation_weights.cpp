@@ -1,0 +1,134 @@
+/// \file ablation_weights.cpp
+/// Ablation of the paper's §8 future-work proposal: choosing the capacity
+/// weights w_p, w_m, w_b "according to the computational needs of a
+/// particular application.  For example, if the application is memory
+/// intensive, then a larger value can be assigned to w_m".
+///
+/// The cluster is built so each resource is scarce on a *different* node
+/// (CPU on node 0, memory on node 1, bandwidth on node 2; node 3 idle).
+/// Weighting the metric toward the resource the application actually
+/// stresses steers work away from the node where that resource is scarce.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace ssamr;
+
+namespace {
+
+struct Profile {
+  const char* name;
+  const char* matched_weights;
+  ExecutorConfig executor;
+};
+
+std::vector<Profile> make_profiles() {
+  std::vector<Profile> out;
+  {
+    ExecutorConfig e;  // CPU-bound: small footprint, light comm
+    e.ncomp = 5;
+    e.ghost = 1;
+    e.time_levels = 1;
+    e.app_base_memory_mb = 8.0;
+    e.comm_overlap = 0.9;
+    out.push_back({"cpu-bound", "cpu-weighted", e});
+  }
+  {
+    ExecutorConfig e;  // memory-intensive: many stored time levels
+    e.ncomp = 5;
+    e.ghost = 1;
+    e.time_levels = 4;
+    e.app_base_memory_mb = 40.0;
+    e.comm_overlap = 0.9;
+    out.push_back({"memory-intensive", "memory-weighted", e});
+  }
+  {
+    ExecutorConfig e;  // communication-heavy: wide stencils, no overlap
+    e.ncomp = 10;
+    e.ghost = 3;
+    e.time_levels = 1;
+    e.app_base_memory_mb = 8.0;
+    e.comm_overlap = 0.0;
+    out.push_back({"comm-heavy", "comm-weighted", e});
+  }
+  return out;
+}
+
+/// Each resource scarce on a different node.
+Cluster skewed_cluster() {
+  Cluster cluster = exp::paper_cluster(4);
+  auto steady = [](real_t level, real_t memory, real_t traffic) {
+    LoadRamp r;
+    r.start_time = -1.0;
+    r.rate = 1.0e9;
+    r.target_level = level;
+    r.memory_mb = memory;
+    r.traffic_mbps = traffic;
+    return r;
+  };
+  cluster.add_load(0, steady(1.2, 10.0, 0.0));   // CPU-starved
+  cluster.add_load(1, steady(0.05, 180.0, 0.0));  // memory-starved
+  cluster.add_load(2, steady(0.05, 10.0, 80.0));  // bandwidth-starved
+  return cluster;
+}
+
+real_t run_profile(const Profile& profile, CapacityWeights weights) {
+  Cluster cluster = skewed_cluster();
+  TraceWorkloadSource source(exp::paper_trace_config());
+  HeterogeneousPartitioner het;
+  RuntimeConfig cfg = exp::paper_runtime_config(/*iterations=*/100,
+                                                /*sensing_interval=*/20);
+  cfg.weights = weights;
+  cfg.executor = profile.executor;
+  AdaptiveRuntime runtime(cluster, source, het, cfg);
+  return runtime.run().total_time;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: capacity weight choice vs application "
+               "character (paper §8 future work) ===\n\n";
+  std::cout << "cluster: node 0 CPU-starved, node 1 memory-starved, node 2 "
+               "bandwidth-starved, node 3 idle\n\n";
+
+  const std::pair<const char*, CapacityWeights> weight_sets[] = {
+      {"equal", CapacityWeights::equal()},
+      {"cpu-weighted", CapacityWeights::cpu_bound()},
+      {"memory-weighted", CapacityWeights::memory_bound()},
+      {"comm-weighted", CapacityWeights::comm_bound()},
+  };
+
+  Table t({"application \\ weights", "equal", "cpu-weighted",
+           "memory-weighted", "comm-weighted", "best", "paper-matched"});
+  CsvWriter csv("ablation_weights.csv", {"profile", "weights", "time_s"});
+
+  for (const Profile& profile : make_profiles()) {
+    std::vector<std::string> row{profile.name};
+    real_t best = 1e30;
+    const char* best_name = "";
+    for (const auto& [wname, w] : weight_sets) {
+      const real_t time = run_profile(profile, w);
+      row.push_back(fmt(time, 1));
+      csv.add_row({profile.name, wname, fmt(time, 2)});
+      if (time < best) {
+        best = time;
+        best_name = wname;
+      }
+    }
+    row.push_back(best_name);
+    row.push_back(profile.matched_weights);
+    t.add_row(row);
+  }
+  std::cout << t.str() << '\n';
+  std::cout << "Execution time (virtual s) of a 100-iteration run per "
+               "profile and weight choice.\nExpected shape: the weight "
+               "profile matched to the application's dominant resource "
+               "demand\nis at or near the per-row minimum — the paper's "
+               "§8 conjecture.\nraw series written to "
+               "ablation_weights.csv\n";
+  return 0;
+}

@@ -1,0 +1,119 @@
+/// \file bench_amr.cpp
+/// Microbenchmarks of the SAMR machinery: ghost planning/exchange, a full
+/// Berger–Oliger coarse step with the advection and Euler kernels, and
+/// regridding.
+
+#include <benchmark/benchmark.h>
+
+#include "amr/integrator.hpp"
+#include "solver/advection.hpp"
+#include "solver/richtmyer_meshkov.hpp"
+
+namespace {
+
+using namespace ssamr;
+
+HierarchyConfig bench_hier(int ncomp, int max_levels) {
+  HierarchyConfig cfg;
+  cfg.domain = Box::from_extent(IntVec(0, 0, 0), IntVec(32, 16, 16), 0);
+  cfg.max_levels = max_levels;
+  cfg.ncomp = ncomp;
+  cfg.ghost = 1;
+  cfg.min_box_size = 2;
+  return cfg;
+}
+
+IntegratorConfig bench_int() {
+  IntegratorConfig cfg;
+  cfg.dx0 = 1.0 / 32.0;
+  cfg.regrid_interval = 5;
+  cfg.cluster.min_box_size = 2;
+  cfg.cluster.small_box_cells = 64;
+  return cfg;
+}
+
+void BM_GhostPlanBuild(benchmark::State& state) {
+  GridLevel lvl(0, 1, 1);
+  const coord_t n = state.range(0);
+  for (coord_t i = 0; i < n; ++i)
+    for (coord_t j = 0; j < n; ++j)
+      lvl.add_patch(
+          Box::from_extent(IntVec(i * 8, j * 8, 0), IntVec(8, 8, 8), 0));
+  const Box domain =
+      Box::from_extent(IntVec(0, 0, 0), IntVec(n * 8, n * 8, 8), 0);
+  for (auto _ : state) {
+    GhostPlan plan(lvl, domain);
+    benchmark::DoNotOptimize(plan.ops().size());
+  }
+  state.counters["patches"] = static_cast<double>(n * n);
+}
+BENCHMARK(BM_GhostPlanBuild)->Arg(4)->Arg(8);
+
+void BM_GhostExchange(benchmark::State& state) {
+  GridLevel lvl(0, 1, 1);
+  for (coord_t i = 0; i < 4; ++i)
+    lvl.add_patch(
+        Box::from_extent(IntVec(i * 8, 0, 0), IntVec(8, 16, 16), 0));
+  const Box domain =
+      Box::from_extent(IntVec(0, 0, 0), IntVec(32, 16, 16), 0);
+  GhostPlan plan(lvl, domain);
+  for (auto _ : state) plan.exchange(lvl);
+}
+BENCHMARK(BM_GhostExchange);
+
+void BM_AdvectionCoarseStep(benchmark::State& state) {
+  GridHierarchy h(bench_hier(1, static_cast<int>(state.range(0))));
+  AdvectionOperator op(1, 0, 0, 0.3, 0.25, 0.25, 0.12);
+  GradientFlagger fl(0, 0.08);
+  BergerOliger bo(h, op, fl, bench_int());
+  bo.initialize();
+  for (auto _ : state) benchmark::DoNotOptimize(bo.advance_step());
+  state.counters["cells"] = static_cast<double>(h.total_cells());
+}
+BENCHMARK(BM_AdvectionCoarseStep)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_EulerRmCoarseStep(benchmark::State& state) {
+  GridHierarchy h(bench_hier(kEulerNcomp, 2));
+  RichtmyerMeshkovConfig rm;
+  rm.ly = rm.lz = 0.5;
+  EulerOperator op = make_rm_operator(rm);
+  GradientFlagger fl(kRho, 1.0);
+  BergerOliger bo(h, op, fl, bench_int());
+  bo.initialize();
+  for (auto _ : state) benchmark::DoNotOptimize(bo.advance_step());
+  state.counters["cells"] = static_cast<double>(h.total_cells());
+}
+BENCHMARK(BM_EulerRmCoarseStep);
+
+void BM_RefluxCoarseStep(benchmark::State& state) {
+  HierarchyConfig hc = bench_hier(1, 2);
+  IntegratorConfig ic = bench_int();
+  ic.bc = BoundaryKind::Periodic;
+  ic.reflux = state.range(0) != 0;
+  ic.regrid_interval = 100000;  // frozen hierarchy: measure stepping only
+  GridHierarchy h(hc);
+  BoxList l1;
+  l1.push_back(Box::from_extent(IntVec(16, 8, 8), IntVec(32, 16, 16), 1));
+  h.set_level_boxes(1, l1);
+  AdvectionOperator op(1, 0.5, 0.25, 0.4, 0.25, 0.25, 0.12);
+  for (int l = 0; l < h.num_levels(); ++l)
+    for (Patch& p : h.level(l).patches())
+      op.initialize(p, ic.dx0 / (l ? 2.0 : 1.0));
+  GradientFlagger fl(0, 1e9);
+  BergerOliger bo(h, op, fl, ic);
+  for (auto _ : state) benchmark::DoNotOptimize(bo.advance_step());
+  state.SetLabel(ic.reflux ? "reflux on" : "reflux off");
+}
+BENCHMARK(BM_RefluxCoarseStep)->Arg(0)->Arg(1);
+
+void BM_Regrid(benchmark::State& state) {
+  GridHierarchy h(bench_hier(1, 3));
+  AdvectionOperator op(1, 0, 0, 0.3, 0.25, 0.25, 0.12);
+  GradientFlagger fl(0, 0.08);
+  BergerOliger bo(h, op, fl, bench_int());
+  bo.initialize();
+  for (auto _ : state) bo.regrid();
+}
+BENCHMARK(BM_Regrid);
+
+}  // namespace

@@ -1,0 +1,94 @@
+/// \file bench_hdda.cpp
+/// Microbenchmarks of the data-management substrate: extendible hashing
+/// and the HDDA patch registry.
+
+#include <benchmark/benchmark.h>
+
+#include "hash/extendible_hash.hpp"
+#include "hdda/hdda.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ssamr;
+
+void BM_HashInsert(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<ssamr::key_t> keys(n);
+  for (auto& k : keys) k = rng();
+  for (auto _ : state) {
+    ExtendibleHash<std::int64_t> h;
+    for (ssamr::key_t k : keys) h.insert(k, 1);
+    benchmark::DoNotOptimize(h.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HashInsert)->Arg(1024)->Arg(16384);
+
+void BM_HashLookup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<ssamr::key_t> keys(n);
+  ExtendibleHash<std::int64_t> h;
+  for (auto& k : keys) {
+    k = rng();
+    h.insert(k, 1);
+  }
+  for (auto _ : state)
+    for (ssamr::key_t k : keys) benchmark::DoNotOptimize(h.find_ptr(k));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_HashLookup)->Arg(1024)->Arg(16384);
+
+std::vector<Box> patch_boxes(coord_t n) {
+  std::vector<Box> boxes;
+  for (coord_t i = 0; i < n; ++i)
+    for (coord_t j = 0; j < n; ++j)
+      boxes.push_back(Box::from_extent(IntVec(i * 8, j * 8, 0),
+                                       IntVec(8, 8, 8), 1));
+  return boxes;
+}
+
+void BM_HddaRegisterLevel(benchmark::State& state) {
+  const auto boxes = patch_boxes(state.range(0));
+  for (auto _ : state) {
+    Hdda h;
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      h.insert(boxes[i], static_cast<rank_t>(i % 8), 4096);
+    benchmark::DoNotOptimize(h.size());
+  }
+  state.counters["patches"] = static_cast<double>(boxes.size());
+}
+BENCHMARK(BM_HddaRegisterLevel)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_HddaOrderedEnumeration(benchmark::State& state) {
+  const auto boxes = patch_boxes(16);
+  Hdda h;
+  for (std::size_t i = 0; i < boxes.size(); ++i)
+    h.insert(boxes[i], static_cast<rank_t>(i % 8), 4096);
+  for (auto _ : state) {
+    auto entries = h.ordered_entries();
+    benchmark::DoNotOptimize(entries.data());
+  }
+}
+BENCHMARK(BM_HddaOrderedEnumeration);
+
+void BM_HddaOwnerMigration(benchmark::State& state) {
+  const auto boxes = patch_boxes(16);
+  Hdda h;
+  for (std::size_t i = 0; i < boxes.size(); ++i)
+    h.insert(boxes[i], 0, 4096);
+  rank_t next = 1;
+  for (auto _ : state) {
+    std::int64_t moved = 0;
+    for (const Box& b : boxes) moved += h.set_owner(b, next);
+    benchmark::DoNotOptimize(moved);
+    next = (next + 1) % 4;
+  }
+}
+BENCHMARK(BM_HddaOwnerMigration);
+
+}  // namespace

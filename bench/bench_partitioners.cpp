@@ -1,0 +1,90 @@
+/// \file bench_partitioners.cpp
+/// Microbenchmarks of the partitioners themselves: time to distribute the
+/// paper-scale composite box list over P processors.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "core/ssamr.hpp"
+
+namespace {
+
+using namespace ssamr;
+
+const BoxList& paper_boxes() {
+  static const BoxList boxes = [] {
+    SyntheticAmrTrace trace(exp::paper_trace_config());
+    return trace.boxes_at_epoch(10);  // mid-run, ~100 boxes
+  }();
+  return boxes;
+}
+
+std::vector<real_t> caps_for(int nprocs) {
+  std::vector<real_t> caps(static_cast<std::size_t>(nprocs));
+  for (int k = 0; k < nprocs; ++k)
+    caps[static_cast<std::size_t>(k)] =
+        (1.0 + 0.5 * (k % 4)) /
+        (static_cast<real_t>(nprocs) * (1.0 + 0.5 * 1.5));
+  return caps;
+}
+
+void BM_HeterogeneousPartition(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto caps = caps_for(nprocs);
+  const WorkModel work;
+  HeterogeneousPartitioner p;
+  for (auto _ : state) {
+    auto r = p.partition(paper_boxes(), caps, work);
+    benchmark::DoNotOptimize(r.assignments.data());
+  }
+  state.counters["boxes"] = static_cast<double>(paper_boxes().size());
+}
+BENCHMARK(BM_HeterogeneousPartition)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GraceDefaultPartition(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto caps = caps_for(nprocs);
+  const WorkModel work;
+  GraceDefaultPartitioner p;
+  for (auto _ : state) {
+    auto r = p.partition(paper_boxes(), caps, work);
+    benchmark::DoNotOptimize(r.assignments.data());
+  }
+}
+BENCHMARK(BM_GraceDefaultPartition)->Arg(4)->Arg(32);
+
+void BM_MultiAxisPartition(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto caps = caps_for(nprocs);
+  const WorkModel work;
+  MultiAxisPartitioner p;
+  for (auto _ : state) {
+    auto r = p.partition(paper_boxes(), caps, work);
+    benchmark::DoNotOptimize(r.assignments.data());
+  }
+}
+BENCHMARK(BM_MultiAxisPartition)->Arg(4)->Arg(32);
+
+void BM_ImbalanceMetric(benchmark::State& state) {
+  HeterogeneousPartitioner p;
+  const auto caps = caps_for(8);
+  const WorkModel work;
+  const auto r = p.partition(paper_boxes(), caps, work);
+  for (auto _ : state) {
+    auto v = load_imbalance_pct(r);
+    benchmark::DoNotOptimize(v.data());
+  }
+}
+BENCHMARK(BM_ImbalanceMetric);
+
+void BM_CommVolumeMetric(benchmark::State& state) {
+  HeterogeneousPartitioner p;
+  const auto caps = caps_for(8);
+  const WorkModel work;
+  const auto r = p.partition(paper_boxes(), caps, work);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(partition_comm_cells(r, 1));
+}
+BENCHMARK(BM_CommVolumeMetric);
+
+}  // namespace

@@ -1,0 +1,68 @@
+/// \file bench_sfc.cpp
+/// Microbenchmarks of the space-filling-curve substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.hpp"
+#include "sfc/hilbert.hpp"
+#include "sfc/morton.hpp"
+#include "sfc/sfc_index.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ssamr;
+
+std::vector<IntVec> random_points(std::size_t n, coord_t limit) {
+  Rng rng(404);
+  std::vector<IntVec> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    pts.emplace_back(rng.uniform_int(0, limit - 1),
+                     rng.uniform_int(0, limit - 1),
+                     rng.uniform_int(0, limit - 1));
+  return pts;
+}
+
+void BM_MortonEncode(benchmark::State& state) {
+  const auto pts = random_points(1024, 1 << 16);
+  for (auto _ : state)
+    for (const IntVec& p : pts) benchmark::DoNotOptimize(morton_encode(p));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MortonEncode);
+
+void BM_MortonRoundtrip(benchmark::State& state) {
+  const auto pts = random_points(1024, 1 << 16);
+  for (auto _ : state)
+    for (const IntVec& p : pts)
+      benchmark::DoNotOptimize(morton_decode(morton_encode(p)));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_MortonRoundtrip);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  const int bits = static_cast<int>(state.range(0));
+  const auto pts = random_points(1024, coord_t{1} << bits);
+  for (auto _ : state)
+    for (const IntVec& p : pts)
+      benchmark::DoNotOptimize(hilbert_encode(p, bits));
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_HilbertEncode)->Arg(8)->Arg(16)->Arg(21);
+
+void BM_CompositeOrder(benchmark::State& state) {
+  SyntheticAmrTrace trace(exp::paper_trace_config());
+  const BoxList boxes = trace.boxes_at_epoch(10);
+  SfcConfig cfg;
+  cfg.curve =
+      state.range(0) == 0 ? CurveKind::Morton : CurveKind::Hilbert;
+  for (auto _ : state) {
+    auto perm = sfc_order(boxes.boxes(), cfg);
+    benchmark::DoNotOptimize(perm.data());
+  }
+  state.counters["boxes"] = static_cast<double>(boxes.size());
+}
+BENCHMARK(BM_CompositeOrder)->Arg(0)->Arg(1);
+
+}  // namespace

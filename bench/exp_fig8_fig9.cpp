@@ -1,0 +1,63 @@
+/// \file exp_fig8_fig9.cpp
+/// Reproduces **Figure 8** (work-load assignment per regrid, GrACE default
+/// "ACEComposite" scheme) and **Figure 9** (same, ACEHeterogeneous).
+///
+/// Setup (paper §6.2.2): four processors with relative capacities fixed at
+/// approximately 16 %, 19 %, 31 %, 34 %; the application regrids every 5
+/// iterations; eight regrids are plotted.  The default partitioner assigns
+/// ~equal work to every processor regardless of capacity; the system-
+/// sensitive partitioner assigns work proportional to capacity.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace ssamr;
+
+namespace {
+
+void run_scheme(const Partitioner& partitioner, const char* figure,
+                CsvWriter& csv) {
+  const auto caps = exp::reference_capacities4();
+  SyntheticAmrTrace trace(exp::paper_trace_config());
+  const WorkModel work;
+
+  std::cout << figure << " — " << partitioner.name()
+            << " work-load assignment (capacities 16% 19% 31% 34%):\n";
+  Table t({"regrid", "proc 0", "proc 1", "proc 2", "proc 3", "total work"});
+  for (int regrid = 1; regrid <= 8; ++regrid) {
+    const BoxList boxes = trace.boxes_at_epoch(regrid - 1);
+    const PartitionResult r = partitioner.partition(boxes, caps, work);
+    t.add_row({std::to_string(regrid), fmt(r.assigned_work[0], 0),
+               fmt(r.assigned_work[1], 0), fmt(r.assigned_work[2], 0),
+               fmt(r.assigned_work[3], 0),
+               fmt(total_work(boxes, work), 0)});
+    for (int k = 0; k < 4; ++k)
+      csv.add_row({partitioner.name(), std::to_string(regrid),
+                   std::to_string(k),
+                   fmt(r.assigned_work[static_cast<std::size_t>(k)], 1)});
+  }
+  std::cout << t.str() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Figures 8 & 9: per-processor work-load assignment vs "
+               "regrid number ===\n\n";
+  CsvWriter csv("fig8_fig9.csv", {"scheme", "regrid", "proc", "work"});
+
+  GraceDefaultPartitioner def;
+  HeterogeneousPartitioner het;
+  run_scheme(def, "Figure 8", csv);
+  run_scheme(het, "Figure 9", csv);
+
+  std::cout << "Expected shape: the default scheme's four curves coincide "
+               "(equal work irrespective of capacity);\n"
+               "the system-sensitive curves are ordered by capacity, "
+               "proc 3 > proc 2 > proc 1 > proc 0.\n"
+               "raw series written to fig8_fig9.csv\n";
+  return 0;
+}

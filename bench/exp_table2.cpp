@@ -1,0 +1,52 @@
+/// \file exp_table2.cpp
+/// Reproduces **Table II**: comparison of execution times using static
+/// sensing (system state queried only once at the beginning) and dynamic
+/// sensing (queried every 40 iterations) under identical synthetic load
+/// dynamics, for 2, 4, 6 and 8 processors.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+using namespace ssamr;
+
+int main() {
+  std::cout << "=== Table II: execution time, dynamic sensing vs sensing "
+               "only once ===\n\n";
+
+  const int iterations = 200;
+  const int dynamic_interval = 40;
+  const double paper_dyn[] = {423.7, 292.0, 272.0, 225.0};
+  const double paper_stat[] = {805.5, 450.0, 442.0, 430.0};
+
+  Table t({"Number of Processors", "Dynamic Sensing (s)",
+           "Sensing only once (s)", "ratio", "paper ratio"});
+  CsvWriter csv("table2.csv",
+                {"procs", "dynamic_s", "static_s", "ratio"});
+
+  const int procs[] = {2, 4, 6, 8};
+  for (int i = 0; i < 4; ++i) {
+    const int p = procs[i];
+    // Match the load-dynamics timescale to the run duration, then face
+    // both sensing policies with the *same* load script.
+    const real_t tau =
+        exp::calibrate_timescale(p, iterations, dynamic_interval);
+    const RunTrace dyn =
+        exp::run_dynamic_het(p, iterations, dynamic_interval, tau);
+    const RunTrace stat = exp::run_dynamic_het(p, iterations, 0, tau);
+    const real_t ratio = dyn.total_time / stat.total_time;
+    t.add_row({std::to_string(p), fmt(dyn.total_time, 1),
+               fmt(stat.total_time, 1), fmt(ratio, 2),
+               fmt(paper_dyn[i] / paper_stat[i], 2)});
+    csv.add_row({std::to_string(p), fmt(dyn.total_time, 2),
+                 fmt(stat.total_time, 2), fmt(ratio, 4)});
+  }
+  std::cout << t.str() << '\n';
+  std::cout << "Expected shape: dynamic runtime sensing significantly "
+               "improves application performance at every P\n"
+               "(paper: up to ~45-48% faster).  raw series written to "
+               "table2.csv\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file advection_amr.cpp
+/// A minimal end-to-end AMR run with the scalar advection kernel: a
+/// Gaussian blob crosses the domain while the Berger–Oliger hierarchy
+/// tracks it with two refinement levels.  Demonstrates the AMR substrate
+/// on its own (no cluster, no partitioning) and verifies the solution
+/// against the exact translated profile.
+
+#include <cmath>
+#include <iostream>
+
+#include "core/ssamr.hpp"
+#include "util/table.hpp"
+
+using namespace ssamr;
+
+int main() {
+  std::cout << "=== AMR advection quick demo ===\n\n";
+
+  HierarchyConfig hc;
+  hc.domain = Box::from_extent(IntVec(0, 0, 0), IntVec(32, 16, 16), 0);
+  hc.ncomp = 1;
+  hc.ghost = 1;
+  hc.max_levels = 3;
+  hc.min_box_size = 2;
+  GridHierarchy hierarchy(hc);
+
+  AdvectionOperator op(/*v=*/1.0, 0.0, 0.0, /*centre=*/0.2, 0.25, 0.25,
+                       /*radius=*/0.1);
+  GradientFlagger flagger(0, 0.1);
+  IntegratorConfig ic;
+  ic.dx0 = 1.0 / 32.0;
+  ic.regrid_interval = 3;
+  ic.cluster.min_box_size = 2;
+  ic.cluster.small_box_cells = 16;
+  BergerOliger integrator(hierarchy, op, flagger, ic);
+  integrator.initialize();
+
+  std::cout << "initial hierarchy: " << hierarchy.num_levels()
+            << " levels, " << hierarchy.total_cells() << " cells\n\n";
+
+  Table t({"step", "time", "levels", "fine boxes", "fine cells",
+           "blob x (exact)"});
+  while (integrator.time() < 0.4) {
+    integrator.advance_step();
+    if (integrator.step() % 4 == 0) {
+      const int levels = hierarchy.num_levels();
+      const std::size_t boxes =
+          levels > 1 ? hierarchy.level(1).num_patches() : 0;
+      const std::int64_t cells =
+          levels > 1 ? hierarchy.level(1).total_cells() : 0;
+      t.add_row({std::to_string(integrator.step()),
+                 fmt(integrator.time(), 3), std::to_string(levels),
+                 std::to_string(boxes), std::to_string(cells),
+                 fmt(0.2 + integrator.time(), 3)});
+    }
+  }
+  std::cout << t.str() << '\n';
+
+  // Compare against the exact solution on the base level.
+  real_t l1 = 0;
+  std::int64_t n = 0;
+  for (const Patch& p : hierarchy.level(0).patches()) {
+    const Box& b = p.box();
+    for (coord_t k = b.lo().z; k <= b.hi().z; ++k)
+      for (coord_t j = b.lo().y; j <= b.hi().y; ++j)
+        for (coord_t i = b.lo().x; i <= b.hi().x; ++i) {
+          const real_t exact = op.exact(
+              (static_cast<real_t>(i) + 0.5) / 32.0,
+              (static_cast<real_t>(j) + 0.5) / 32.0,
+              (static_cast<real_t>(k) + 0.5) / 32.0, integrator.time());
+          l1 += std::abs(p.data()(0, i, j, k) - exact);
+          ++n;
+        }
+  }
+  std::cout << "L1 error vs exact translation after "
+            << integrator.step() << " steps: "
+            << fmt(l1 / static_cast<real_t>(n), 5)
+            << "  (first-order upwind: diffusive but convergent)\n";
+  std::cout << "regrids performed: " << integrator.regrid_count() << '\n';
+  return 0;
+}

@@ -1,0 +1,97 @@
+/// \file rm3d_amr.cpp
+/// The paper's application end-to-end, at laptop scale: a 3-D
+/// Richtmyer–Meshkov instability solved with the real compressible Euler
+/// kernel on the Berger–Oliger hierarchy, distributed over a simulated
+/// heterogeneous 4-node cluster by the system-sensitive partitioner.
+///
+/// The run prints, per regrid: the hierarchy shape (levels, boxes, cells),
+/// the capacities the monitor reported, and the resulting work
+/// distribution — the same quantities the paper's figures plot, but driven
+/// by a live PDE integration instead of the synthetic trace.
+
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "core/ssamr.hpp"
+#include "util/table.hpp"
+
+using namespace ssamr;
+
+int main() {
+  std::cout << "=== Richtmyer-Meshkov 3D on an adaptively refined mesh, "
+               "system-sensitive partitioning ===\n\n";
+
+  // The real solver at reduced scale: 48x12x12 base, 2 refinement levels.
+  HierarchyConfig hc;
+  hc.domain = Box::from_extent(IntVec(0, 0, 0), IntVec(48, 12, 12), 0);
+  hc.ncomp = kEulerNcomp;
+  hc.ghost = 1;
+  hc.max_levels = 3;
+  hc.min_box_size = 2;
+  GridHierarchy hierarchy(hc);
+
+  RichtmyerMeshkovConfig rm;
+  rm.lx = 1.0;
+  rm.ly = rm.lz = 0.25;
+  rm.mach = 1.5;
+  rm.density_ratio = 3.0;
+  EulerOperator op = make_rm_operator(rm);
+  GradientFlagger flagger(kRho, 0.4);
+
+  IntegratorConfig ic;
+  ic.dx0 = 1.0 / 48.0;
+  ic.regrid_interval = 4;
+  ic.cluster.min_box_size = 2;
+  ic.cluster.small_box_cells = 32;
+  BergerOliger integrator(hierarchy, op, flagger, ic);
+
+  // A loaded 4-node cluster and the adaptive runtime around the solver.
+  Cluster cluster = exp::paper_cluster(4);
+  exp::apply_static_loads(cluster);
+  SolverWorkloadSource source(integrator, hierarchy,
+                              /*steps_per_regrid=*/4);
+  HeterogeneousPartitioner partitioner;
+  RuntimeConfig rc = exp::paper_runtime_config(/*iterations=*/32,
+                                               /*sensing_interval=*/8);
+  rc.regrid_interval = 4;
+  AdaptiveRuntime runtime(cluster, source, partitioner, rc);
+
+  const RunTrace trace = runtime.run();
+
+  Table t({"regrid", "boxes", "total work", "W0", "W1", "W2", "W3",
+           "max imb"});
+  for (const RegridRecord& r : trace.regrids) {
+    real_t mx = 0;
+    for (real_t i : r.imbalance_pct) mx = std::max(mx, i);
+    t.add_row({std::to_string(r.regrid_index),
+               std::to_string(r.num_boxes), fmt(r.total_work, 0),
+               fmt(r.assigned_work[0], 0), fmt(r.assigned_work[1], 0),
+               fmt(r.assigned_work[2], 0), fmt(r.assigned_work[3], 0),
+               fmt(mx, 1) + "%"});
+  }
+  std::cout << t.str() << '\n';
+
+  std::cout << "solver: " << integrator.step() << " coarse steps to t = "
+            << fmt(integrator.time(), 4) << ", "
+            << hierarchy.num_levels() << " levels, "
+            << hierarchy.total_cells() << " cells\n";
+  std::cout << "virtual execution time: " << fmt(trace.total_time, 1)
+            << " s  (compute " << fmt(trace.compute_time, 1) << ", comm "
+            << fmt(trace.comm_time, 1) << ", sense "
+            << fmt(trace.sense_time, 1) << ", regrid "
+            << fmt(trace.regrid_time, 1) << ", migrate "
+            << fmt(trace.migrate_time, 1) << ")\n";
+
+  // Quick physics sanity: the shock has set the gas moving in +x.
+  real_t momx = 0;
+  for (const Patch& p : hierarchy.level(0).patches()) {
+    const Box& b = p.box();
+    for (coord_t k = b.lo().z; k <= b.hi().z; ++k)
+      for (coord_t j = b.lo().y; j <= b.hi().y; ++j)
+        for (coord_t i = b.lo().x; i <= b.hi().x; ++i)
+          momx += p.data()(kMomX, i, j, k);
+  }
+  std::cout << "total x-momentum (should be > 0 after shock passage): "
+            << fmt(momx, 2) << '\n';
+  return 0;
+}

@@ -1,0 +1,172 @@
+#include "amr/cluster_br.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+namespace {
+
+/// Bounding box of a span of points.
+Box bbox_of(const std::vector<IntVec>& pts, std::size_t lo, std::size_t hi,
+            level_t level) {
+  IntVec mn = pts[lo], mx = pts[lo];
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    mn = min(mn, pts[i]);
+    mx = max(mx, pts[i]);
+  }
+  return Box(mn, mx, level);
+}
+
+/// Signature (flag count per plane) of the span along `axis`, within `b`.
+std::vector<std::int64_t> signature(const std::vector<IntVec>& pts,
+                                    std::size_t lo, std::size_t hi,
+                                    const Box& b, int axis) {
+  std::vector<std::int64_t> sig(
+      static_cast<std::size_t>(b.extent()[axis]), 0);
+  for (std::size_t i = lo; i < hi; ++i)
+    ++sig[static_cast<std::size_t>(pts[i][axis] - b.lo()[axis])];
+  return sig;
+}
+
+struct Cut {
+  int axis = -1;
+  coord_t offset = 0;  // split offset within the box (first piece size)
+  bool found() const { return axis >= 0; }
+};
+
+/// Find the most central zero-signature plane usable as a cut.
+Cut find_hole(const std::vector<IntVec>& pts, std::size_t lo, std::size_t hi,
+              const Box& b, coord_t min_size) {
+  Cut best;
+  real_t best_centrality = -1;
+  for (int axis = 0; axis < kDim; ++axis) {
+    const coord_t n = b.extent()[axis];
+    if (n < 2 * min_size) continue;
+    const auto sig = signature(pts, lo, hi, b, axis);
+    for (coord_t c = min_size; c <= n - min_size; ++c) {
+      // Cutting at offset c puts planes [0,c) left, [c,n) right.  A hole at
+      // plane c-1 or c makes the cut clean; we just need a zero plane whose
+      // cut position respects the margins.
+      if (sig[static_cast<std::size_t>(c)] != 0 &&
+          sig[static_cast<std::size_t>(c - 1)] != 0)
+        continue;
+      const real_t centrality =
+          1.0 - std::abs(static_cast<real_t>(2 * c - n)) /
+                    static_cast<real_t>(n);
+      if (centrality > best_centrality) {
+        best_centrality = centrality;
+        best.axis = axis;
+        best.offset = c;
+      }
+    }
+  }
+  return best;
+}
+
+/// Find the strongest inflection (sign change of the signature Laplacian).
+Cut find_inflection(const std::vector<IntVec>& pts, std::size_t lo,
+                    std::size_t hi, const Box& b, coord_t min_size) {
+  Cut best;
+  std::int64_t best_jump = -1;
+  for (int axis = 0; axis < kDim; ++axis) {
+    const coord_t n = b.extent()[axis];
+    if (n < 2 * min_size || n < 4) continue;
+    const auto sig = signature(pts, lo, hi, b, axis);
+    // Laplacian on interior planes: lap[i] = sig[i-1] - 2 sig[i] + sig[i+1]
+    std::vector<std::int64_t> lap(sig.size(), 0);
+    for (std::size_t i = 1; i + 1 < sig.size(); ++i)
+      lap[i] = sig[i - 1] - 2 * sig[i] + sig[i + 1];
+    for (coord_t c = std::max<coord_t>(min_size, 2);
+         c <= std::min<coord_t>(n - min_size, n - 2); ++c) {
+      const std::int64_t a = lap[static_cast<std::size_t>(c - 1)];
+      const std::int64_t d = lap[static_cast<std::size_t>(c)];
+      if ((a < 0 && d > 0) || (a > 0 && d < 0)) {
+        const std::int64_t jump = std::abs(a - d);
+        if (jump > best_jump) {
+          best_jump = jump;
+          best.axis = axis;
+          best.offset = c;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+/// Midpoint cut along the longest axis that can be cut.
+Cut find_midpoint(const Box& b, coord_t min_size) {
+  Cut cut;
+  coord_t best_extent = 0;
+  for (int axis = 0; axis < kDim; ++axis) {
+    const coord_t n = b.extent()[axis];
+    if (n >= 2 * min_size && n > best_extent) {
+      best_extent = n;
+      cut.axis = axis;
+      cut.offset = n / 2;
+    }
+  }
+  return cut;
+}
+
+void cluster_recursive(std::vector<IntVec>& pts, std::size_t lo,
+                       std::size_t hi, level_t level,
+                       const ClusterConfig& cfg, int depth,
+                       std::vector<Box>& out) {
+  SSAMR_ASSERT(lo < hi, "empty span in cluster_recursive");
+  const Box b = bbox_of(pts, lo, hi, level);
+  const real_t eff = static_cast<real_t>(hi - lo) /
+                     static_cast<real_t>(b.cells());
+  if (eff >= cfg.efficiency || b.cells() <= cfg.small_box_cells ||
+      depth >= cfg.max_depth) {
+    out.push_back(b);
+    return;
+  }
+
+  Cut cut = find_hole(pts, lo, hi, b, cfg.min_box_size);
+  if (!cut.found()) cut = find_inflection(pts, lo, hi, b, cfg.min_box_size);
+  if (!cut.found()) cut = find_midpoint(b, cfg.min_box_size);
+  if (!cut.found()) {
+    out.push_back(b);  // nothing can be cut without violating min size
+    return;
+  }
+
+  const coord_t split_coord = b.lo()[cut.axis] + cut.offset;
+  const auto mid_it = std::partition(
+      pts.begin() + static_cast<std::ptrdiff_t>(lo),
+      pts.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](IntVec p) { return p[cut.axis] < split_coord; });
+  const auto mid = static_cast<std::size_t>(mid_it - pts.begin());
+  if (mid == lo || mid == hi) {
+    out.push_back(b);  // degenerate cut (all flags on one side)
+    return;
+  }
+  cluster_recursive(pts, lo, mid, level, cfg, depth + 1, out);
+  cluster_recursive(pts, mid, hi, level, cfg, depth + 1, out);
+}
+
+}  // namespace
+
+std::vector<Box> cluster_flags(const std::vector<IntVec>& flags,
+                               level_t level, const ClusterConfig& cfg) {
+  SSAMR_REQUIRE(cfg.efficiency > 0 && cfg.efficiency <= 1,
+                "efficiency must be in (0,1]");
+  SSAMR_REQUIRE(cfg.min_box_size >= 1, "min box size must be >= 1");
+  if (flags.empty()) return {};
+  // Deduplicate; duplicates would inflate the efficiency estimate.
+  std::vector<IntVec> pts = flags;
+  std::sort(pts.begin(), pts.end(), [](IntVec a, IntVec b) {
+    if (a.z != b.z) return a.z < b.z;
+    if (a.y != b.y) return a.y < b.y;
+    return a.x < b.x;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+
+  std::vector<Box> out;
+  cluster_recursive(pts, 0, pts.size(), level, cfg, 0, out);
+  return out;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,39 @@
+#pragma once
+/// \file cluster_br.hpp
+/// Berger–Rigoutsos point clustering.
+///
+/// Regridding step (2) of the paper: "clustering flagged points" into a
+/// small set of rectilinear boxes with bounded fill efficiency.  This is the
+/// classic signature/hole/inflection algorithm of Berger & Rigoutsos (IEEE
+/// Trans. Systems, Man & Cybernetics, 1991).
+
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/point.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Tuning knobs of the clustering pass.
+struct ClusterConfig {
+  /// Accept a box when (flagged cells / box cells) >= efficiency.
+  real_t efficiency = 0.7;
+  /// Splits never create a piece with extent < min_box_size along the cut
+  /// axis (the paper's "minimum box size" constraint); an accepted box can
+  /// still be smaller when its flag cloud is smaller.
+  coord_t min_box_size = 4;
+  /// Stop splitting when a box already holds <= this many cells.
+  std::int64_t small_box_cells = 64;
+  /// Hard cap on recursion depth (safety).
+  int max_depth = 32;
+};
+
+/// Cluster flagged cells (at some level l) into boxes at the same level.
+/// The returned boxes are disjoint, each contains every flag inside its
+/// bounds, and their union covers all flags.  `flags` may contain
+/// duplicates.  Returns an empty list when `flags` is empty.
+std::vector<Box> cluster_flags(const std::vector<IntVec>& flags,
+                               level_t level, const ClusterConfig& cfg);
+
+}  // namespace ssamr

@@ -1,0 +1,50 @@
+#pragma once
+/// \file face_flux.hpp
+/// Per-patch storage of face fluxes, captured during a kernel update so
+/// the flux register (flux_register.hpp) can enforce conservation at
+/// coarse–fine boundaries.
+///
+/// Convention: for axis d, `flux(d)(c, i, j, k)` is the numerical flux
+/// through the *low* face of cell (i,j,k) along d — the face shared with
+/// cell (i,j,k) − e_d.  The storage box along d therefore has one extra
+/// plane at the high end (the high face of the last cell is the low face
+/// of the one-past-the-end index).
+
+#include <array>
+
+#include "amr/grid_function.hpp"
+#include "geom/box.hpp"
+
+namespace ssamr {
+
+/// Face fluxes of one patch, all three axes.
+class FaceFluxes {
+ public:
+  /// Allocate zeroed flux storage for a patch over `cell_box`.
+  FaceFluxes(const Box& cell_box, int ncomp) : cell_box_(cell_box) {
+    for (int d = 0; d < kDim; ++d) {
+      IntVec hi = cell_box.hi();
+      hi.at(d) += 1;  // faces: one more plane than cells along d
+      flux_[static_cast<std::size_t>(d)] =
+          GridFunction(Box(cell_box.lo(), hi, cell_box.level()), ncomp, 0);
+    }
+  }
+
+  /// The cell box the fluxes belong to.
+  const Box& cell_box() const { return cell_box_; }
+
+  /// Flux field for one axis (indexed by face = low face of the cell at
+  /// the same index).
+  GridFunction& flux(int axis) {
+    return flux_[static_cast<std::size_t>(axis)];
+  }
+  const GridFunction& flux(int axis) const {
+    return flux_[static_cast<std::size_t>(axis)];
+  }
+
+ private:
+  Box cell_box_;
+  std::array<GridFunction, kDim> flux_;
+};
+
+}  // namespace ssamr

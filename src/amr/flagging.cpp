@@ -1,0 +1,74 @@
+#include "amr/flagging.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+GradientFlagger::GradientFlagger(int component, real_t tol)
+    : component_(component), tol_(tol) {
+  SSAMR_REQUIRE(component >= 0, "component must be non-negative");
+  SSAMR_REQUIRE(tol > 0, "tolerance must be positive");
+}
+
+void GradientFlagger::flag_level(const GridLevel& lvl,
+                                 std::vector<IntVec>& flags) const {
+  for (const Patch& p : lvl.patches()) {
+    const GridFunction& u = p.data();
+    SSAMR_REQUIRE(component_ < u.ncomp(), "component out of range");
+    const Box& b = p.box();
+    for (coord_t k = b.lo().z; k <= b.hi().z; ++k) {
+      for (coord_t j = b.lo().y; j <= b.hi().y; ++j) {
+        for (coord_t i = b.lo().x; i <= b.hi().x; ++i) {
+          real_t g = 0;
+          // One-sided differences at patch boundaries, centred inside.
+          const coord_t im = std::max(i - 1, b.lo().x);
+          const coord_t ip = std::min(i + 1, b.hi().x);
+          const coord_t jm = std::max(j - 1, b.lo().y);
+          const coord_t jp = std::min(j + 1, b.hi().y);
+          const coord_t km = std::max(k - 1, b.lo().z);
+          const coord_t kp = std::min(k + 1, b.hi().z);
+          g = std::max(g, std::abs(u(component_, ip, j, k) -
+                                   u(component_, im, j, k)) /
+                              static_cast<real_t>(std::max<coord_t>(
+                                  ip - im, 1)));
+          g = std::max(g, std::abs(u(component_, i, jp, k) -
+                                   u(component_, i, jm, k)) /
+                              static_cast<real_t>(std::max<coord_t>(
+                                  jp - jm, 1)));
+          g = std::max(g, std::abs(u(component_, i, j, kp) -
+                                   u(component_, i, j, km)) /
+                              static_cast<real_t>(std::max<coord_t>(
+                                  kp - km, 1)));
+          if (g > tol_) flags.emplace_back(i, j, k);
+        }
+      }
+    }
+  }
+}
+
+std::vector<IntVec> buffer_flags(const std::vector<IntVec>& flags,
+                                 coord_t buffer, const Box& clip) {
+  SSAMR_REQUIRE(buffer >= 0, "buffer must be non-negative");
+  std::vector<IntVec> out;
+  out.reserve(flags.size());
+  for (const IntVec& f : flags) {
+    for (coord_t dz = -buffer; dz <= buffer; ++dz)
+      for (coord_t dy = -buffer; dy <= buffer; ++dy)
+        for (coord_t dx = -buffer; dx <= buffer; ++dx) {
+          const IntVec p = f + IntVec(dx, dy, dz);
+          if (clip.contains(p)) out.push_back(p);
+        }
+  }
+  std::sort(out.begin(), out.end(), [](IntVec a, IntVec b) {
+    if (a.z != b.z) return a.z < b.z;
+    if (a.y != b.y) return a.y < b.y;
+    return a.x < b.x;
+  });
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,66 @@
+#pragma once
+/// \file ghost.hpp
+/// Intra-level ghost-cell exchange: planning (who copies what to whom, and
+/// how many bytes that moves between owners) and execution.
+///
+/// The plan is consumed twice: by the data path (actually copying cells so
+/// the solver sees its neighbours) and by the virtual-time executor (the
+/// bytes crossing ownership boundaries are the per-iteration communication
+/// volume of the paper's cost model).
+
+#include <vector>
+
+#include "amr/level.hpp"
+#include "geom/box.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// One ghost copy: cells of `region` flow from patch `src` to patch `dst`
+/// (indices into the level's patch array).
+struct CopyOp {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  Box region;
+};
+
+/// Physical boundary treatment for ghost cells outside the domain.
+enum class BoundaryKind {
+  Outflow,   ///< zero-gradient extrapolation
+  Periodic,  ///< wrap-around
+};
+
+/// The ghost-exchange plan for one level.
+class GhostPlan {
+ public:
+  /// Build the plan: for every patch, every ghost cell covered by a sibling
+  /// patch becomes a CopyOp.
+  /// \param domain the domain box at this level (for periodic wrap checks)
+  GhostPlan(const GridLevel& lvl, const Box& domain,
+            BoundaryKind bc = BoundaryKind::Outflow);
+
+  const std::vector<CopyOp>& ops() const { return ops_; }
+
+  /// Execute all copies on the level's current data.
+  void exchange(GridLevel& lvl) const;
+
+  /// Fill ghost cells outside the domain according to the boundary kind.
+  /// (Periodic ghosts are filled by wrapped CopyOps already; this handles
+  /// outflow extrapolation.)
+  void fill_physical(GridLevel& lvl) const;
+
+  /// Bytes that cross ownership boundaries given each patch's owner
+  /// (CopyOps between patches on the same rank are free).
+  std::int64_t remote_bytes(const GridLevel& lvl) const;
+
+  /// Bytes sent or received by one rank under the current ownership.
+  std::int64_t remote_bytes_touching(const GridLevel& lvl, rank_t rank) const;
+
+ private:
+  Box domain_;
+  BoundaryKind bc_;
+  std::vector<CopyOp> ops_;
+  int ncomp_ = 1;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,192 @@
+#include "amr/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "geom/box_algebra.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace ssamr {
+
+BergerOliger::BergerOliger(GridHierarchy& hierarchy, const PatchOperator& op,
+                           const ErrorFlagger& flagger, IntegratorConfig cfg)
+    : hier_(hierarchy), op_(op), flagger_(flagger), cfg_(cfg) {
+  SSAMR_REQUIRE(cfg.cfl > 0 && cfg.cfl < 1, "CFL must be in (0,1)");
+  SSAMR_REQUIRE(cfg.regrid_interval >= 1, "regrid interval must be >= 1");
+  SSAMR_REQUIRE(cfg.dx0 > 0, "dx0 must be positive");
+  SSAMR_REQUIRE(hierarchy.config().ncomp == op.ncomp(),
+                "hierarchy ncomp must match the operator");
+  SSAMR_REQUIRE(hierarchy.config().ghost >= op.ghost(),
+                "hierarchy ghost width must cover the operator stencil");
+}
+
+real_t BergerOliger::dx_at(level_t l) const {
+  real_t dx = cfg_.dx0;
+  for (level_t i = 0; i < l; ++i)
+    dx /= static_cast<real_t>(hier_.config().ratio);
+  return dx;
+}
+
+void BergerOliger::initialize() {
+  // Initial data on the base level, then build finer levels by repeated
+  // flagging until the hierarchy stops deepening.
+  for (Patch& p : hier_.level(0).patches()) op_.initialize(p, dx_at(0));
+  for (int pass = 0; pass < hier_.config().max_levels - 1; ++pass) {
+    const int before = hier_.num_levels();
+    regrid();
+    // Newly created levels got data by prolongation; overwrite with exact
+    // initial conditions for a clean start.
+    for (int l = 1; l < hier_.num_levels(); ++l)
+      for (Patch& p : hier_.level(l).patches()) op_.initialize(p, dx_at(l));
+    if (hier_.num_levels() == before) break;
+  }
+}
+
+real_t BergerOliger::compute_dt() const {
+  real_t dt0 = std::numeric_limits<real_t>::infinity();
+  for (int l = 0; l < hier_.num_levels(); ++l) {
+    real_t speed = 0;
+    for (const Patch& p : hier_.level(l).patches())
+      speed = std::max(speed, op_.max_wave_speed(p));
+    if (speed <= 0) continue;
+    // A level-l step is dt0 / ratio^l; require cfl at every level.
+    real_t scale = 1;
+    for (int i = 0; i < l; ++i)
+      scale *= static_cast<real_t>(hier_.config().ratio);
+    dt0 = std::min(dt0, cfg_.cfl * dx_at(l) * scale / speed);
+  }
+  SSAMR_REQUIRE(std::isfinite(dt0),
+                "no finite wave speed anywhere — cannot pick a timestep");
+  return dt0;
+}
+
+void PatchOperator::advance_capture(Patch&, real_t, real_t,
+                                    FaceFluxes&) const {
+  SSAMR_REQUIRE(false,
+                "this PatchOperator does not support flux capture");
+}
+
+real_t BergerOliger::advance_step() {
+  if (step_ > 0 && step_ % cfg_.regrid_interval == 0) regrid();
+  const real_t dt = compute_dt();
+  advance_level(0, dt, nullptr);
+  ++step_;
+  time_ += dt;
+  return dt;
+}
+
+void BergerOliger::fill_ghosts(int l) {
+  GridLevel& lvl = hier_.level(l);
+  if (l > 0)
+    fill_coarse_fine_ghosts(hier_.level(l - 1), lvl, hier_.config().ratio,
+                            cfg_.prolong);
+  GhostPlan plan(lvl, hier_.domain_at(l), cfg_.bc);
+  plan.exchange(lvl);
+  plan.fill_physical(lvl);
+}
+
+void BergerOliger::advance_level(int l, real_t dt,
+                                 FluxRegister* parent_register) {
+  fill_ghosts(l);
+  GridLevel& lvl = hier_.level(l);
+  const real_t dx = dx_at(l);
+  const bool has_child = l + 1 < hier_.num_levels();
+  const bool want_own_register =
+      cfg_.reflux && has_child && op_.supports_flux_capture();
+
+  std::unique_ptr<FluxRegister> reg;
+  if (want_own_register)
+    reg = std::make_unique<FluxRegister>(lvl, hier_.level(l + 1),
+                                         hier_.domain_at(l),
+                                         hier_.config().ratio, op_.ncomp());
+
+  const bool capture = parent_register != nullptr || reg != nullptr;
+  std::vector<FaceFluxes> fluxes;
+  if (capture) fluxes.reserve(lvl.num_patches());
+  for (Patch& p : lvl.patches()) {
+    if (capture) {
+      fluxes.emplace_back(p.box(), op_.ncomp());
+      op_.advance_capture(p, dt, dx, fluxes.back());
+    } else {
+      op_.advance(p, dt, dx);
+    }
+    p.swap_time_levels();
+  }
+  if (parent_register != nullptr) parent_register->add_fine(fluxes, dt);
+  if (reg) reg->add_coarse(fluxes, dt);
+
+  if (has_child) {
+    const coord_t r = hier_.config().ratio;
+    for (coord_t sub = 0; sub < r; ++sub)
+      advance_level(l + 1, dt / static_cast<real_t>(r), reg.get());
+    restrict_level(hier_.level(l + 1), lvl, r);
+    if (reg) reg->apply(lvl, dx);
+  }
+}
+
+void BergerOliger::regrid_level_above(int l) {
+  // Flags on level l define the new level l+1.
+  GridLevel& parent = hier_.level(l);
+  std::vector<IntVec> flags;
+  flagger_.flag_level(parent, flags);
+  std::vector<IntVec> buffered =
+      buffer_flags(flags, hier_.config().flag_buffer, hier_.domain_at(l));
+  // Keep the flags inside the parent level's box union so the refined
+  // boxes stay properly nested.
+  if (l >= 1) {
+    std::vector<IntVec> kept;
+    kept.reserve(buffered.size());
+    for (const IntVec& f : buffered)
+      if (parent.find_patch_containing(f) != GridLevel::npos)
+        kept.push_back(f);
+    buffered = std::move(kept);
+  }
+
+  ClusterConfig ccfg = cfg_.cluster;
+  ccfg.min_box_size =
+      std::max<coord_t>(ccfg.min_box_size,
+                        hier_.config().min_box_size / hier_.config().ratio);
+  auto coarse_boxes = cluster_flags(buffered, l, ccfg);
+  // Cluster bounding boxes can bridge gaps between disjoint parent
+  // patches; clip against the parent union so the new level nests.
+  if (l >= 1) {
+    std::vector<Box> clipped;
+    for (const Box& b : coarse_boxes)
+      for (const Patch& pp : parent.patches()) {
+        const Box piece = b.intersection(pp.box());
+        if (!piece.empty()) clipped.push_back(piece);
+      }
+    coarse_boxes = coalesce(std::move(clipped));
+  }
+  BoxList fine_boxes;
+  for (const Box& b : coarse_boxes)
+    fine_boxes.push_back(b.refined(hier_.config().ratio));
+
+  // Preserve data: remember the old level (if any), install the new boxes,
+  // then fill by copy-overlap + prolongation.
+  const bool existed = l + 1 < hier_.num_levels();
+  GridLevel old_level =
+      existed ? std::move(hier_.level(l + 1)) : GridLevel(l + 1, 0, 0);
+  hier_.set_level_boxes(l + 1, fine_boxes);
+  if (l + 1 >= hier_.num_levels()) return;  // level vanished
+  GridLevel& fresh = hier_.level(l + 1);
+  prolong_level(parent, fresh, hier_.config().ratio, cfg_.prolong);
+  if (existed) copy_overlap(old_level, fresh);
+}
+
+void BergerOliger::regrid() {
+  const int deepest_parent =
+      std::min(hier_.num_levels(), hier_.config().max_levels - 1);
+  for (int l = 0; l < deepest_parent; ++l) {
+    if (l >= hier_.num_levels()) break;  // levels can vanish as we go
+    regrid_level_above(l);
+  }
+  ++regrid_count_;
+  SSAMR_DEBUG << "regrid #" << regrid_count_ << ": levels="
+              << hier_.num_levels() << " cells=" << hier_.total_cells();
+}
+
+}  // namespace ssamr

@@ -1,0 +1,137 @@
+#include "amr/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/box_algebra.hpp"
+#include "util/error.hpp"
+
+namespace ssamr {
+
+namespace {
+
+coord_t floor_div(coord_t a, coord_t b) {
+  coord_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// minmod limiter for trilinear slopes.
+real_t minmod(real_t a, real_t b) {
+  if (a * b <= 0) return 0;
+  return std::abs(a) < std::abs(b) ? a : b;
+}
+
+/// One-dimensional limited slope of the coarse field at cell i (global
+/// coarse coordinates, clamped to the patch box).
+real_t slope(const GridFunction& u, int c, IntVec cell, int axis,
+             const Box& b) {
+  IntVec lo = cell, hi = cell;
+  lo.at(axis) = std::max(cell[axis] - 1, b.lo()[axis]);
+  hi.at(axis) = std::min(cell[axis] + 1, b.hi()[axis]);
+  if (lo[axis] == cell[axis] || hi[axis] == cell[axis]) return 0;
+  const real_t left = u(c, cell.x, cell.y, cell.z) - u(c, lo.x, lo.y, lo.z);
+  const real_t right = u(c, hi.x, hi.y, hi.z) - u(c, cell.x, cell.y, cell.z);
+  return minmod(left, right);
+}
+
+}  // namespace
+
+void prolong_region(const GridLevel& coarse, Patch& fine, const Box& region,
+                    coord_t ratio, ProlongKind kind) {
+  SSAMR_REQUIRE(ratio >= 2, "ratio must be >= 2");
+  GridFunction& uf = fine.data();
+  for (coord_t k = region.lo().z; k <= region.hi().z; ++k) {
+    for (coord_t j = region.lo().y; j <= region.hi().y; ++j) {
+      for (coord_t i = region.lo().x; i <= region.hi().x; ++i) {
+        if (!uf.storage_box().contains(IntVec(i, j, k))) continue;
+        const IntVec cc(floor_div(i, ratio), floor_div(j, ratio),
+                        floor_div(k, ratio));
+        const std::size_t pi = coarse.find_patch_containing(cc);
+        if (pi == GridLevel::npos) continue;
+        const GridFunction& uc = coarse.patch(pi).data();
+        const Box& cb = coarse.patch(pi).box();
+        for (int c = 0; c < uf.ncomp(); ++c) {
+          real_t v = uc(c, cc.x, cc.y, cc.z);
+          if (kind == ProlongKind::Trilinear) {
+            // Offset of the fine cell centre from the coarse cell centre,
+            // in coarse-cell units: ((sub + 0.5) / ratio) - 0.5.
+            const real_t fx =
+                (static_cast<real_t>(i - cc.x * ratio) + 0.5) /
+                    static_cast<real_t>(ratio) -
+                0.5;
+            const real_t fy =
+                (static_cast<real_t>(j - cc.y * ratio) + 0.5) /
+                    static_cast<real_t>(ratio) -
+                0.5;
+            const real_t fz =
+                (static_cast<real_t>(k - cc.z * ratio) + 0.5) /
+                    static_cast<real_t>(ratio) -
+                0.5;
+            v += fx * slope(uc, c, cc, 0, cb) + fy * slope(uc, c, cc, 1, cb) +
+                 fz * slope(uc, c, cc, 2, cb);
+          }
+          uf(c, i, j, k) = v;
+        }
+      }
+    }
+  }
+}
+
+void prolong_level(const GridLevel& coarse, GridLevel& fine_lvl,
+                   coord_t ratio, ProlongKind kind) {
+  for (Patch& p : fine_lvl.patches())
+    prolong_region(coarse, p, p.box(), ratio, kind);
+}
+
+void copy_overlap(const GridLevel& old_lvl, GridLevel& fine_lvl) {
+  for (Patch& np : fine_lvl.patches()) {
+    for (const Patch& op : old_lvl.patches()) {
+      const Box overlap = np.box().intersection(op.box());
+      if (!overlap.empty()) np.data().copy_from(op.data(), overlap);
+    }
+  }
+}
+
+void fill_coarse_fine_ghosts(const GridLevel& coarse, GridLevel& fine_lvl,
+                             coord_t ratio, ProlongKind kind) {
+  for (Patch& p : fine_lvl.patches()) {
+    const Box ghost_box = p.box().grown(p.data().ghost());
+    // Prolong only the ghost shell (grown box minus interior); cells that
+    // sibling patches cover will be overwritten by the subsequent
+    // intra-level exchange with the exact fine values.
+    for (const Box& shell : box_difference(ghost_box, p.box()))
+      prolong_region(coarse, p, shell, ratio, kind);
+  }
+}
+
+void restrict_level(const GridLevel& fine_lvl, GridLevel& coarse,
+                    coord_t ratio) {
+  SSAMR_REQUIRE(ratio >= 2, "ratio must be >= 2");
+  const real_t inv = 1.0 / static_cast<real_t>(ratio * ratio * ratio);
+  for (Patch& cp : coarse.patches()) {
+    GridFunction& uc = cp.data();
+    for (const Patch& fp : fine_lvl.patches()) {
+      const Box shadow = fp.box().coarsened(ratio).intersection(cp.box());
+      if (shadow.empty()) continue;
+      const GridFunction& uf = fp.data();
+      for (int c = 0; c < uc.ncomp(); ++c) {
+        for (coord_t k = shadow.lo().z; k <= shadow.hi().z; ++k) {
+          for (coord_t j = shadow.lo().y; j <= shadow.hi().y; ++j) {
+            for (coord_t i = shadow.lo().x; i <= shadow.hi().x; ++i) {
+              real_t sum = 0;
+              for (coord_t dk = 0; dk < ratio; ++dk)
+                for (coord_t dj = 0; dj < ratio; ++dj)
+                  for (coord_t di = 0; di < ratio; ++di)
+                    sum += uf(c, i * ratio + di, j * ratio + dj,
+                              k * ratio + dk);
+              uc(c, i, j, k) = sum * inv;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace ssamr

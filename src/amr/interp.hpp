@@ -1,0 +1,44 @@
+#pragma once
+/// \file interp.hpp
+/// Inter-grid transfer operators of the Berger–Oliger scheme:
+/// *prolongation* (coarse → fine, used to initialize newly refined patches
+/// and to fill fine ghost cells at coarse-fine boundaries) and
+/// *restriction* (fine → coarse, injecting the better fine solution back).
+
+#include "amr/hierarchy.hpp"
+#include "amr/level.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// How prolongation interpolates.
+enum class ProlongKind {
+  PiecewiseConstant,  ///< copy the parent cell value (conservative)
+  Trilinear,          ///< limited trilinear from parent cell centres
+};
+
+/// Fill `region` (cells of fine patch `fine`, global fine coordinates) by
+/// interpolating from the coarse level.  Cells whose parent is not found on
+/// the coarse level are left untouched.
+void prolong_region(const GridLevel& coarse, Patch& fine, const Box& region,
+                    coord_t ratio, ProlongKind kind);
+
+/// Initialize every cell of every patch of `fine_lvl` from `coarse`.
+void prolong_level(const GridLevel& coarse, GridLevel& fine_lvl,
+                   coord_t ratio, ProlongKind kind);
+
+/// Copy data from `old_lvl` patches into `fine_lvl` patches where boxes
+/// overlap (same level) — used during regridding so already-fine data is
+/// not lost, then prolong the remainder.
+void copy_overlap(const GridLevel& old_lvl, GridLevel& fine_lvl);
+
+/// Fill fine ghost cells not covered by sibling patches by prolongation
+/// from the coarse level (coarse-fine boundary treatment).
+void fill_coarse_fine_ghosts(const GridLevel& coarse, GridLevel& fine_lvl,
+                             coord_t ratio, ProlongKind kind);
+
+/// Restrict (average) fine data onto the underlying coarse cells.
+void restrict_level(const GridLevel& fine_lvl, GridLevel& coarse,
+                    coord_t ratio);
+
+}  // namespace ssamr

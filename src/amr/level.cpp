@@ -1,0 +1,37 @@
+#include "amr/level.hpp"
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+GridLevel::GridLevel(level_t level, int ncomp, int ghost)
+    : level_(level), ncomp_(ncomp), ghost_(ghost) {
+  SSAMR_REQUIRE(level >= 0, "level must be non-negative");
+}
+
+Patch& GridLevel::add_patch(const Box& box) {
+  SSAMR_REQUIRE(box.level() == level_, "patch box level must match");
+  SSAMR_REQUIRE(!box.empty(), "patch box must be non-empty");
+  patches_.emplace_back(box, ncomp_, ghost_);
+  return patches_.back();
+}
+
+BoxList GridLevel::box_list() const {
+  BoxList out;
+  for (const Patch& p : patches_) out.push_back(p.box());
+  return out;
+}
+
+std::int64_t GridLevel::total_cells() const {
+  std::int64_t n = 0;
+  for (const Patch& p : patches_) n += p.box().cells();
+  return n;
+}
+
+std::size_t GridLevel::find_patch_containing(IntVec cell) const {
+  for (std::size_t i = 0; i < patches_.size(); ++i)
+    if (patches_[i].box().contains(cell)) return i;
+  return npos;
+}
+
+}  // namespace ssamr

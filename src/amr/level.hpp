@@ -1,0 +1,57 @@
+#pragma once
+/// \file level.hpp
+/// One refinement level of the adaptive grid hierarchy: a set of
+/// non-overlapping patches sharing a mesh resolution.
+
+#include <vector>
+
+#include "amr/patch.hpp"
+#include "geom/box_list.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// A refinement level: patches plus level-wide metadata.
+class GridLevel {
+ public:
+  GridLevel() = default;
+
+  /// \param level level number (0 = coarsest)
+  /// \param ncomp field components per patch
+  /// \param ghost ghost width per patch
+  GridLevel(level_t level, int ncomp, int ghost);
+
+  level_t level() const { return level_; }
+  int ncomp() const { return ncomp_; }
+  int ghost() const { return ghost_; }
+
+  std::size_t num_patches() const { return patches_.size(); }
+  Patch& patch(std::size_t i) { return patches_[i]; }
+  const Patch& patch(std::size_t i) const { return patches_[i]; }
+  std::vector<Patch>& patches() { return patches_; }
+  const std::vector<Patch>& patches() const { return patches_; }
+
+  /// Append a new zero-initialized patch over `box` (whose level must match).
+  Patch& add_patch(const Box& box);
+
+  /// Remove every patch.
+  void clear() { patches_.clear(); }
+
+  /// The boxes of all patches, in patch order.
+  BoxList box_list() const;
+
+  /// Total interior cells over all patches.
+  std::int64_t total_cells() const;
+
+  /// Index of the first patch whose box contains the cell, or npos.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t find_patch_containing(IntVec cell) const;
+
+ private:
+  level_t level_ = 0;
+  int ncomp_ = 1;
+  int ghost_ = 1;
+  std::vector<Patch> patches_;
+};
+
+}  // namespace ssamr

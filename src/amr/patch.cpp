@@ -1,0 +1,10 @@
+#include "amr/patch.hpp"
+
+namespace ssamr {
+
+Patch::Patch(const Box& box, int ncomp, int ghost)
+    : box_(box),
+      data_(box, ncomp, ghost),
+      scratch_(box, ncomp, ghost) {}
+
+}  // namespace ssamr

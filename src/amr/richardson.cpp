@@ -1,0 +1,147 @@
+#include "amr/richardson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+namespace {
+
+coord_t floor_div(coord_t a, coord_t b) {
+  coord_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+/// Fill the ghost shell of `u` by clamping to the nearest interior cell —
+/// a zero-gradient probe boundary adequate for error estimation.
+void clamp_fill_ghosts(GridFunction& u, const Box& interior) {
+  const Box sb = u.storage_box();
+  for (int c = 0; c < u.ncomp(); ++c)
+    for (coord_t k = sb.lo().z; k <= sb.hi().z; ++k)
+      for (coord_t j = sb.lo().y; j <= sb.hi().y; ++j)
+        for (coord_t i = sb.lo().x; i <= sb.hi().x; ++i) {
+          if (interior.contains(IntVec(i, j, k))) continue;
+          const coord_t ci = std::clamp(i, interior.lo().x, interior.hi().x);
+          const coord_t cj = std::clamp(j, interior.lo().y, interior.hi().y);
+          const coord_t ck = std::clamp(k, interior.lo().z, interior.hi().z);
+          u(c, i, j, k) = u(c, ci, cj, ck);
+        }
+}
+
+}  // namespace
+
+RichardsonFlagger::RichardsonFlagger(const PatchOperator& op, real_t tol,
+                                     int order, real_t cfl)
+    : op_(op), tol_(tol), order_(order), cfl_(cfl) {
+  SSAMR_REQUIRE(tol > 0, "tolerance must be positive");
+  SSAMR_REQUIRE(order >= 1, "order must be >= 1");
+  SSAMR_REQUIRE(cfl > 0 && cfl < 1, "CFL must be in (0,1)");
+}
+
+GridFunction RichardsonFlagger::estimate_patch_error(const Patch& p) const {
+  const Box& fbox = p.box();
+  const int ncomp = op_.ncomp();
+  const int ghost = std::max(op_.ghost(), 1);
+
+  // Probe timestep from the patch's own wave speed (dx taken as 1: the
+  // Richardson difference is invariant to the common scale).
+  const real_t speed = std::max(op_.max_wave_speed(p), real_t{1e-12});
+  const real_t dt = cfl_ / speed;
+
+  // Fine probe: one step at the patch resolution.
+  Patch fine(fbox, ncomp, ghost);
+  fine.data().copy_from(p.data(), fbox);
+  clamp_fill_ghosts(fine.data(), fbox);
+  op_.advance(fine, dt, /*dx=*/1.0);
+  fine.swap_time_levels();
+
+  // Coarse probe: restrict the initial data to mesh width 2, take one
+  // double step.  (Computed directly rather than via Box::coarsened so the
+  // probe works on level-0 patches too; the level tag is irrelevant here.)
+  const Box cbox(IntVec(floor_div(fbox.lo().x, 2), floor_div(fbox.lo().y, 2),
+                        floor_div(fbox.lo().z, 2)),
+                 IntVec(floor_div(fbox.hi().x, 2), floor_div(fbox.hi().y, 2),
+                        floor_div(fbox.hi().z, 2)),
+                 fbox.level());
+  Patch coarse(cbox, ncomp, ghost);
+  {
+    GridFunction& uc = coarse.data();
+    const GridFunction& uf = p.data();
+    for (int c = 0; c < ncomp; ++c)
+      for (coord_t k = cbox.lo().z; k <= cbox.hi().z; ++k)
+        for (coord_t j = cbox.lo().y; j <= cbox.hi().y; ++j)
+          for (coord_t i = cbox.lo().x; i <= cbox.hi().x; ++i) {
+            real_t sum = 0;
+            int n = 0;
+            for (coord_t dk = 0; dk < 2; ++dk)
+              for (coord_t dj = 0; dj < 2; ++dj)
+                for (coord_t di = 0; di < 2; ++di) {
+                  const IntVec child(i * 2 + di, j * 2 + dj, k * 2 + dk);
+                  if (fbox.contains(child)) {
+                    sum += uf(c, child.x, child.y, child.z);
+                    ++n;
+                  }
+                }
+            uc(c, i, j, k) = n > 0 ? sum / n : 0;
+          }
+  }
+  clamp_fill_ghosts(coarse.data(), cbox);
+  op_.advance(coarse, 2 * dt, /*dx=*/2.0);
+  coarse.swap_time_levels();
+
+  // Error per coarse cell: |restrict(fine) − coarse| / (2^{p+1} − 2),
+  // max over components.
+  const real_t denom = std::pow(2.0, order_ + 1) - 2.0;
+  GridFunction err(cbox, 1, 0);
+  for (coord_t k = cbox.lo().z; k <= cbox.hi().z; ++k)
+    for (coord_t j = cbox.lo().y; j <= cbox.hi().y; ++j)
+      for (coord_t i = cbox.lo().x; i <= cbox.hi().x; ++i) {
+        real_t worst = 0;
+        for (int c = 0; c < ncomp; ++c) {
+          real_t sum = 0;
+          int n = 0;
+          for (coord_t dk = 0; dk < 2; ++dk)
+            for (coord_t dj = 0; dj < 2; ++dj)
+              for (coord_t di = 0; di < 2; ++di) {
+                const IntVec child(i * 2 + di, j * 2 + dj, k * 2 + dk);
+                if (fbox.contains(child)) {
+                  sum += fine.data()(c, child.x, child.y, child.z);
+                  ++n;
+                }
+              }
+          if (n == 0) continue;
+          const real_t fine_avg = sum / n;
+          worst = std::max(
+              worst, std::abs(fine_avg - coarse.data()(c, i, j, k)));
+        }
+        err(0, i, j, k) = worst / denom;
+      }
+  return err;
+}
+
+void RichardsonFlagger::flag_level(const GridLevel& lvl,
+                                   std::vector<IntVec>& flags) const {
+  for (const Patch& p : lvl.patches()) {
+    SSAMR_REQUIRE(p.data().ncomp() == op_.ncomp(),
+                  "patch/operator component mismatch");
+    const GridFunction err = estimate_patch_error(p);
+    const Box cbox = err.box();
+    const Box& fbox = p.box();
+    for (coord_t k = cbox.lo().z; k <= cbox.hi().z; ++k)
+      for (coord_t j = cbox.lo().y; j <= cbox.hi().y; ++j)
+        for (coord_t i = cbox.lo().x; i <= cbox.hi().x; ++i) {
+          if (err(0, i, j, k) <= tol_) continue;
+          for (coord_t dk = 0; dk < 2; ++dk)
+            for (coord_t dj = 0; dj < 2; ++dj)
+              for (coord_t di = 0; di < 2; ++di) {
+                const IntVec child(i * 2 + di, j * 2 + dj, k * 2 + dk);
+                if (fbox.contains(child)) flags.push_back(child);
+              }
+        }
+  }
+}
+
+}  // namespace ssamr

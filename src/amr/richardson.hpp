@@ -1,0 +1,45 @@
+#pragma once
+/// \file richardson.hpp
+/// Richardson-extrapolation error estimation (Berger & Oliger 1984, §3).
+///
+/// The original Berger–Oliger error estimator: advance the solution one
+/// step at the patch resolution and one double-step at double the mesh
+/// width; for a scheme of order p the difference of the two results is
+/// (2^{p+1} − 2) times the local truncation error.  Cells whose estimated
+/// error exceeds the tolerance are flagged.
+///
+/// This estimator is application-aware (it runs the real PatchOperator) —
+/// the "application specific error criterion" of the paper's regridding
+/// step (1) — whereas GradientFlagger is the cheap feature detector.
+
+#include "amr/flagging.hpp"
+#include "amr/integrator.hpp"
+
+namespace ssamr {
+
+/// Flags cells by Richardson extrapolation of the kernel's own update.
+class RichardsonFlagger final : public ErrorFlagger {
+ public:
+  /// \param op the numerical kernel to estimate the error of
+  /// \param tol absolute tolerance on the estimated local error
+  /// \param order formal order of accuracy p of the kernel (>= 1)
+  /// \param cfl CFL number for the internal probe steps
+  RichardsonFlagger(const PatchOperator& op, real_t tol, int order = 1,
+                    real_t cfl = 0.4);
+
+  void flag_level(const GridLevel& lvl,
+                  std::vector<IntVec>& flags) const override;
+
+  /// Estimated local error per coarse cell of one patch (test access).
+  /// The returned function lives on p.box().coarsened(2) with the error in
+  /// component 0.
+  GridFunction estimate_patch_error(const Patch& p) const;
+
+ private:
+  const PatchOperator& op_;
+  real_t tol_;
+  int order_;
+  real_t cfl_;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,28 @@
+#include "amr/workload.hpp"
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+real_t box_work(const Box& b, const WorkModel& m) {
+  SSAMR_REQUIRE(m.ratio >= 2, "work model ratio must be >= 2");
+  real_t updates = 1;
+  for (level_t l = 0; l < b.level(); ++l)
+    updates *= static_cast<real_t>(m.ratio);
+  return static_cast<real_t>(b.cells()) * updates * m.cost_per_cell;
+}
+
+real_t total_work(const BoxList& boxes, const WorkModel& m) {
+  real_t sum = 0;
+  for (const Box& b : boxes) sum += box_work(b, m);
+  return sum;
+}
+
+std::vector<real_t> per_box_work(const BoxList& boxes, const WorkModel& m) {
+  std::vector<real_t> out;
+  out.reserve(boxes.size());
+  for (const Box& b : boxes) out.push_back(box_work(b, m));
+  return out;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,37 @@
+#pragma once
+/// \file workload.hpp
+/// Computational work estimation for SAMR box lists.
+///
+/// Under Berger–Oliger subcycling a level-ℓ grid is updated r^ℓ times per
+/// coarsest timestep, so its load per coarse step is cells · r^ℓ (§3.1 of
+/// the paper: refined grids "not only have a larger number of grid elements
+/// but are also updated more frequently").  The partitioners distribute
+/// exactly this quantity.
+
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/box_list.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Work model parameters.
+struct WorkModel {
+  /// Refinement ratio between levels.
+  coord_t ratio = 2;
+  /// Work units per cell update (scales everything uniformly; 1 = one cell
+  /// update is one unit).
+  real_t cost_per_cell = 1.0;
+};
+
+/// Work of one box per coarsest timestep: cells · ratio^level · cost.
+real_t box_work(const Box& b, const WorkModel& m);
+
+/// Total work of a box list.
+real_t total_work(const BoxList& boxes, const WorkModel& m);
+
+/// Work of each box, in list order.
+std::vector<real_t> per_box_work(const BoxList& boxes, const WorkModel& m);
+
+}  // namespace ssamr

@@ -1,0 +1,76 @@
+#include "capacity/capacity.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+bool CapacityWeights::valid() const {
+  if (cpu < 0 || memory < 0 || bandwidth < 0) return false;
+  return std::abs(cpu + memory + bandwidth - 1.0) < 1e-9;
+}
+
+CapacityCalculator::CapacityCalculator(CapacityWeights weights)
+    : weights_(weights) {
+  SSAMR_REQUIRE(weights_.valid(),
+                "capacity weights must be non-negative and sum to 1");
+}
+
+void CapacityCalculator::set_weights(CapacityWeights w) {
+  SSAMR_REQUIRE(w.valid(),
+                "capacity weights must be non-negative and sum to 1");
+  weights_ = w;
+}
+
+std::vector<real_t> CapacityCalculator::relative_capacities(
+    const std::vector<ResourceEstimate>& estimates) const {
+  SSAMR_REQUIRE(!estimates.empty(), "need at least one node estimate");
+  const auto n = estimates.size();
+  real_t cpu_total = 0, mem_total = 0, bw_total = 0;
+  for (const auto& e : estimates) {
+    SSAMR_REQUIRE(e.cpu_available >= 0 && e.memory_free_mb >= 0 &&
+                      e.bandwidth_mbps >= 0,
+                  "resource estimates must be non-negative");
+    cpu_total += e.cpu_available;
+    mem_total += e.memory_free_mb;
+    bw_total += e.bandwidth_mbps;
+  }
+
+  std::vector<real_t> cap(n, 0);
+  real_t sum = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const real_t p_hat =
+        cpu_total > 0 ? estimates[k].cpu_available / cpu_total : 0;
+    const real_t m_hat =
+        mem_total > 0 ? estimates[k].memory_free_mb / mem_total : 0;
+    const real_t b_hat =
+        bw_total > 0 ? estimates[k].bandwidth_mbps / bw_total : 0;
+    cap[k] = weights_.cpu * p_hat + weights_.memory * m_hat +
+             weights_.bandwidth * b_hat;
+    sum += cap[k];
+  }
+  if (sum <= 0) {
+    // Degenerate input (all resources zero): fall back to uniform.
+    for (auto& c : cap) c = 1.0 / static_cast<real_t>(n);
+    return cap;
+  }
+  // Renormalize: when a resource total is zero its column drops out, so the
+  // weighted sum can fall short of 1.
+  for (auto& c : cap) c /= sum;
+  return cap;
+}
+
+std::vector<real_t> CapacityCalculator::work_allocation(
+    const std::vector<real_t>& capacities, real_t total_work) {
+  SSAMR_REQUIRE(total_work >= 0, "total work must be non-negative");
+  std::vector<real_t> out;
+  out.reserve(capacities.size());
+  for (real_t c : capacities) {
+    SSAMR_REQUIRE(c >= 0, "capacities must be non-negative");
+    out.push_back(c * total_work);
+  }
+  return out;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,49 @@
+#include "cluster/load_generator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+real_t LoadRamp::level_at(real_t t) const {
+  if (t < start_time || t >= stop_time) return 0;
+  if (rate <= 0) return target_level;
+  const real_t ramped = rate * (t - start_time);
+  return std::min(ramped, target_level);
+}
+
+real_t LoadScript::load_at(real_t t) const {
+  real_t sum = 0;
+  for (const LoadRamp& r : ramps_) sum += r.level_at(t);
+  return sum;
+}
+
+real_t LoadScript::memory_used_at(real_t t) const {
+  real_t sum = 0;
+  for (const LoadRamp& r : ramps_) {
+    if (r.target_level <= 0) {
+      if (r.level_at(t) == 0 && (t < r.start_time || t >= r.stop_time))
+        continue;
+      sum += r.memory_mb;
+      continue;
+    }
+    sum += r.memory_mb * (r.level_at(t) / r.target_level);
+  }
+  return sum;
+}
+
+real_t LoadScript::traffic_at(real_t t) const {
+  real_t sum = 0;
+  for (const LoadRamp& r : ramps_) {
+    if (r.target_level <= 0) continue;
+    sum += r.traffic_mbps * (r.level_at(t) / r.target_level);
+  }
+  return sum;
+}
+
+real_t LoadScript::cpu_available_at(real_t t) const {
+  return 1.0 / (1.0 + load_at(t));
+}
+
+}  // namespace ssamr

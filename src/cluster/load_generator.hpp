@@ -1,0 +1,71 @@
+#pragma once
+/// \file load_generator.hpp
+/// Synthetic load generation (paper §6.1.1).
+///
+/// "The load generator decreased the available memory and increased CPU
+///  load on a processor ... The load generated on the processor increased
+///  linearly at a specified rate until it reached the desired load level.
+///  Note that multiple load generators were run on a processor to create
+///  interesting load dynamics."
+///
+/// A LoadRamp is one such generator; a LoadScript composes several per
+/// node and evaluates the resulting CPU / memory pressure at any virtual
+/// time.  CPU sharing is fair-share: with background load L (in runnable
+/// processes), the application obtains 1 / (1 + L) of the CPU.
+
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// One synthetic load generator process.
+struct LoadRamp {
+  /// Virtual time at which the generator starts.
+  real_t start_time = 0.0;
+  /// Virtual time at which the generator exits (inf = forever).
+  real_t stop_time = 1.0e30;
+  /// Load increase per second until the target is reached.
+  real_t rate = 0.1;
+  /// Target load level (number of runnable background processes added).
+  real_t target_level = 1.0;
+  /// Memory the generator consumes in MB, proportional to its current load
+  /// fraction of target.
+  real_t memory_mb = 0.0;
+  /// Network traffic the generator injects, in Mbit/s at full level.
+  real_t traffic_mbps = 0.0;
+
+  /// Current load level at virtual time t (0 outside the active window,
+  /// ramping linearly to target inside).
+  real_t level_at(real_t t) const;
+};
+
+/// The composed load on one node.
+class LoadScript {
+ public:
+  LoadScript() = default;
+
+  /// Add one generator to the composition.
+  void add(const LoadRamp& ramp) { ramps_.push_back(ramp); }
+
+  /// Total background load level at time t (sum over generators).
+  real_t load_at(real_t t) const;
+
+  /// Memory consumed by generators at time t, in MB.
+  real_t memory_used_at(real_t t) const;
+
+  /// Network traffic injected at time t, in Mbit/s.
+  real_t traffic_at(real_t t) const;
+
+  /// Fraction of CPU available to the application at time t under
+  /// fair-share scheduling: 1 / (1 + load).
+  real_t cpu_available_at(real_t t) const;
+
+  bool empty() const { return ramps_.empty(); }
+  std::size_t size() const { return ramps_.size(); }
+
+ private:
+  std::vector<LoadRamp> ramps_;
+};
+
+}  // namespace ssamr

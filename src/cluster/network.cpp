@@ -1,0 +1,32 @@
+#include "cluster/network.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+namespace {
+constexpr real_t kMinBandwidthMbps = 0.1;
+}
+
+real_t NetworkModel::transfer_time(std::int64_t bytes, real_t src_mbps,
+                                   real_t dst_mbps) const {
+  SSAMR_REQUIRE(bytes >= 0, "negative transfer size");
+  if (bytes == 0) return 0;
+  const real_t mbps = std::max(
+      kMinBandwidthMbps, std::min(src_mbps, dst_mbps) * efficiency);
+  const real_t bits = static_cast<real_t>(bytes) * 8.0;
+  return latency_s + bits / (mbps * 1.0e6);
+}
+
+real_t NetworkModel::exchange_time(std::int64_t bytes,
+                                   real_t self_mbps) const {
+  SSAMR_REQUIRE(bytes >= 0, "negative exchange size");
+  if (bytes == 0) return 0;
+  const real_t mbps = std::max(kMinBandwidthMbps, self_mbps * efficiency);
+  const real_t bits = static_cast<real_t>(bytes) * 8.0;
+  return latency_s + bits / (mbps * 1.0e6);
+}
+
+}  // namespace ssamr

@@ -1,0 +1,35 @@
+#pragma once
+/// \file network.hpp
+/// Communication cost model for the simulated cluster interconnect.
+///
+/// The paper's testbed uses switched Fast Ethernet.  Transfer time follows
+/// the classic latency + size/bandwidth model, where the deliverable
+/// bandwidth of each endpoint is its NIC bandwidth minus background
+/// traffic (from the load generators), and a transfer is limited by the
+/// slower endpoint.
+
+#include "cluster/node.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Parameters of the interconnect.
+struct NetworkModel {
+  /// One-way message latency in seconds (Fast Ethernet + TCP ≈ 100 µs).
+  real_t latency_s = 1.0e-4;
+  /// Protocol efficiency: fraction of nominal link bandwidth achievable by
+  /// a single TCP stream.
+  real_t efficiency = 0.85;
+
+  /// Seconds to move `bytes` between endpoints whose deliverable
+  /// bandwidths are src_mbps and dst_mbps.  Zero bytes cost nothing.
+  real_t transfer_time(std::int64_t bytes, real_t src_mbps,
+                       real_t dst_mbps) const;
+
+  /// Seconds for one rank to move `bytes` of ghost data given its own
+  /// deliverable bandwidth (the aggregate of its exchanges; peers assumed
+  /// no slower on average).
+  real_t exchange_time(std::int64_t bytes, real_t self_mbps) const;
+};
+
+}  // namespace ssamr

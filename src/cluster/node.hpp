@@ -1,0 +1,38 @@
+#pragma once
+/// \file node.hpp
+/// Static description and instantaneous state of one cluster node.
+///
+/// The paper's testbed is a 32-node Linux cluster on Fast Ethernet; nodes
+/// differ in capability (heterogeneity) and in background load (dynamism).
+/// NodeSpec captures the former, NodeState the latter at one instant of
+/// virtual time.
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Hardware capability of a node (time-invariant).
+struct NodeSpec {
+  std::string name = "node";
+  /// Work units the node retires per virtual second at 100 % CPU
+  /// availability (1 work unit = one cell update of the work model).
+  real_t peak_rate = 1.0e6;
+  /// Physical memory in MB.
+  real_t memory_mb = 512.0;
+  /// Link bandwidth in Mbit/s (paper: Fast Ethernet, 100 Mbit/s).
+  real_t bandwidth_mbps = 100.0;
+};
+
+/// True resource availability of a node at one virtual time.
+struct NodeState {
+  /// Fraction of CPU an application process can obtain (0..1].
+  real_t cpu_available = 1.0;
+  /// Free memory in MB.
+  real_t memory_free_mb = 512.0;
+  /// Currently deliverable link bandwidth in Mbit/s.
+  real_t bandwidth_mbps = 100.0;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,71 @@
+#pragma once
+/// \file experiment.hpp
+/// Shared experiment setups for the paper's evaluation (§6).
+///
+/// Every bench binary (bench/) and several integration tests build their
+/// scenarios through these helpers so that cluster configurations, load
+/// scripts and runtime parameters stay consistent with the descriptions in
+/// EXPERIMENTS.md.
+
+#include <vector>
+
+#include "core/ssamr.hpp"
+
+namespace ssamr::exp {
+
+/// The paper's application scale: 128×32×32 base mesh, 3 levels of
+/// factor-2 refinement, regrid every 5 iterations.
+TraceConfig paper_trace_config();
+
+/// Fixed reference capacities of the 4-processor experiments
+/// (≈ 16 %, 19 %, 31 %, 34 % — Figs. 8–10).
+std::vector<real_t> reference_capacities4();
+
+/// A cluster of n identical nodes (paper hardware: Linux boxes on
+/// 100 Mbit Fast Ethernet).
+Cluster paper_cluster(int n);
+
+/// Load a cluster the way §6.1.3 describes: synthetic generators on a
+/// subset of nodes, producing relative capacities ≈ reference_capacities4()
+/// on 4 nodes (and the analogous pattern, repeated, on larger clusters).
+/// Loads are constant in time (ramps complete before t=0 effectively).
+void apply_static_loads(Cluster& cluster);
+
+/// Load scripts with strong dynamics for the sensing experiments
+/// (Fig. 11, Tables II & III): generators start/stop at different virtual
+/// times on two of every four nodes.
+void apply_dynamic_loads(Cluster& cluster, real_t timescale_s);
+
+/// Baseline runtime configuration of the paper runs.
+/// \param iterations total coarse iterations
+/// \param sensing_interval iterations between probes (0 = sense once)
+RuntimeConfig paper_runtime_config(int iterations, int sensing_interval);
+
+/// Outcome of running both partitioners on identical setups.
+struct Comparison {
+  RunTrace system_sensitive;
+  RunTrace grace_default;
+  /// (T_default − T_system) / T_default, as a fraction.
+  real_t improvement() const;
+};
+
+/// Run the default and the system-sensitive partitioner under identical
+/// cluster/load/workload conditions (fresh, deterministic state per run).
+Comparison compare_partitioners(int nprocs, int iterations,
+                                int sensing_interval, bool dynamic_loads,
+                                real_t dynamic_timescale_s = 120.0);
+
+/// One run of the system-sensitive partitioner under the dynamic load
+/// script with timescale `tau` (fresh deterministic state).
+RunTrace run_dynamic_het(int nprocs, int iterations, int sensing_interval,
+                         real_t tau);
+
+/// Fixed-point calibration of the dynamic-load timescale: iterate until
+/// the scripted load events span the actual run duration.  The returned τ
+/// is then reused across the runs being compared, so every configuration
+/// faces the *same* load dynamics (paper §6.2.3: "The synthetic load
+/// dynamics are the same in each case").
+real_t calibrate_timescale(int nprocs, int iterations, int sensing_interval,
+                           int passes = 3);
+
+}  // namespace ssamr::exp

@@ -1,0 +1,33 @@
+#pragma once
+/// \file box_algebra.hpp
+/// Set-like operations on boxes and box lists: difference, coverage,
+/// union volume, and simple coalescing.  These underpin ghost-region
+/// planning and regridding (computing newly refined / de-refined regions).
+
+#include <vector>
+
+#include "geom/box.hpp"
+#include "geom/box_list.hpp"
+
+namespace ssamr {
+
+/// a \ b as a list of up to six disjoint boxes.  Returns {a} when disjoint,
+/// {} when b covers a.  Levels must match.
+std::vector<Box> box_difference(const Box& a, const Box& b);
+
+/// a \ (union of subtrahends): disjoint boxes covering exactly the cells of
+/// `a` not covered by any subtrahend.
+std::vector<Box> box_difference(const Box& a,
+                                const std::vector<Box>& subtrahends);
+
+/// Number of distinct cells covered by the (possibly overlapping) boxes.
+std::int64_t union_cells(const std::vector<Box>& boxes);
+
+/// Merge adjacent boxes that form a rectilinear union (simple pairwise
+/// face-merge until a fixed point).  Input boxes must be disjoint.
+std::vector<Box> coalesce(std::vector<Box> boxes);
+
+/// Intersect every box in `list` with `clip`, dropping empties.
+std::vector<Box> clip_all(const std::vector<Box>& list, const Box& clip);
+
+}  // namespace ssamr

@@ -1,0 +1,83 @@
+#pragma once
+/// \file point.hpp
+/// 3-D integer index-space vectors.
+///
+/// All SAMR geometry in this library is three dimensional (the paper's
+/// evaluation kernel is 3-D); lower-dimensional problems use extent 1 in the
+/// unused directions.
+
+#include <array>
+#include <cstddef>
+#include <iosfwd>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Number of spatial dimensions.
+inline constexpr int kDim = 3;
+
+/// A point (or extent vector) in the 3-D integer index space.
+struct IntVec {
+  coord_t x = 0, y = 0, z = 0;
+
+  constexpr IntVec() = default;
+  constexpr IntVec(coord_t x_, coord_t y_, coord_t z_) : x(x_), y(y_), z(z_) {}
+
+  /// Vector with all components equal to v.
+  static constexpr IntVec splat(coord_t v) { return {v, v, v}; }
+
+  constexpr coord_t operator[](int d) const {
+    return d == 0 ? x : (d == 1 ? y : z);
+  }
+  /// Mutable component access.
+  coord_t& at(int d) {
+    SSAMR_ASSERT(d >= 0 && d < kDim, "dimension out of range");
+    return d == 0 ? x : (d == 1 ? y : z);
+  }
+
+  friend constexpr IntVec operator+(IntVec a, IntVec b) {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr IntVec operator-(IntVec a, IntVec b) {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr IntVec operator*(IntVec a, coord_t s) {
+    return {a.x * s, a.y * s, a.z * s};
+  }
+  friend constexpr IntVec operator*(coord_t s, IntVec a) { return a * s; }
+  friend constexpr bool operator==(IntVec a, IntVec b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+  friend constexpr bool operator!=(IntVec a, IntVec b) { return !(a == b); }
+
+  /// Component-wise minimum.
+  friend constexpr IntVec min(IntVec a, IntVec b) {
+    return {a.x < b.x ? a.x : b.x, a.y < b.y ? a.y : b.y,
+            a.z < b.z ? a.z : b.z};
+  }
+  /// Component-wise maximum.
+  friend constexpr IntVec max(IntVec a, IntVec b) {
+    return {a.x > b.x ? a.x : b.x, a.y > b.y ? a.y : b.y,
+            a.z > b.z ? a.z : b.z};
+  }
+
+  /// True when every component of *this is <= the matching component of o.
+  constexpr bool all_le(IntVec o) const {
+    return x <= o.x && y <= o.y && z <= o.z;
+  }
+  /// True when every component of *this is >= the matching component of o.
+  constexpr bool all_ge(IntVec o) const {
+    return x >= o.x && y >= o.y && z >= o.z;
+  }
+
+  /// Product of components (e.g. cell count of an extent vector).
+  constexpr std::int64_t product() const {
+    return static_cast<std::int64_t>(x) * y * z;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, IntVec v);
+
+}  // namespace ssamr

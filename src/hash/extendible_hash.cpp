@@ -1,0 +1,12 @@
+#include "hash/extendible_hash.hpp"
+
+#include <cstdint>
+
+namespace ssamr {
+
+// Explicit instantiations for the value types the library stores, keeping
+// template bloat out of client translation units.
+template class ExtendibleHash<std::int64_t>;
+template class ExtendibleHash<std::size_t>;
+
+}  // namespace ssamr

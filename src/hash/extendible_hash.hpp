@@ -1,0 +1,211 @@
+#pragma once
+/// \file extendible_hash.hpp
+/// Extendible hashing (Fagin et al., ACM TODS 1979).
+///
+/// GrACE's HDDA uses extendible hashing as its dynamic storage/access
+/// mechanism: a directory of 2^d pointers indexed by the top d bits of the
+/// hashed key, pointing at buckets with local depth <= d.  Buckets split
+/// (and the directory doubles) on overflow, so the table grows gracefully
+/// with the dynamic grid hierarchy without full rehashes.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// 64-bit mix (Stafford variant 13) used to hash keys before taking
+/// directory bits.
+inline key_t hash_mix64(key_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// An extendible hash table from key_t to V.
+///
+/// Complexity: find/insert/erase are O(bucket) = O(capacity) worst case in
+/// a bucket; amortized O(1).  Directory doubling copies pointers only.
+template <class V>
+class ExtendibleHash {
+ public:
+  /// \param bucket_capacity entries per bucket before a split is attempted.
+  explicit ExtendibleHash(std::size_t bucket_capacity = 8)
+      : bucket_capacity_(bucket_capacity) {
+    SSAMR_REQUIRE(bucket_capacity >= 1, "bucket capacity must be >= 1");
+    auto b = std::make_shared<Bucket>();
+    b->local_depth = 0;
+    directory_ = {b};
+    global_depth_ = 0;
+  }
+
+  /// Insert or overwrite.  Returns true when the key was newly inserted.
+  bool insert(key_t key, V value) {
+    for (;;) {
+      Bucket& b = bucket_for(key);
+      for (auto& kv : b.entries) {
+        if (kv.first == key) {
+          kv.second = std::move(value);
+          return false;
+        }
+      }
+      if (b.entries.size() < bucket_capacity_) {
+        b.entries.emplace_back(key, std::move(value));
+        ++size_;
+        return true;
+      }
+      split(key);
+    }
+  }
+
+  /// Look up a key; nullopt when absent.
+  std::optional<V> find(key_t key) const {
+    const Bucket& b = bucket_for(key);
+    for (const auto& kv : b.entries)
+      if (kv.first == key) return kv.second;
+    return std::nullopt;
+  }
+
+  /// Pointer to the stored value, or nullptr when absent.  Invalidated by
+  /// any mutation.
+  V* find_ptr(key_t key) {
+    Bucket& b = bucket_for(key);
+    for (auto& kv : b.entries)
+      if (kv.first == key) return &kv.second;
+    return nullptr;
+  }
+
+  /// Remove a key.  Returns true when present.
+  bool erase(key_t key) {
+    Bucket& b = bucket_for(key);
+    for (std::size_t i = 0; i < b.entries.size(); ++i) {
+      if (b.entries[i].first == key) {
+        b.entries[i] = std::move(b.entries.back());
+        b.entries.pop_back();
+        --size_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True when the key is present.
+  bool contains(key_t key) const { return find(key).has_value(); }
+
+  /// Remove every entry and reset the directory to depth 0.
+  void clear() {
+    auto b = std::make_shared<Bucket>();
+    b->local_depth = 0;
+    directory_ = {b};
+    global_depth_ = 0;
+    size_ = 0;
+  }
+
+  /// Number of stored entries.
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Directory depth d (directory has 2^d slots).
+  int global_depth() const { return global_depth_; }
+
+  /// Number of distinct buckets.
+  std::size_t bucket_count() const {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < directory_.size(); ++i) {
+      bool first = true;
+      for (std::size_t j = 0; j < i; ++j)
+        if (directory_[j] == directory_[i]) {
+          first = false;
+          break;
+        }
+      if (first) ++n;
+    }
+    return n;
+  }
+
+  /// Visit every (key, value) pair.
+  template <class F>
+  void for_each(F&& f) const {
+    std::vector<const Bucket*> seen;
+    for (const auto& bp : directory_) {
+      bool dup = false;
+      for (const Bucket* s : seen)
+        if (s == bp.get()) {
+          dup = true;
+          break;
+        }
+      if (dup) continue;
+      seen.push_back(bp.get());
+      for (const auto& kv : bp->entries) f(kv.first, kv.second);
+    }
+  }
+
+ private:
+  struct Bucket {
+    int local_depth = 0;
+    std::vector<std::pair<key_t, V>> entries;
+  };
+
+  std::size_t slot_of(key_t key) const {
+    if (global_depth_ == 0) return 0;
+    return static_cast<std::size_t>(hash_mix64(key) >>
+                                    (64 - global_depth_));
+  }
+
+  Bucket& bucket_for(key_t key) { return *directory_[slot_of(key)]; }
+  const Bucket& bucket_for(key_t key) const {
+    return *directory_[slot_of(key)];
+  }
+
+  void split(key_t key) {
+    const std::size_t slot = slot_of(key);
+    auto old = directory_[slot];
+    if (old->local_depth == global_depth_) double_directory();
+
+    auto b0 = std::make_shared<Bucket>();
+    auto b1 = std::make_shared<Bucket>();
+    b0->local_depth = b1->local_depth = old->local_depth + 1;
+    // Distinguishing bit: the (local_depth+1)-th most significant hash bit.
+    const int shift = 64 - (old->local_depth + 1);
+    for (auto& kv : old->entries) {
+      const bool high = (hash_mix64(kv.first) >> shift) & 1;
+      (high ? b1 : b0)->entries.push_back(std::move(kv));
+    }
+    // Slot index carries the top global_depth_ bits of the hash, so the
+    // child choice for each slot is the slot's bit at the new local depth.
+    for (std::size_t i = 0; i < directory_.size(); ++i) {
+      if (directory_[i] != old) continue;
+      const bool high =
+          (i >> (static_cast<std::size_t>(global_depth_) -
+                 static_cast<std::size_t>(old->local_depth + 1))) &
+          1;
+      directory_[i] = high ? b1 : b0;
+    }
+  }
+
+  void double_directory() {
+    SSAMR_REQUIRE(global_depth_ < 48, "extendible hash directory too deep");
+    std::vector<std::shared_ptr<Bucket>> next(directory_.size() * 2);
+    for (std::size_t i = 0; i < directory_.size(); ++i) {
+      next[2 * i] = directory_[i];
+      next[2 * i + 1] = directory_[i];
+    }
+    directory_ = std::move(next);
+    ++global_depth_;
+  }
+
+  std::size_t bucket_capacity_;
+  std::vector<std::shared_ptr<Bucket>> directory_;
+  int global_depth_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,84 @@
+#include "hdda/hdda.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+Hdda::Hdda(SfcConfig cfg) : cfg_(cfg) {}
+
+key_t Hdda::key_of(const Box& b) const {
+  SSAMR_REQUIRE(!b.empty(), "cannot key an empty box");
+  // Composite SFC key in the high bits, level tag in the low 5 bits: boxes
+  // that coincide spatially across levels stay distinct, while the ordered
+  // enumeration still interleaves levels by spatial position.
+  return (sfc_box_key(b, cfg_) << 5) |
+         static_cast<key_t>(b.level() & 0x1f);
+}
+
+key_t Hdda::insert(const Box& b, rank_t owner, std::int64_t bytes) {
+  const key_t k = key_of(b);
+  table_.insert(k, HddaEntry{b, owner, bytes});
+  return k;
+}
+
+bool Hdda::erase(const Box& b) { return table_.erase(key_of(b)); }
+
+void Hdda::clear() { table_.clear(); }
+
+std::size_t Hdda::erase_level(level_t level) {
+  std::vector<key_t> victims;
+  table_.for_each([&](key_t k, const HddaEntry& e) {
+    if (e.box.level() == level) victims.push_back(k);
+  });
+  for (key_t k : victims) table_.erase(k);
+  return victims.size();
+}
+
+std::optional<HddaEntry> Hdda::find(const Box& b) const {
+  return table_.find(key_of(b));
+}
+
+rank_t Hdda::owner_of(const Box& b) const {
+  const auto e = find(b);
+  return e ? e->owner : rank_t{-1};
+}
+
+std::int64_t Hdda::set_owner(const Box& b, rank_t new_owner) {
+  HddaEntry* e = table_.find_ptr(key_of(b));
+  if (e == nullptr) {
+    insert(b, new_owner, 0);
+    return 0;
+  }
+  if (e->owner == new_owner || e->owner < 0) {
+    e->owner = new_owner;
+    return 0;
+  }
+  e->owner = new_owner;
+  return e->bytes;
+}
+
+std::size_t Hdda::size() const { return table_.size(); }
+
+std::int64_t Hdda::bytes_on(rank_t rank) const {
+  std::int64_t total = 0;
+  table_.for_each([&](key_t, const HddaEntry& e) {
+    if (e.owner == rank) total += e.bytes;
+  });
+  return total;
+}
+
+std::vector<HddaEntry> Hdda::ordered_entries() const {
+  std::vector<std::pair<key_t, HddaEntry>> all;
+  all.reserve(table_.size());
+  table_.for_each([&](key_t k, const HddaEntry& e) { all.emplace_back(k, e); });
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<HddaEntry> out;
+  out.reserve(all.size());
+  for (auto& kv : all) out.push_back(std::move(kv.second));
+  return out;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,88 @@
+#pragma once
+/// \file hdda.hpp
+/// Hierarchical Distributed Dynamic Array (HDDA).
+///
+/// The HDDA is GrACE's data-management substrate: a dynamically growing /
+/// shrinking array of application objects (grid patches) indexed by a
+/// hierarchical, locality-preserving index space.  Our in-process
+/// reproduction keeps the two defining mechanisms:
+///
+///  * the index space is derived from the application domain via
+///    space-filling mappings (sfc/), so index locality == spatial locality;
+///  * storage and access use extendible hashing (hash/), so the table grows
+///    with the adaptive hierarchy without global rehashes.
+///
+/// Each entry records the patch's bounding box, its payload size in bytes,
+/// and the rank that currently owns it.  The distributed aspect of the
+/// paper's cluster runs is captured by the ownership map plus
+/// migration-volume accounting (consumed by the virtual-time executor).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "geom/box.hpp"
+#include "hash/extendible_hash.hpp"
+#include "sfc/sfc_index.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// One object stored in the HDDA.
+struct HddaEntry {
+  Box box;               ///< Index-space region of the patch.
+  rank_t owner = -1;     ///< Rank currently storing the payload (-1: none).
+  std::int64_t bytes = 0;  ///< Payload size used for migration accounting.
+};
+
+/// The hierarchical distributed dynamic array.
+class Hdda {
+ public:
+  /// \param cfg curve configuration used to derive the index space.
+  explicit Hdda(SfcConfig cfg = {});
+
+  /// The key of a box in the hierarchical index space (level-tagged
+  /// composite SFC key).  Stable across insert/erase.
+  key_t key_of(const Box& b) const;
+
+  /// Insert (or overwrite) the entry for a box.  Returns its key.
+  key_t insert(const Box& b, rank_t owner, std::int64_t bytes);
+
+  /// Remove a box's entry.  Returns true when present.
+  bool erase(const Box& b);
+
+  /// Remove every entry.
+  void clear();
+
+  /// Remove every entry at the given level (regridding replaces whole
+  /// levels).  Returns the number of entries removed.
+  std::size_t erase_level(level_t level);
+
+  /// Look up an entry.
+  std::optional<HddaEntry> find(const Box& b) const;
+
+  /// Owner of a box, or -1 when unknown.
+  rank_t owner_of(const Box& b) const;
+
+  /// Re-assign ownership of a box.  Returns the number of bytes that had to
+  /// move (0 when the owner is unchanged or the box is new to the array).
+  std::int64_t set_owner(const Box& b, rank_t new_owner);
+
+  /// Total entries stored.
+  std::size_t size() const;
+
+  /// Bytes resident on one rank.
+  std::int64_t bytes_on(rank_t rank) const;
+
+  /// Every entry, sorted by hierarchical index (composite SFC order).
+  std::vector<HddaEntry> ordered_entries() const;
+
+  /// Curve configuration in force.
+  const SfcConfig& config() const { return cfg_; }
+
+ private:
+  SfcConfig cfg_;
+  ExtendibleHash<HddaEntry> table_;
+};
+
+}  // namespace ssamr

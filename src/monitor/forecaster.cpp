@@ -1,0 +1,110 @@
+#include "monitor/forecaster.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace ssamr {
+
+real_t LastValueForecaster::forecast(
+    const std::vector<real_t>& history) const {
+  return history.empty() ? 0 : history.back();
+}
+
+real_t RunningMeanForecaster::forecast(
+    const std::vector<real_t>& history) const {
+  return mean_of(history);
+}
+
+SlidingMeanForecaster::SlidingMeanForecaster(std::size_t window)
+    : window_(window) {
+  SSAMR_REQUIRE(window >= 1, "window must be >= 1");
+}
+
+real_t SlidingMeanForecaster::forecast(
+    const std::vector<real_t>& history) const {
+  if (history.empty()) return 0;
+  const std::size_t n = std::min(window_, history.size());
+  real_t s = 0;
+  for (std::size_t i = history.size() - n; i < history.size(); ++i)
+    s += history[i];
+  return s / static_cast<real_t>(n);
+}
+
+std::string SlidingMeanForecaster::name() const {
+  return "sliding_mean(" + std::to_string(window_) + ")";
+}
+
+SlidingMedianForecaster::SlidingMedianForecaster(std::size_t window)
+    : window_(window) {
+  SSAMR_REQUIRE(window >= 1, "window must be >= 1");
+}
+
+real_t SlidingMedianForecaster::forecast(
+    const std::vector<real_t>& history) const {
+  if (history.empty()) return 0;
+  const std::size_t n = std::min(window_, history.size());
+  std::vector<real_t> tail(history.end() - static_cast<std::ptrdiff_t>(n),
+                           history.end());
+  return median_of(std::move(tail));
+}
+
+std::string SlidingMedianForecaster::name() const {
+  return "sliding_median(" + std::to_string(window_) + ")";
+}
+
+AdaptiveForecaster::AdaptiveForecaster() {
+  members_.push_back(std::make_unique<LastValueForecaster>());
+  members_.push_back(std::make_unique<RunningMeanForecaster>());
+  members_.push_back(std::make_unique<SlidingMeanForecaster>(5));
+  members_.push_back(std::make_unique<SlidingMeanForecaster>(10));
+  members_.push_back(std::make_unique<SlidingMedianForecaster>(5));
+  members_.push_back(std::make_unique<SlidingMedianForecaster>(10));
+}
+
+AdaptiveForecaster::AdaptiveForecaster(
+    std::vector<std::unique_ptr<Forecaster>> members)
+    : members_(std::move(members)) {
+  SSAMR_REQUIRE(!members_.empty(), "adaptive forecaster needs members");
+}
+
+std::size_t AdaptiveForecaster::best_index(
+    const std::vector<real_t>& history) const {
+  if (history.size() < 2) return 0;
+  real_t best_mse = std::numeric_limits<real_t>::infinity();
+  std::size_t best = 0;
+  for (std::size_t m = 0; m < members_.size(); ++m) {
+    real_t sse = 0;
+    std::size_t count = 0;
+    std::vector<real_t> prefix;
+    prefix.reserve(history.size());
+    prefix.push_back(history.front());
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      const real_t pred = members_[m]->forecast(prefix);
+      const real_t err = pred - history[i];
+      sse += err * err;
+      ++count;
+      prefix.push_back(history[i]);
+    }
+    const real_t mse = sse / static_cast<real_t>(count);
+    if (mse < best_mse) {
+      best_mse = mse;
+      best = m;
+    }
+  }
+  return best;
+}
+
+real_t AdaptiveForecaster::forecast(
+    const std::vector<real_t>& history) const {
+  return members_[best_index(history)]->forecast(history);
+}
+
+std::string AdaptiveForecaster::best_member(
+    const std::vector<real_t>& history) const {
+  return members_[best_index(history)]->name();
+}
+
+}  // namespace ssamr

@@ -1,0 +1,60 @@
+#include "monitor/monitor_service.hpp"
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+ResourceMonitor::ResourceMonitor(const Cluster& cluster, MonitorConfig cfg)
+    : cluster_(cluster),
+      cfg_(cfg),
+      sensor_(cluster, cfg.noise, cfg.seed),
+      cpu_hist_(static_cast<std::size_t>(cluster.size())),
+      mem_hist_(static_cast<std::size_t>(cluster.size())),
+      bw_hist_(static_cast<std::size_t>(cluster.size())) {
+  SSAMR_REQUIRE(cfg.probe_cost_s >= 0, "probe cost must be non-negative");
+  SSAMR_REQUIRE(cfg.intrusion_cpu >= 0 && cfg.intrusion_cpu < 1,
+                "intrusion fraction must be in [0,1)");
+}
+
+ResourceEstimate ResourceMonitor::probe(rank_t rank, real_t t) {
+  const Measurement m = sensor_.measure(rank, t);
+  auto& cpu = cpu_hist_[static_cast<std::size_t>(rank)];
+  auto& mem = mem_hist_[static_cast<std::size_t>(rank)];
+  auto& bw = bw_hist_[static_cast<std::size_t>(rank)];
+  cpu.push_back(m.cpu_available);
+  mem.push_back(m.memory_free_mb);
+  bw.push_back(m.bandwidth_mbps);
+  ++probe_count_;
+
+  ResourceEstimate e;
+  if (cfg_.forecast) {
+    e.cpu_available = forecaster_.forecast(cpu);
+    e.memory_free_mb = forecaster_.forecast(mem);
+    e.bandwidth_mbps = forecaster_.forecast(bw);
+  } else {
+    e.cpu_available = m.cpu_available;
+    e.memory_free_mb = m.memory_free_mb;
+    e.bandwidth_mbps = m.bandwidth_mbps;
+  }
+  return e;
+}
+
+std::vector<ResourceEstimate> ResourceMonitor::probe_all(real_t t,
+                                                         real_t* overhead_s) {
+  std::vector<ResourceEstimate> out;
+  out.reserve(static_cast<std::size_t>(cluster_.size()));
+  for (rank_t r = 0; r < cluster_.size(); ++r) out.push_back(probe(r, t));
+  if (overhead_s != nullptr) *overhead_s = sweep_cost();
+  return out;
+}
+
+real_t ResourceMonitor::sweep_cost() const {
+  return cfg_.probe_cost_s * static_cast<real_t>(cluster_.size());
+}
+
+const std::vector<real_t>& ResourceMonitor::cpu_history(rank_t rank) const {
+  SSAMR_REQUIRE(rank >= 0 && rank < cluster_.size(), "rank out of range");
+  return cpu_hist_[static_cast<std::size_t>(rank)];
+}
+
+}  // namespace ssamr

@@ -1,0 +1,82 @@
+#pragma once
+/// \file monitor_service.hpp
+/// The resource-monitoring facade (the paper's "Resource Monitoring Tool",
+/// played by NWS on the real cluster).
+///
+/// The service measures each node (sensor.hpp), keeps per-node, per-resource
+/// measurement histories, and answers queries with NWS-style forecasts
+/// (forecaster.hpp).  Querying is not free: the paper measures "the
+/// overhead of probing NWS on a node, retrieving its system state, and
+/// computing its relative capacity" at about 0.5 seconds — the service
+/// accounts that cost so the runtime can charge it to execution time.
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "monitor/forecaster.hpp"
+#include "monitor/sensor.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// What the monitor reports for one node.
+struct ResourceEstimate {
+  real_t cpu_available = 1.0;
+  real_t memory_free_mb = 0;
+  real_t bandwidth_mbps = 0;
+};
+
+/// Monitor configuration.
+struct MonitorConfig {
+  SensorNoise noise;
+  /// Seconds charged per node probed (paper: ≈ 0.5 s per node).
+  real_t probe_cost_s = 0.5;
+  /// CPU fraction the monitor steals on monitored nodes (NWS: < 3 %).
+  real_t intrusion_cpu = 0.02;
+  /// Memory footprint of the monitor per node in MB (NWS: ≈ 3300 KB).
+  real_t intrusion_memory_mb = 3.3;
+  /// Use the adaptive forecaster over the history; when false, report the
+  /// raw last measurement (no forecasting).
+  bool forecast = true;
+  std::uint64_t seed = 42;
+};
+
+/// The monitoring service for one cluster.
+class ResourceMonitor {
+ public:
+  ResourceMonitor(const Cluster& cluster, MonitorConfig cfg);
+
+  /// Probe one node at virtual time t: take a measurement, extend the
+  /// history, and return the forecasted estimate.
+  ResourceEstimate probe(rank_t rank, real_t t);
+
+  /// Probe every node.  `overhead_s` (if non-null) receives the total
+  /// virtual-time cost of the sweep (probe_cost_s × nodes).
+  std::vector<ResourceEstimate> probe_all(real_t t,
+                                          real_t* overhead_s = nullptr);
+
+  /// Virtual-time cost of probing the whole cluster once.
+  real_t sweep_cost() const;
+
+  /// CPU fraction stolen by the monitor on every node.
+  real_t intrusion_cpu() const { return cfg_.intrusion_cpu; }
+
+  /// Number of probes issued so far (all nodes).
+  std::size_t probe_count() const { return probe_count_; }
+
+  /// Measurement history of one node's CPU availability (test access).
+  const std::vector<real_t>& cpu_history(rank_t rank) const;
+
+ private:
+  const Cluster& cluster_;
+  MonitorConfig cfg_;
+  Sensor sensor_;
+  AdaptiveForecaster forecaster_;
+  std::vector<std::vector<real_t>> cpu_hist_;
+  std::vector<std::vector<real_t>> mem_hist_;
+  std::vector<std::vector<real_t>> bw_hist_;
+  std::size_t probe_count_ = 0;
+};
+
+}  // namespace ssamr

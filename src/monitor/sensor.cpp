@@ -1,0 +1,29 @@
+#include "monitor/sensor.hpp"
+
+#include <algorithm>
+
+namespace ssamr {
+
+Sensor::Sensor(const Cluster& cluster, SensorNoise noise, std::uint64_t seed)
+    : cluster_(cluster), noise_(noise), rng_(seed) {}
+
+real_t Sensor::perturb(real_t value, real_t sigma, real_t lo, real_t hi) {
+  if (sigma <= 0) return std::clamp(value, lo, hi);
+  const real_t noisy = value * (1.0 + rng_.normal(0.0, sigma));
+  return std::clamp(noisy, lo, hi);
+}
+
+Measurement Sensor::measure(rank_t rank, real_t t) {
+  const NodeState s = cluster_.state_at(rank, t);
+  const NodeSpec& spec = cluster_.spec(rank);
+  Measurement m;
+  m.time = t;
+  m.cpu_available = perturb(s.cpu_available, noise_.cpu_sigma, 0.0, 1.0);
+  m.memory_free_mb =
+      perturb(s.memory_free_mb, noise_.memory_sigma, 0.0, spec.memory_mb);
+  m.bandwidth_mbps = perturb(s.bandwidth_mbps, noise_.bandwidth_sigma, 0.0,
+                             spec.bandwidth_mbps);
+  return m;
+}
+
+}  // namespace ssamr

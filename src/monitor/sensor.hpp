@@ -1,0 +1,46 @@
+#pragma once
+/// \file sensor.hpp
+/// Noisy measurement of node resource state.
+///
+/// NWS sensors do not see the true instantaneous state: CPU monitors
+/// sample /proc, bandwidth probes send finite messages.  The Sensor applies
+/// bounded multiplicative noise to the cluster's true state so forecasting
+/// (forecaster.hpp) has something real to do.
+
+#include "cluster/cluster.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// One measurement of a node's resources.
+struct Measurement {
+  real_t time = 0;
+  real_t cpu_available = 1.0;
+  real_t memory_free_mb = 0;
+  real_t bandwidth_mbps = 0;
+};
+
+/// Measurement noise configuration (standard deviations, multiplicative).
+struct SensorNoise {
+  real_t cpu_sigma = 0.03;
+  real_t memory_sigma = 0.01;
+  real_t bandwidth_sigma = 0.05;
+};
+
+/// Samples the true cluster state with noise.
+class Sensor {
+ public:
+  Sensor(const Cluster& cluster, SensorNoise noise, std::uint64_t seed);
+
+  /// Measure one node at virtual time t.
+  Measurement measure(rank_t rank, real_t t);
+
+ private:
+  real_t perturb(real_t value, real_t sigma, real_t lo, real_t hi);
+  const Cluster& cluster_;
+  SensorNoise noise_;
+  Rng rng_;
+};
+
+}  // namespace ssamr

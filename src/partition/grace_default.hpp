@@ -1,0 +1,36 @@
+#pragma once
+/// \file grace_default.hpp
+/// GrACE's default composite partitioner ("ACEComposite") — the paper's
+/// baseline.
+///
+/// "This latter scheme assumes homogeneous processors and performs an
+///  equal distribution of the workload on the processors."
+///
+/// The composite grid hierarchy is linearized along a space-filling curve
+/// (preserving inter- and intra-level locality) and the ordered sequence is
+/// cut into P contiguous chunks of equal work L/P, breaking boxes (longest
+/// axis, min-box-size) where a chunk boundary falls inside one.
+
+#include "partition/partitioner.hpp"
+#include "sfc/sfc_index.hpp"
+
+namespace ssamr {
+
+/// The homogeneous equal-work baseline.
+class GraceDefaultPartitioner final : public Partitioner {
+ public:
+  explicit GraceDefaultPartitioner(SfcConfig sfc = {},
+                                   PartitionConstraints constraints = {});
+
+  PartitionResult partition(const BoxList& boxes,
+                            const std::vector<real_t>& capacities,
+                            const WorkModel& work) const override;
+
+  std::string name() const override { return "ACEComposite"; }
+
+ private:
+  SfcConfig sfc_;
+  PartitionConstraints constraints_;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,52 @@
+#include "partition/heterogeneous.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+HeterogeneousPartitioner::HeterogeneousPartitioner(
+    PartitionConstraints constraints)
+    : constraints_(constraints) {}
+
+PartitionResult HeterogeneousPartitioner::partition(
+    const BoxList& boxes, const std::vector<real_t>& capacities,
+    const WorkModel& work) const {
+  SSAMR_REQUIRE(!capacities.empty(), "need at least one processor");
+  for (real_t c : capacities)
+    SSAMR_REQUIRE(c >= 0, "capacities must be non-negative");
+  const real_t cap_sum =
+      std::accumulate(capacities.begin(), capacities.end(), real_t{0});
+  SSAMR_REQUIRE(cap_sum > 0, "capacities must not all be zero");
+  const std::size_t nproc = capacities.size();
+
+  // Sort boxes ascending by work.
+  std::vector<Box> ordered(boxes.begin(), boxes.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [&](const Box& a, const Box& b) {
+                     return box_work(a, work) < box_work(b, work);
+                   });
+
+  // Sort processors ascending by capacity; targets L_k = C_k · L
+  // (capacities renormalized defensively).
+  std::vector<rank_t> proc_order(nproc);
+  std::iota(proc_order.begin(), proc_order.end(), rank_t{0});
+  std::stable_sort(proc_order.begin(), proc_order.end(),
+                   [&](rank_t a, rank_t b) {
+                     return capacities[static_cast<std::size_t>(a)] <
+                            capacities[static_cast<std::size_t>(b)];
+                   });
+  const real_t total = total_work(boxes, work);
+  std::vector<real_t> targets(nproc);
+  for (std::size_t p = 0; p < nproc; ++p)
+    targets[p] = total *
+                 capacities[static_cast<std::size_t>(proc_order[p])] /
+                 cap_sum;
+
+  return assign_sequence(ordered, targets, proc_order, work, constraints_);
+}
+
+}  // namespace ssamr

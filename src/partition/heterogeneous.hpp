@@ -1,0 +1,33 @@
+#pragma once
+/// \file heterogeneous.hpp
+/// The ACEHeterogeneous system-sensitive partitioner (paper §5.3) — the
+/// paper's primary contribution.
+///
+/// Given relative capacities C_k (capacity/capacity.hpp), processor k is
+/// targeted with work L_k = C_k · L.  Both the bounding-box list and the
+/// capacities are sorted ascending, the smallest box going to the
+/// smallest-capacity processor, "eliminating unnecessary breaking of
+/// boxes"; a box exceeding its processor's remaining target is broken in
+/// two along its longest dimension such that at least one piece fits,
+/// subject to the minimum-box-size and aspect-ratio constraints.
+
+#include "partition/partitioner.hpp"
+
+namespace ssamr {
+
+/// The system-sensitive partitioner.
+class HeterogeneousPartitioner final : public Partitioner {
+ public:
+  explicit HeterogeneousPartitioner(PartitionConstraints constraints = {});
+
+  PartitionResult partition(const BoxList& boxes,
+                            const std::vector<real_t>& capacities,
+                            const WorkModel& work) const override;
+
+  std::string name() const override { return "ACEHeterogeneous"; }
+
+ private:
+  PartitionConstraints constraints_;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,81 @@
+#include "partition/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/box_algebra.hpp"
+#include "util/error.hpp"
+
+namespace ssamr {
+
+std::vector<real_t> load_imbalance_pct(const PartitionResult& r) {
+  SSAMR_REQUIRE(r.assigned_work.size() == r.target_work.size(),
+                "malformed partition result");
+  std::vector<real_t> out(r.assigned_work.size(), 0);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const real_t W = r.assigned_work[k];
+    const real_t L = r.target_work[k];
+    if (L <= 0) {
+      out[k] = W <= 0 ? 0 : 1.0e4;
+      continue;
+    }
+    out[k] = std::abs(W - L) / L * 100.0;
+  }
+  return out;
+}
+
+real_t max_load_imbalance_pct(const PartitionResult& r) {
+  const auto v = load_imbalance_pct(r);
+  return v.empty() ? 0 : *std::max_element(v.begin(), v.end());
+}
+
+real_t effective_imbalance_pct(const PartitionResult& r) {
+  real_t worst = 0;
+  for (std::size_t k = 0; k < r.assigned_work.size(); ++k) {
+    const real_t L = r.target_work[k];
+    if (L <= 0) continue;
+    worst = std::max(worst, r.assigned_work[k] / L);
+  }
+  return worst > 1 ? (worst - 1) * 100.0 : 0.0;
+}
+
+namespace {
+/// Cells of `a`'s ghost shell covered by `b` (same level only).
+std::int64_t shell_overlap_cells(const Box& a, const Box& b, coord_t ghost) {
+  if (a.level() != b.level()) return 0;
+  const Box shell_bound = a.grown(ghost);
+  const Box overlap = shell_bound.intersection(b);
+  if (overlap.empty()) return 0;
+  // Subtract the part overlapping a's interior.
+  const Box inner = a.intersection(b);
+  return overlap.cells() - inner.cells();
+}
+}  // namespace
+
+std::int64_t partition_comm_cells(const PartitionResult& r, coord_t ghost) {
+  SSAMR_REQUIRE(ghost >= 0, "ghost width must be non-negative");
+  std::int64_t total = 0;
+  const auto& as = r.assignments;
+  for (std::size_t i = 0; i < as.size(); ++i)
+    for (std::size_t j = 0; j < as.size(); ++j) {
+      if (i == j || as[i].owner == as[j].owner) continue;
+      total += shell_overlap_cells(as[i].box, as[j].box, ghost);
+    }
+  return total;
+}
+
+std::int64_t rank_comm_bytes(const PartitionResult& r, rank_t rank,
+                             coord_t ghost, int ncomp) {
+  SSAMR_REQUIRE(ncomp >= 1, "ncomp must be >= 1");
+  std::int64_t cells = 0;
+  const auto& as = r.assignments;
+  for (std::size_t i = 0; i < as.size(); ++i)
+    for (std::size_t j = 0; j < as.size(); ++j) {
+      if (i == j || as[i].owner == as[j].owner) continue;
+      if (as[i].owner != rank && as[j].owner != rank) continue;
+      cells += shell_overlap_cells(as[i].box, as[j].box, ghost);
+    }
+  return cells * ncomp * static_cast<std::int64_t>(sizeof(real_t));
+}
+
+}  // namespace ssamr

@@ -1,0 +1,37 @@
+#pragma once
+/// \file metrics.hpp
+/// Quality metrics for partitions: the paper's load-imbalance percentage
+/// (Eq. 2) and communication-volume estimates.
+
+#include <vector>
+
+#include "partition/partitioner.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Per-processor load imbalance (paper Eq. 2):
+///     I_k = |W_k − L_k| / L_k · 100 %
+/// Processors with zero target report 0 when also assigned zero, else a
+/// large sentinel (10⁴ %).
+std::vector<real_t> load_imbalance_pct(const PartitionResult& r);
+
+/// The largest I_k over all processors.
+real_t max_load_imbalance_pct(const PartitionResult& r);
+
+/// Work-weighted aggregate imbalance: max_k(W_k / L_k) − 1, as a
+/// percentage.  This is the slowdown the partition costs under perfectly
+/// capacity-proportional execution.
+real_t effective_imbalance_pct(const PartitionResult& r);
+
+/// Estimated ghost-communication volume in cells: for every assigned box,
+/// the cells of its `ghost`-wide shell covered by same-level boxes owned by
+/// *other* ranks (counted once per (src,dst) direction).
+std::int64_t partition_comm_cells(const PartitionResult& r, coord_t ghost);
+
+/// Bytes a given rank exchanges per coarse step under the assignment
+/// (remote shell cells × ncomp × sizeof(real), both directions).
+std::int64_t rank_comm_bytes(const PartitionResult& r, rank_t rank,
+                             coord_t ghost, int ncomp);
+
+}  // namespace ssamr

@@ -1,0 +1,20 @@
+#include "partition/multiaxis.hpp"
+
+#include "partition/heterogeneous.hpp"
+
+namespace ssamr {
+
+MultiAxisPartitioner::MultiAxisPartitioner(PartitionConstraints constraints)
+    : constraints_(constraints) {
+  constraints_.longest_axis_only = false;
+}
+
+PartitionResult MultiAxisPartitioner::partition(
+    const BoxList& boxes, const std::vector<real_t>& capacities,
+    const WorkModel& work) const {
+  // Delegate to the heterogeneous walk with the relaxed splitting rule.
+  HeterogeneousPartitioner inner(constraints_);
+  return inner.partition(boxes, capacities, work);
+}
+
+}  // namespace ssamr

@@ -1,0 +1,35 @@
+#pragma once
+/// \file multiaxis.hpp
+/// Multi-axis splitting extension (paper §8, future work).
+///
+/// "A primary cause of load-imbalance in the ACEHeterogeneous scheme can
+///  be attributed to the fact that the bounding box is cut only along the
+///  longest axis.  If the box is instead cut along more axes, it could
+///  lead to finer partitioning granularity and hence better work
+///  assignments, which would in turn reduce the load-imbalance."
+///
+/// This partitioner is ACEHeterogeneous with longest_axis_only relaxed:
+/// splits pick whichever axis yields the work fit closest to the target.
+/// The ablation bench (bench/ablation_multiaxis) quantifies the imbalance
+/// reduction the paper predicts.
+
+#include "partition/partitioner.hpp"
+
+namespace ssamr {
+
+/// Capacity-proportional partitioner with best-fit-axis splitting.
+class MultiAxisPartitioner final : public Partitioner {
+ public:
+  explicit MultiAxisPartitioner(PartitionConstraints constraints = {});
+
+  PartitionResult partition(const BoxList& boxes,
+                            const std::vector<real_t>& capacities,
+                            const WorkModel& work) const override;
+
+  std::string name() const override { return "ACEHeterogeneousMultiAxis"; }
+
+ private:
+  PartitionConstraints constraints_;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,160 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+BoxList PartitionResult::boxes_of(rank_t rank) const {
+  BoxList out;
+  for (const BoxAssignment& a : assignments)
+    if (a.owner == rank) out.push_back(a.box);
+  return out;
+}
+
+namespace {
+
+/// Work of one index-space plane of `b` perpendicular to `axis`.
+real_t plane_work(const Box& b, int axis, const WorkModel& work) {
+  const IntVec e = b.extent();
+  std::int64_t cells_per_plane = 1;
+  for (int d = 0; d < kDim; ++d)
+    if (d != axis) cells_per_plane *= e[d];
+  real_t updates = 1;
+  for (level_t l = 0; l < b.level(); ++l)
+    updates *= static_cast<real_t>(work.ratio);
+  return static_cast<real_t>(cells_per_plane) * updates *
+         work.cost_per_cell;
+}
+
+/// Best split of `b` along `axis` for a first-piece work target.  Returns
+/// the number of planes for the first piece, or 0 when no admissible cut
+/// exists on this axis.
+coord_t planes_for_target(const Box& b, int axis, real_t target_work,
+                          const WorkModel& work, coord_t min_size) {
+  const coord_t n = b.extent()[axis];
+  if (n < 2 * min_size) return 0;
+  const real_t pw = plane_work(b, axis, work);
+  coord_t planes = static_cast<coord_t>(std::floor(target_work / pw));
+  planes = std::clamp(planes, min_size, n - min_size);
+  return planes;
+}
+
+}  // namespace
+
+std::optional<std::pair<Box, Box>> split_for_work(
+    const Box& b, real_t target_work, const WorkModel& work,
+    const PartitionConstraints& constraints) {
+  SSAMR_REQUIRE(!b.empty(), "cannot split an empty box");
+  SSAMR_REQUIRE(target_work >= 0, "target work must be non-negative");
+  const coord_t min_size = std::max<coord_t>(constraints.min_box_size, 1);
+
+  if (constraints.longest_axis_only) {
+    const int axis = b.longest_axis();
+    const coord_t planes =
+        planes_for_target(b, axis, target_work, work, min_size);
+    if (planes == 0) return std::nullopt;
+    return b.split(axis, planes);
+  }
+
+  // Multi-axis mode: choose the axis whose admissible cut lands closest to
+  // the target without exceeding it (ties: prefer the longest axis, which
+  // keeps aspect ratios healthy).
+  int best_axis = -1;
+  coord_t best_planes = 0;
+  real_t best_err = std::numeric_limits<real_t>::infinity();
+  for (int axis = 0; axis < kDim; ++axis) {
+    const coord_t planes =
+        planes_for_target(b, axis, target_work, work, min_size);
+    if (planes == 0) continue;
+    const real_t piece = plane_work(b, axis, work) *
+                         static_cast<real_t>(planes);
+    real_t err = std::abs(piece - target_work);
+    // Penalize overshoot slightly: undershoot leaves the remainder for the
+    // next processor, overshoot overloads this one.
+    if (piece > target_work) err *= 1.5;
+    const bool better =
+        err < best_err ||
+        (err == best_err && best_axis >= 0 &&
+         b.extent()[axis] > b.extent()[best_axis]);
+    if (better) {
+      best_err = err;
+      best_axis = axis;
+      best_planes = planes;
+    }
+  }
+  if (best_axis < 0) return std::nullopt;
+  return b.split(best_axis, best_planes);
+}
+
+PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
+                                const std::vector<real_t>& targets,
+                                const std::vector<rank_t>& proc_order,
+                                const WorkModel& work,
+                                const PartitionConstraints& constraints) {
+  SSAMR_REQUIRE(!targets.empty(), "need at least one processor");
+  SSAMR_REQUIRE(targets.size() == proc_order.size(),
+                "targets/proc_order size mismatch");
+  const std::size_t nproc = targets.size();
+
+  PartitionResult result;
+  result.assigned_work.assign(nproc, 0);
+  result.target_work.assign(nproc, 0);
+  for (std::size_t p = 0; p < nproc; ++p)
+    result.target_work[static_cast<std::size_t>(proc_order[p])] = targets[p];
+
+  // Work queue, consumed front to back; split remainders go back on front.
+  std::deque<Box> queue(ordered_boxes.begin(), ordered_boxes.end());
+
+  std::size_t p = 0;  // position in proc_order
+  while (!queue.empty()) {
+    const rank_t rank = proc_order[p];
+    auto& assigned = result.assigned_work[static_cast<std::size_t>(rank)];
+    const bool last = (p + 1 == nproc);
+
+    if (!last && assigned >= targets[p]) {
+      ++p;
+      continue;
+    }
+
+    Box box = queue.front();
+    queue.pop_front();
+    const real_t w = box_work(box, work);
+    const real_t remaining = targets[p] - assigned;
+
+    if (last || w <= remaining) {
+      result.assignments.push_back({box, rank});
+      assigned += w;
+      continue;
+    }
+
+    const auto pieces = split_for_work(box, remaining, work, constraints);
+    if (pieces) {
+      ++result.splits;
+      result.assignments.push_back({pieces->first, rank});
+      assigned += box_work(pieces->first, work);
+      queue.push_front(pieces->second);
+      ++p;
+      continue;
+    }
+
+    // Unsplittable box larger than the remaining target: take it when more
+    // than half of it fits (better here than overloading a later
+    // processor), otherwise hand it to the next processor.
+    if (remaining >= 0.5 * w) {
+      result.assignments.push_back({box, rank});
+      assigned += w;
+      ++p;
+    } else {
+      queue.push_front(box);
+      ++p;
+    }
+  }
+  return result;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,100 @@
+#pragma once
+/// \file partitioner.hpp
+/// The partitioner interface and shared box-splitting machinery.
+///
+/// A partitioner receives the hierarchy's bounding-box list (as GrACE hands
+/// it over at every regrid) plus the relative capacities C_k, and returns
+/// an ownership assignment, possibly breaking boxes subject to the paper's
+/// constraints: minimum box size, and splits along the longest dimension to
+/// maintain aspect ratio.
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "amr/workload.hpp"
+#include "geom/box.hpp"
+#include "geom/box_list.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// One assigned box.
+struct BoxAssignment {
+  Box box;
+  rank_t owner = 0;
+};
+
+/// Output of a partitioning pass.
+struct PartitionResult {
+  /// Every (possibly split) box with its owner.
+  std::vector<BoxAssignment> assignments;
+  /// W_k: work actually assigned to each rank.
+  std::vector<real_t> assigned_work;
+  /// L_k: the ideal (capacity-proportional) work targets the partitioner
+  /// aimed for.
+  std::vector<real_t> target_work;
+  /// Number of box splits performed.
+  int splits = 0;
+
+  /// Boxes owned by one rank.
+  BoxList boxes_of(rank_t rank) const;
+};
+
+/// The paper's splitting constraints (§5.3).
+struct PartitionConstraints {
+  /// No split may create a box with extent < min_box_size along the cut
+  /// axis ("Minimum box size: all boxes must be greater than or equal to
+  /// this size").
+  coord_t min_box_size = 4;
+  /// Boxes are always cut along their longest dimension ("Aspect ratio: …
+  /// a box is always broken along the longest dimension").  Partitioners
+  /// honouring the paper exactly keep this true; the multi-axis extension
+  /// (paper §8 future work) relaxes it.
+  bool longest_axis_only = true;
+};
+
+/// Abstract partitioner.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Distribute `boxes` over capacities.size() processors.
+  /// \param boxes the composite bounding-box list from the hierarchy
+  /// \param capacities relative capacities C_k (must sum to ≈ 1); the
+  ///        homogeneous baseline ignores the values but uses the count
+  /// \param work the work model translating boxes into load
+  virtual PartitionResult partition(const BoxList& boxes,
+                                    const std::vector<real_t>& capacities,
+                                    const WorkModel& work) const = 0;
+
+  /// Identifier for reporting (e.g. "ACEComposite", "ACEHeterogeneous").
+  virtual std::string name() const = 0;
+};
+
+/// Split `b` so that the first piece's work is as close as possible to
+/// `target_work` without (if feasible) exceeding it, cutting along the
+/// longest axis (or, when `constraints.longest_axis_only` is false, along
+/// the axis giving the best fit).  Returns nullopt when the box cannot be
+/// split without violating min_box_size, or when target_work is too small
+/// for even the smallest admissible piece (callers then assign the whole
+/// box).
+std::optional<std::pair<Box, Box>> split_for_work(
+    const Box& b, real_t target_work, const WorkModel& work,
+    const PartitionConstraints& constraints);
+
+/// The greedy assignment walk shared by the partitioners (paper §5.3):
+/// processors are visited in `proc_order`, the p-th visited processor aims
+/// for `targets[p]` work; boxes are consumed from `ordered_boxes` front to
+/// back, splitting (split_for_work) when a box exceeds the processor's
+/// remaining target and assigning whole otherwise.  The last processor
+/// absorbs the remainder.  `targets` and `proc_order` must have equal,
+/// non-zero size.
+PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
+                                const std::vector<real_t>& targets,
+                                const std::vector<rank_t>& proc_order,
+                                const WorkModel& work,
+                                const PartitionConstraints& constraints);
+
+}  // namespace ssamr

@@ -1,0 +1,127 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+VirtualExecutor::VirtualExecutor(const Cluster& cluster, ExecutorConfig cfg)
+    : cluster_(cluster), cfg_(cfg) {
+  SSAMR_REQUIRE(cfg.ncomp >= 1, "ncomp must be >= 1");
+  SSAMR_REQUIRE(cfg.ghost >= 0, "ghost must be non-negative");
+  SSAMR_REQUIRE(cfg.monitor_intrusion_cpu >= 0 &&
+                    cfg.monitor_intrusion_cpu < 1,
+                "intrusion must be in [0,1)");
+}
+
+real_t VirtualExecutor::memory_demand_mb(const PartitionResult& r,
+                                         rank_t rank) const {
+  std::int64_t cells = 0;
+  for (const BoxAssignment& a : r.assignments)
+    if (a.owner == rank) cells += a.box.cells();
+  const real_t bytes = static_cast<real_t>(cells) * cfg_.ncomp *
+                       cfg_.bytes_per_value * cfg_.time_levels;
+  return cfg_.app_base_memory_mb + bytes / 1.0e6;
+}
+
+std::vector<real_t> VirtualExecutor::compute_times(const PartitionResult& r,
+                                                   real_t t) const {
+  const auto n = static_cast<std::size_t>(cluster_.size());
+  SSAMR_REQUIRE(r.assigned_work.size() == n,
+                "partition arity must match cluster size");
+  std::vector<real_t> out(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto rank = static_cast<rank_t>(k);
+    const real_t mem = memory_demand_mb(r, rank);
+    real_t rate = cluster_.effective_rate(rank, t, mem);
+    rate *= (1.0 - cfg_.monitor_intrusion_cpu);
+    out[k] = r.assigned_work[k] / std::max(rate, real_t{1e-9});
+  }
+  return out;
+}
+
+std::vector<real_t> VirtualExecutor::comm_times(const PartitionResult& r,
+                                                real_t t) const {
+  const auto n = static_cast<std::size_t>(cluster_.size());
+  std::vector<real_t> out(n, 0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto rank = static_cast<rank_t>(k);
+    const std::int64_t bytes =
+        rank_comm_bytes(r, rank, cfg_.ghost, cfg_.ncomp);
+    const NodeState s = cluster_.state_at(rank, t);
+    out[k] = cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
+  }
+  return out;
+}
+
+std::vector<real_t> VirtualExecutor::effective_comm_times(
+    const PartitionResult& r, real_t t) const {
+  auto comm = comm_times(r, t);
+  const real_t visible = 1.0 - cfg_.comm_overlap;
+  for (real_t& c : comm) c *= visible;
+  return comm;
+}
+
+real_t VirtualExecutor::iteration_time(const PartitionResult& r,
+                                       real_t t) const {
+  const auto comp = compute_times(r, t);
+  const auto comm = effective_comm_times(r, t);
+  real_t worst = 0;
+  for (std::size_t k = 0; k < comp.size(); ++k)
+    worst = std::max(worst, comp[k] + comm[k]);
+  return worst;
+}
+
+real_t VirtualExecutor::regrid_time(std::size_t boxes) const {
+  return cfg_.regrid_cost_base_s +
+         cfg_.regrid_cost_per_box_s * static_cast<real_t>(boxes);
+}
+
+real_t VirtualExecutor::partition_time(std::size_t boxes) const {
+  return cfg_.partition_cost_per_box_s * static_cast<real_t>(boxes);
+}
+
+std::int64_t VirtualExecutor::migration_bytes(const PartitionResult& previous,
+                                              const PartitionResult& next,
+                                              rank_t rank) const {
+  const std::int64_t cell_bytes =
+      static_cast<std::int64_t>(cfg_.ncomp) * cfg_.bytes_per_value;
+  std::int64_t total = 0;
+  if (previous.assignments.empty()) {
+    // Initial scatter from rank 0.
+    for (const BoxAssignment& a : next.assignments) {
+      if (a.owner == rank && rank != 0)
+        total += a.box.cells() * cell_bytes;
+      if (rank == 0 && a.owner != 0) total += a.box.cells() * cell_bytes;
+    }
+    return total;
+  }
+  for (const BoxAssignment& nb : next.assignments) {
+    for (const BoxAssignment& ob : previous.assignments) {
+      if (nb.box.level() != ob.box.level()) continue;
+      if (nb.owner == ob.owner) continue;
+      const Box overlap = nb.box.intersection(ob.box);
+      if (overlap.empty()) continue;
+      // Cells moving from ob.owner to nb.owner touch both endpoints.
+      if (ob.owner == rank || nb.owner == rank)
+        total += overlap.cells() * cell_bytes;
+    }
+  }
+  return total;
+}
+
+real_t VirtualExecutor::migration_time(const PartitionResult& previous,
+                                       const PartitionResult& next,
+                                       real_t t) const {
+  real_t worst = 0;
+  for (rank_t rank = 0; rank < cluster_.size(); ++rank) {
+    const std::int64_t bytes = migration_bytes(previous, next, rank);
+    const NodeState s = cluster_.state_at(rank, t);
+    worst = std::max(
+        worst, cluster_.network().exchange_time(bytes, s.bandwidth_mbps));
+  }
+  return worst;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,97 @@
+#pragma once
+/// \file executor.hpp
+/// The virtual-time execution model (DESIGN.md §2, substitution for the
+/// physical cluster): BSP accounting of one SAMR coarse timestep on the
+/// simulated heterogeneous cluster.
+///
+/// Per coarse step:
+///   T_step = max_k [ W_k / R_k(t) + T_comm,k(t) ]
+/// where R_k(t) is node k's effective compute rate (peak · CPU availability
+/// · (1 − monitor intrusion), degraded on memory over-commit) and T_comm,k
+/// its ghost-exchange time.  Regridding, repartitioning, data migration and
+/// sensing are charged separately by the runtime driver.
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "partition/metrics.hpp"
+#include "partition/partitioner.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Cost-model knobs.
+struct ExecutorConfig {
+  /// Fixed regrid overhead per regrid event (flagging + clustering), s.
+  real_t regrid_cost_base_s = 0.05;
+  /// Additional regrid cost per composite box, s.
+  real_t regrid_cost_per_box_s = 0.002;
+  /// Partitioner cost per box (sorting + splitting), s.
+  real_t partition_cost_per_box_s = 0.0005;
+  /// Application base memory footprint per rank, MB.
+  real_t app_base_memory_mb = 24.0;
+  /// Field components (for ghost/migration byte counts).
+  int ncomp = 5;
+  /// Ghost width (for comm volume).
+  coord_t ghost = 2;
+  /// Bytes per cell per component per time level.
+  int bytes_per_value = 8;
+  /// Time levels held in memory.
+  int time_levels = 2;
+  /// CPU fraction stolen by the resource monitor on every node.
+  real_t monitor_intrusion_cpu = 0.02;
+  /// Fraction of ghost-exchange time hidden behind interior computation
+  /// (SAMR runtimes post asynchronous sends while updating the interior).
+  real_t comm_overlap = 0.7;
+};
+
+/// Computes virtual-time costs of executing a partitioned SAMR hierarchy.
+class VirtualExecutor {
+ public:
+  VirtualExecutor(const Cluster& cluster, ExecutorConfig cfg);
+
+  /// Memory demand (MB) of a rank under an assignment.
+  real_t memory_demand_mb(const PartitionResult& r, rank_t rank) const;
+
+  /// Time of one coarse iteration starting at virtual time t.
+  real_t iteration_time(const PartitionResult& r, real_t t) const;
+
+  /// Per-rank compute time of one iteration at time t (test access).
+  std::vector<real_t> compute_times(const PartitionResult& r,
+                                    real_t t) const;
+
+  /// Per-rank raw (un-overlapped) communication time of one iteration.
+  std::vector<real_t> comm_times(const PartitionResult& r, real_t t) const;
+
+  /// Per-rank communication time after overlap with computation:
+  /// (1 − comm_overlap) · raw.
+  std::vector<real_t> effective_comm_times(const PartitionResult& r,
+                                           real_t t) const;
+
+  /// Cost of a regrid event for a composite list of `boxes` boxes.
+  real_t regrid_time(std::size_t boxes) const;
+
+  /// Cost of running the partitioner on `boxes` boxes.
+  real_t partition_time(std::size_t boxes) const;
+
+  /// Time to migrate data between two assignments (cells whose owner
+  /// changed, slowest-rank transfer under current bandwidths at time t).
+  /// `previous` may be empty (initial distribution: charged as a scatter
+  /// from rank 0).
+  real_t migration_time(const PartitionResult& previous,
+                        const PartitionResult& next, real_t t) const;
+
+  /// Bytes rank `rank` sends+receives when moving from `previous` to
+  /// `next`.
+  std::int64_t migration_bytes(const PartitionResult& previous,
+                               const PartitionResult& next,
+                               rank_t rank) const;
+
+  const ExecutorConfig& config() const { return cfg_; }
+
+ private:
+  const Cluster& cluster_;
+  ExecutorConfig cfg_;
+};
+
+}  // namespace ssamr

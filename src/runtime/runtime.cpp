@@ -1,0 +1,155 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "partition/metrics.hpp"
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace ssamr {
+
+SolverWorkloadSource::SolverWorkloadSource(BergerOliger& integrator,
+                                           GridHierarchy& hierarchy,
+                                           int steps_per_regrid)
+    : integrator_(integrator),
+      hierarchy_(hierarchy),
+      steps_per_regrid_(steps_per_regrid) {
+  SSAMR_REQUIRE(steps_per_regrid >= 1, "steps_per_regrid must be >= 1");
+}
+
+BoxList SolverWorkloadSource::boxes_for_regrid(int regrid_index) {
+  if (!initialized_) {
+    integrator_.initialize();
+    initialized_ = true;
+  } else {
+    for (int s = 0; s < steps_per_regrid_; ++s) integrator_.advance_step();
+  }
+  (void)regrid_index;
+  return hierarchy_.composite_box_list();
+}
+
+AdaptiveRuntime::AdaptiveRuntime(Cluster& cluster, WorkloadSource& source,
+                                 const Partitioner& partitioner,
+                                 RuntimeConfig cfg)
+    : cluster_(cluster),
+      source_(source),
+      partitioner_(partitioner),
+      cfg_(cfg),
+      monitor_(cluster, cfg.monitor),
+      capacity_(cfg.weights),
+      executor_(cluster, cfg.executor) {
+  SSAMR_REQUIRE(cfg.total_iterations >= 1, "need at least one iteration");
+  SSAMR_REQUIRE(cfg.regrid_interval >= 1, "regrid interval must be >= 1");
+  SSAMR_REQUIRE(cfg.sensing.interval >= 0,
+                "sensing interval must be non-negative");
+  SSAMR_REQUIRE(cfg.sensing.capacity_change_threshold >= 0,
+                "capacity change threshold must be non-negative");
+}
+
+RunTrace AdaptiveRuntime::run() {
+  RunTrace trace;
+  real_t t = 0;
+
+  // Initial sensing sweep: capacities used until the first periodic probe.
+  real_t sweep_cost = 0;
+  auto estimates = monitor_.probe_all(t, &sweep_cost);
+  std::vector<real_t> capacities = capacity_.relative_capacities(estimates);
+  if (cfg_.sensing.charge_initial_sweep) {
+    t += sweep_cost;
+    trace.sense_time += sweep_cost;
+  }
+  trace.senses.push_back({0, t, capacities});
+
+  PartitionResult current;  // empty until the first regrid
+  int regrid_index = 0;
+
+  for (int iter = 0; iter < cfg_.total_iterations; ++iter) {
+    // Periodic sensing (paper: every N iterations).
+    if (cfg_.sensing.interval > 0 && iter > 0 &&
+        iter % cfg_.sensing.interval == 0) {
+      estimates = monitor_.probe_all(t, &sweep_cost);
+      const auto fresh = capacity_.relative_capacities(estimates);
+      t += sweep_cost;
+      trace.sense_time += sweep_cost;
+      // Hysteresis: ignore jitter below the configured threshold so the
+      // partitioner does not migrate data chasing sensor noise.
+      real_t worst_shift = 0;
+      for (std::size_t k = 0; k < fresh.size(); ++k) {
+        const real_t base = std::max(capacities[k], real_t{1e-9});
+        worst_shift =
+            std::max(worst_shift, std::abs(fresh[k] - capacities[k]) / base);
+      }
+      if (worst_shift >= cfg_.sensing.capacity_change_threshold)
+        capacities = fresh;
+      trace.senses.push_back({iter, t, capacities});
+    }
+
+    // Regrid + repartition every regrid_interval iterations (including
+    // iteration 0: the initial distribution).
+    if (iter % cfg_.regrid_interval == 0) {
+      const BoxList boxes = source_.boxes_for_regrid(regrid_index);
+      SSAMR_REQUIRE(!boxes.empty(), "workload source produced no boxes");
+      PartitionResult next =
+          partitioner_.partition(boxes, capacities, cfg_.work);
+
+      const real_t t_regrid = executor_.regrid_time(boxes.size()) +
+                              executor_.partition_time(boxes.size());
+      const real_t t_migrate = executor_.migration_time(current, next, t);
+      t += t_regrid + t_migrate;
+      trace.regrid_time += t_regrid;
+      trace.migrate_time += t_migrate;
+
+      RegridRecord rec;
+      rec.iteration = iter;
+      rec.regrid_index = regrid_index + 1;
+      rec.vtime = t;
+      rec.capacities = capacities;
+      rec.assigned_work = next.assigned_work;
+      rec.target_work = next.target_work;
+      rec.imbalance_pct = load_imbalance_pct(next);
+      rec.splits = next.splits;
+      rec.num_boxes = boxes.size();
+      rec.total_work = total_work(boxes, cfg_.work);
+      trace.regrids.push_back(std::move(rec));
+
+      // Refresh the HDDA registry with the new distribution.
+      registry_.clear();
+      const std::int64_t cell_bytes =
+          static_cast<std::int64_t>(cfg_.executor.ncomp) *
+          cfg_.executor.bytes_per_value * cfg_.executor.time_levels;
+      for (const BoxAssignment& a : next.assignments)
+        registry_.insert(a.box, a.owner, a.box.cells() * cell_bytes);
+
+      current = std::move(next);
+      ++regrid_index;
+    }
+
+    const real_t t_iter = executor_.iteration_time(current, t);
+    // Split the step into its compute and comm parts for the breakdown.
+    {
+      const auto comp = executor_.compute_times(current, t);
+      const auto comm = executor_.effective_comm_times(current, t);
+      real_t worst_comp = 0, worst_total = 0;
+      std::size_t worst_k = 0;
+      for (std::size_t k = 0; k < comp.size(); ++k) {
+        if (comp[k] + comm[k] > worst_total) {
+          worst_total = comp[k] + comm[k];
+          worst_k = k;
+        }
+      }
+      worst_comp = comp[worst_k];
+      trace.compute_time += worst_comp;
+      trace.comm_time += worst_total - worst_comp;
+    }
+    t += t_iter;
+    ++trace.iterations;
+  }
+
+  trace.total_time = t;
+  SSAMR_INFO << partitioner_.name() << ": " << trace.iterations
+             << " iterations in " << trace.total_time << " virtual s";
+  return trace;
+}
+
+}  // namespace ssamr

@@ -1,0 +1,122 @@
+#pragma once
+/// \file runtime.hpp
+/// The adaptive system-sensitive runtime (paper Figure 5 / Figure 6).
+///
+/// Couples the four components of the paper's architecture:
+///   application (a WorkloadSource producing bounding-box lists at each
+///   regrid) → resource monitoring tool (ResourceMonitor) → capacity
+///   calculator (CapacityCalculator) → heterogeneous partitioner
+///   (any Partitioner) — and accounts execution on the simulated cluster
+///   through the VirtualExecutor, producing a RunTrace.
+
+#include <memory>
+#include <vector>
+
+#include "amr/integrator.hpp"
+#include "amr/trace_generator.hpp"
+#include "capacity/capacity.hpp"
+#include "hdda/hdda.hpp"
+#include "cluster/cluster.hpp"
+#include "monitor/monitor_service.hpp"
+#include "partition/partitioner.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/trace.hpp"
+
+namespace ssamr {
+
+/// Produces the application's composite bounding-box list at each regrid.
+class WorkloadSource {
+ public:
+  virtual ~WorkloadSource() = default;
+  /// Boxes for the `regrid_index`-th regrid (0-based, called in order).
+  virtual BoxList boxes_for_regrid(int regrid_index) = 0;
+};
+
+/// WorkloadSource over the deterministic synthetic SAMR trace.
+class TraceWorkloadSource final : public WorkloadSource {
+ public:
+  explicit TraceWorkloadSource(TraceConfig cfg) : trace_(cfg) {}
+  BoxList boxes_for_regrid(int regrid_index) override {
+    return trace_.boxes_at_epoch(regrid_index);
+  }
+
+ private:
+  SyntheticAmrTrace trace_;
+};
+
+/// WorkloadSource over a live Berger–Oliger integration: advances the real
+/// solver between regrids and hands out the actual hierarchy.
+class SolverWorkloadSource final : public WorkloadSource {
+ public:
+  /// \param steps_per_regrid coarse steps to advance between regrids; the
+  ///        integrator's own regrid_interval should match the runtime's.
+  SolverWorkloadSource(BergerOliger& integrator, GridHierarchy& hierarchy,
+                       int steps_per_regrid);
+  BoxList boxes_for_regrid(int regrid_index) override;
+
+ private:
+  BergerOliger& integrator_;
+  GridHierarchy& hierarchy_;
+  int steps_per_regrid_;
+  bool initialized_ = false;
+};
+
+/// Sensing policy (paper §6.1.4 "Dynamic Load Sensing").
+struct SensingPolicy {
+  /// Probe the monitor every this many iterations; 0 = sense only once
+  /// before the start of the simulation (the paper's "static" mode).
+  int interval = 0;
+  /// Charge the initial sweep to execution time as well.
+  bool charge_initial_sweep = true;
+  /// Adopt freshly sensed capacities only when some node's relative
+  /// capacity moved by more than this fraction since the capacities the
+  /// partitioner is currently using (hysteresis against sensor noise:
+  /// repartitioning on jitter migrates data for nothing).  0 = always
+  /// adopt.
+  real_t capacity_change_threshold = 0.0;
+};
+
+/// Runtime configuration.
+struct RuntimeConfig {
+  int total_iterations = 200;
+  /// Repartition every this many iterations (paper: regrid every 5).
+  int regrid_interval = 5;
+  SensingPolicy sensing;
+  CapacityWeights weights;  ///< Eq. 1 weights (paper: equal)
+  WorkModel work;
+  MonitorConfig monitor;
+  ExecutorConfig executor;
+};
+
+/// The system-sensitive runtime driver.
+class AdaptiveRuntime {
+ public:
+  /// All referenced objects must outlive the runtime.
+  AdaptiveRuntime(Cluster& cluster, WorkloadSource& source,
+                  const Partitioner& partitioner, RuntimeConfig cfg);
+
+  /// Execute the configured number of iterations; returns the full trace.
+  RunTrace run();
+
+  /// The monitor (exposed for inspection after run()).
+  ResourceMonitor& monitor() { return monitor_; }
+
+  /// The HDDA patch registry: the current distribution (box -> owner,
+  /// payload bytes), refreshed at every repartition.  The index space is
+  /// sized for the paper workload (4 levels, factor 2); adjust via
+  /// set_registry_config before run() for deeper hierarchies.
+  const Hdda& registry() const { return registry_; }
+  void set_registry_config(const SfcConfig& cfg) { registry_ = Hdda(cfg); }
+
+ private:
+  Cluster& cluster_;
+  WorkloadSource& source_;
+  const Partitioner& partitioner_;
+  RuntimeConfig cfg_;
+  ResourceMonitor monitor_;
+  CapacityCalculator capacity_;
+  VirtualExecutor executor_;
+  Hdda registry_;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,18 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+
+namespace ssamr {
+
+real_t RunTrace::mean_max_imbalance_pct() const {
+  if (regrids.empty()) return 0;
+  real_t sum = 0;
+  for (const RegridRecord& r : regrids) {
+    real_t mx = 0;
+    for (real_t i : r.imbalance_pct) mx = std::max(mx, i);
+    sum += mx;
+  }
+  return sum / static_cast<real_t>(regrids.size());
+}
+
+}  // namespace ssamr

@@ -1,0 +1,53 @@
+#pragma once
+/// \file trace.hpp
+/// Execution traces recorded by the adaptive runtime — exactly the series
+/// the paper plots: per-regrid workload assignments (Figs. 8, 9, 11–15),
+/// capacities at each sensing point, imbalance percentages (Fig. 10), and
+/// the execution-time breakdown behind Fig. 7 / Tables I–III.
+
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// One repartitioning event.
+struct RegridRecord {
+  int iteration = 0;       ///< coarse iteration at which the regrid ran
+  int regrid_index = 0;    ///< 1-based regrid number (paper's x-axes)
+  real_t vtime = 0;        ///< virtual time when it happened
+  std::vector<real_t> capacities;     ///< C_k used by the partitioner
+  std::vector<real_t> assigned_work;  ///< W_k
+  std::vector<real_t> target_work;    ///< L_k = C_k · L
+  std::vector<real_t> imbalance_pct;  ///< I_k (Eq. 2)
+  int splits = 0;          ///< boxes broken by the partitioner
+  std::size_t num_boxes = 0;  ///< composite boxes before splitting
+  real_t total_work = 0;   ///< L
+};
+
+/// One sensing (NWS probe sweep) event.
+struct SenseRecord {
+  int iteration = 0;
+  real_t vtime = 0;
+  std::vector<real_t> capacities;  ///< capacities computed from this sweep
+};
+
+/// Complete record of one run.
+struct RunTrace {
+  std::vector<RegridRecord> regrids;
+  std::vector<SenseRecord> senses;
+  int iterations = 0;
+  /// Virtual execution time, total and by component.
+  real_t total_time = 0;
+  real_t compute_time = 0;
+  real_t comm_time = 0;
+  real_t sense_time = 0;
+  real_t regrid_time = 0;
+  real_t migrate_time = 0;
+
+  /// Mean of the per-regrid max imbalance.
+  real_t mean_max_imbalance_pct() const;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,101 @@
+#include "sfc/hilbert.hpp"
+
+#include <array>
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+namespace {
+
+using U = std::uint64_t;
+
+/// Skilling's "TransposetoAxes": convert Hilbert transpose form to axes.
+void transpose_to_axes(std::array<U, 3>& x, int bits) {
+  const int n = 3;
+  U t = x[n - 1] >> 1;
+  for (int i = n - 1; i > 0; --i) x[i] ^= x[i - 1];
+  x[0] ^= t;
+  // Gray decode and undo excess rotations.
+  for (U q = U{2}; q != (U{1} << bits); q <<= 1) {
+    const U p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (x[i] & q) {
+        x[0] ^= p;  // invert
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+}
+
+/// Skilling's "AxestoTranspose": convert axes to Hilbert transpose form.
+void axes_to_transpose(std::array<U, 3>& x, int bits) {
+  const int n = 3;
+  U t;
+  for (U q = U{1} << (bits - 1); q > 1; q >>= 1) {
+    const U p = q - 1;
+    for (int i = 0; i < n; ++i) {
+      if (x[i] & q) {
+        x[0] ^= p;
+      } else {
+        t = (x[0] ^ x[i]) & p;
+        x[0] ^= t;
+        x[i] ^= t;
+      }
+    }
+  }
+  for (int i = 1; i < n; ++i) x[i] ^= x[i - 1];
+  t = 0;
+  for (U q = U{1} << (bits - 1); q > 1; q >>= 1)
+    if (x[n - 1] & q) t ^= q - 1;
+  for (int i = 0; i < n; ++i) x[i] ^= t;
+}
+
+/// Interleave transpose form into a single key: bit b of dimension d of the
+/// transpose goes to key bit (b*3 + (2-d)).
+key_t transpose_to_key(const std::array<U, 3>& x, int bits) {
+  key_t key = 0;
+  for (int b = bits - 1; b >= 0; --b)
+    for (int d = 0; d < 3; ++d)
+      key = (key << 1) | ((x[static_cast<std::size_t>(d)] >> b) & 1);
+  return key;
+}
+
+std::array<U, 3> key_to_transpose(key_t key, int bits) {
+  std::array<U, 3> x{0, 0, 0};
+  for (int i = 3 * bits - 1; i >= 0; --i) {
+    const int d = (3 * bits - 1 - i) % 3;
+    const int b = bits - 1 - (3 * bits - 1 - i) / 3;
+    x[static_cast<std::size_t>(d)] |= ((key >> i) & 1) << b;
+  }
+  return x;
+}
+
+}  // namespace
+
+key_t hilbert_encode(IntVec p, int bits) {
+  SSAMR_REQUIRE(bits >= 1 && bits <= 21, "hilbert bits must be in [1,21]");
+  SSAMR_REQUIRE(p.x >= 0 && p.y >= 0 && p.z >= 0,
+                "hilbert coordinates must be non-negative");
+  const coord_t limit = coord_t{1} << bits;
+  SSAMR_REQUIRE(p.x < limit && p.y < limit && p.z < limit,
+                "hilbert coordinate exceeds bits");
+  std::array<U, 3> x{static_cast<U>(p.x), static_cast<U>(p.y),
+                     static_cast<U>(p.z)};
+  axes_to_transpose(x, bits);
+  return transpose_to_key(x, bits);
+}
+
+IntVec hilbert_decode(key_t key, int bits) {
+  SSAMR_REQUIRE(bits >= 1 && bits <= 21, "hilbert bits must be in [1,21]");
+  auto x = key_to_transpose(key, bits);
+  transpose_to_axes(x, bits);
+  return IntVec(static_cast<coord_t>(x[0]), static_cast<coord_t>(x[1]),
+                static_cast<coord_t>(x[2]));
+}
+
+}  // namespace ssamr

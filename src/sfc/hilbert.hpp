@@ -1,0 +1,22 @@
+#pragma once
+/// \file hilbert.hpp
+/// 3-D Hilbert curve encoding (Skilling's transpose algorithm).
+///
+/// Hilbert order preserves spatial locality better than Morton order: any
+/// two consecutive keys are face-adjacent cells.  GrACE's default composite
+/// partitioner orders the grid hierarchy along a space-filling curve; this
+/// is the high-quality curve option.
+
+#include "geom/point.hpp"
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// Encode a 3-D point into its Hilbert curve index using `bits` bits per
+/// dimension (1..21).  Coordinates must be in [0, 2^bits).
+key_t hilbert_encode(IntVec p, int bits);
+
+/// Inverse of hilbert_encode.
+IntVec hilbert_decode(key_t key, int bits);
+
+}  // namespace ssamr

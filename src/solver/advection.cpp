@@ -1,0 +1,89 @@
+#include "solver/advection.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace ssamr {
+
+AdvectionOperator::AdvectionOperator(real_t vx, real_t vy, real_t vz,
+                                     real_t cx, real_t cy, real_t cz,
+                                     real_t radius)
+    : vx_(vx), vy_(vy), vz_(vz), cx_(cx), cy_(cy), cz_(cz), radius_(radius) {
+  SSAMR_REQUIRE(radius > 0, "blob radius must be positive");
+  SSAMR_REQUIRE(std::abs(vx) + std::abs(vy) + std::abs(vz) > 0,
+                "advection velocity must be non-zero");
+}
+
+real_t AdvectionOperator::exact(real_t x, real_t y, real_t z,
+                                real_t t) const {
+  const real_t dx = x - (cx_ + vx_ * t);
+  const real_t dy = y - (cy_ + vy_ * t);
+  const real_t dz = z - (cz_ + vz_ * t);
+  const real_t r2 = (dx * dx + dy * dy + dz * dz) / (radius_ * radius_);
+  return std::exp(-r2);
+}
+
+void AdvectionOperator::initialize(Patch& p, real_t dx) const {
+  GridFunction& u = p.data();
+  const Box& b = p.box();
+  for (coord_t k = b.lo().z; k <= b.hi().z; ++k)
+    for (coord_t j = b.lo().y; j <= b.hi().y; ++j)
+      for (coord_t i = b.lo().x; i <= b.hi().x; ++i)
+        u(0, i, j, k) = exact((static_cast<real_t>(i) + 0.5) * dx,
+                              (static_cast<real_t>(j) + 0.5) * dx,
+                              (static_cast<real_t>(k) + 0.5) * dx, 0.0);
+}
+
+real_t AdvectionOperator::max_wave_speed(const Patch&) const {
+  return std::max({std::abs(vx_), std::abs(vy_), std::abs(vz_)});
+}
+
+void AdvectionOperator::advance_impl(Patch& p, real_t dt, real_t dx,
+                                     FaceFluxes* fluxes) const {
+  const GridFunction& u = p.data();
+  GridFunction& un = p.scratch();
+  const Box& b = p.box();
+  const real_t lambda = dt / dx;
+  const real_t vel[3] = {vx_, vy_, vz_};
+  // Upwind face flux through the low face of `cell` along `axis`.
+  auto face = [&](IntVec cell, int axis) {
+    IntVec lo = cell;
+    lo.at(axis) -= 1;
+    const real_t v = vel[axis];
+    return v >= 0 ? v * u(0, lo.x, lo.y, lo.z)
+                  : v * u(0, cell.x, cell.y, cell.z);
+  };
+  for (coord_t k = b.lo().z; k <= b.hi().z; ++k) {
+    for (coord_t j = b.lo().y; j <= b.hi().y; ++j) {
+      for (coord_t i = b.lo().x; i <= b.hi().x; ++i) {
+        const IntVec cell(i, j, k);
+        real_t div = 0;
+        for (int d = 0; d < kDim; ++d) {
+          IntVec hi = cell;
+          hi.at(d) += 1;
+          const real_t f_lo = face(cell, d);
+          const real_t f_hi = face(hi, d);
+          div += f_hi - f_lo;
+          if (fluxes != nullptr) {
+            fluxes->flux(d)(0, cell.x, cell.y, cell.z) = f_lo;
+            fluxes->flux(d)(0, hi.x, hi.y, hi.z) = f_hi;
+          }
+        }
+        un(0, i, j, k) = u(0, i, j, k) - lambda * div;
+      }
+    }
+  }
+}
+
+void AdvectionOperator::advance(Patch& p, real_t dt, real_t dx) const {
+  advance_impl(p, dt, dx, nullptr);
+}
+
+void AdvectionOperator::advance_capture(Patch& p, real_t dt, real_t dx,
+                                        FaceFluxes& fluxes) const {
+  advance_impl(p, dt, dx, &fluxes);
+}
+
+}  // namespace ssamr

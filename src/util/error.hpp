@@ -1,0 +1,51 @@
+#pragma once
+/// \file error.hpp
+/// Error handling for the ssamr library.
+///
+/// Library invariants are checked with SSAMR_REQUIRE (argument validation,
+/// always on) and SSAMR_ASSERT (internal invariants, compiled out in
+/// NDEBUG builds).  Both throw ssamr::Error so that callers — including the
+/// test suite — can observe failures without aborting the process.
+
+#include <stdexcept>
+#include <string>
+#include <sstream>
+
+namespace ssamr {
+
+/// Exception thrown on violated preconditions or internal invariants.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* kind, const char* expr,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace ssamr
+
+#define SSAMR_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::ssamr::detail::raise("requirement", #cond, __FILE__, __LINE__,    \
+                             (msg));                                      \
+  } while (0)
+
+#ifdef NDEBUG
+#define SSAMR_ASSERT(cond, msg) ((void)0)
+#else
+#define SSAMR_ASSERT(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::ssamr::detail::raise("assertion", #cond, __FILE__, __LINE__,      \
+                             (msg));                                      \
+  } while (0)
+#endif

@@ -1,0 +1,36 @@
+#include "util/logging.hpp"
+
+#include <iostream>
+
+namespace ssamr {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+std::ostream* g_sink = nullptr;
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+
+void Log::set_level(LogLevel lvl) { g_level = lvl; }
+
+void Log::set_sink(std::ostream* os) { g_sink = os; }
+
+const char* Log::name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void Log::write(LogLevel lvl, const std::string& msg) {
+  if (lvl < g_level || g_level == LogLevel::Off) return;
+  std::ostream& os = g_sink ? *g_sink : std::cerr;
+  os << "[" << name(lvl) << "] " << msg << '\n';
+}
+
+}  // namespace ssamr

@@ -1,0 +1,101 @@
+#pragma once
+/// \file rng.hpp
+/// Deterministic pseudo-random number generation.
+///
+/// All stochastic behaviour in the library (sensor noise, synthetic load
+/// phase jitter, workload traces) flows through ssamr::Rng seeded explicitly
+/// by the caller, so every experiment run is exactly reproducible.
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace ssamr {
+
+/// splitmix64 — used to expand a user seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** generator.  Satisfies UniformRandomBitGenerator, so it can
+/// be used with <random> distributions as well as the convenience helpers
+/// below.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Construct from a seed; equal seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform real in [0, 1).
+  real_t uniform() {
+    return static_cast<real_t>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform real in [lo, hi).
+  real_t uniform(real_t lo, real_t hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>((*this)() % span);
+  }
+
+  /// Standard normal deviate (Marsaglia polar method).
+  real_t normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    real_t u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const real_t m = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * m;
+    have_spare_ = true;
+    return u * m;
+  }
+
+  /// Normal deviate with given mean and standard deviation.
+  real_t normal(real_t mean, real_t stddev) {
+    return mean + stddev * normal();
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+  bool have_spare_ = false;
+  real_t spare_ = 0;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,48 @@
+#pragma once
+/// \file table.hpp
+/// ASCII table formatting for experiment harnesses.
+///
+/// Every bench binary reports its results as a right-aligned ASCII table so
+/// the output can be compared visually with the paper's tables and figure
+/// series.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ssamr {
+
+/// A simple column-aligned ASCII table.
+///
+///   Table t({"procs", "time (s)"});
+///   t.add_row({"4", "292.0"});
+///   t.print(std::cout);
+class Table {
+ public:
+  /// Construct with the header row.
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Number of data rows.
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Render to a stream with a separator under the header.
+  void print(std::ostream& os) const;
+
+  /// Render to a string.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a real with fixed precision (default 1 decimal).
+std::string fmt(double v, int precision = 1);
+
+/// Format a percentage, e.g. fmt_pct(0.18) == "18.0%". Input is a fraction.
+std::string fmt_pct(double fraction, int precision = 1);
+
+}  // namespace ssamr

@@ -1,0 +1,26 @@
+#pragma once
+/// \file types.hpp
+/// Fundamental scalar type aliases shared across the ssamr library.
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ssamr {
+
+/// Floating-point type used for field data, capacities and virtual time.
+using real_t = double;
+
+/// Signed integer type for index-space coordinates.  Signed so that ghost
+/// regions of patches touching the domain origin have representable indices.
+using coord_t = std::int64_t;
+
+/// Unsigned key type for space-filling-curve indices and hash keys.
+using key_t = std::uint64_t;
+
+/// Identifier of a (simulated) processor / cluster node.
+using rank_t = std::int32_t;
+
+/// Refinement-level number, 0 = coarsest.
+using level_t = std::int32_t;
+
+}  // namespace ssamr

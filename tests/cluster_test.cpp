@@ -1,0 +1,181 @@
+// Tests for the simulated heterogeneous cluster: load generation, node
+// state, network model.
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "util/error.hpp"
+
+namespace ssamr {
+namespace {
+
+TEST(LoadRamp, RampsLinearlyToTarget) {
+  LoadRamp r;
+  r.start_time = 10.0;
+  r.rate = 0.5;
+  r.target_level = 2.0;
+  EXPECT_EQ(r.level_at(5.0), 0.0);
+  EXPECT_EQ(r.level_at(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.level_at(12.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.level_at(14.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.level_at(100.0), 2.0);  // saturates
+}
+
+TEST(LoadRamp, StopsAtStopTime) {
+  LoadRamp r;
+  r.start_time = 0.0;
+  r.stop_time = 50.0;
+  r.rate = 1.0;
+  r.target_level = 3.0;
+  EXPECT_DOUBLE_EQ(r.level_at(49.0), 3.0);
+  EXPECT_EQ(r.level_at(50.0), 0.0);
+}
+
+TEST(LoadRamp, ZeroRateMeansInstant) {
+  LoadRamp r;
+  r.rate = 0.0;
+  r.target_level = 1.5;
+  EXPECT_DOUBLE_EQ(r.level_at(0.0), 1.5);
+}
+
+TEST(LoadScript, ComposesGenerators) {
+  LoadScript s;
+  LoadRamp a;
+  a.rate = 0;
+  a.target_level = 1.0;
+  LoadRamp b;
+  b.start_time = 10.0;
+  b.rate = 0;
+  b.target_level = 0.5;
+  s.add(a);
+  s.add(b);
+  EXPECT_DOUBLE_EQ(s.load_at(5.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.load_at(15.0), 1.5);
+}
+
+TEST(LoadScript, FairShareCpu) {
+  LoadScript s;
+  LoadRamp r;
+  r.rate = 0;
+  r.target_level = 1.0;  // one competing process
+  s.add(r);
+  EXPECT_DOUBLE_EQ(s.cpu_available_at(1.0), 0.5);
+  LoadScript idle;
+  EXPECT_DOUBLE_EQ(idle.cpu_available_at(0.0), 1.0);
+}
+
+TEST(LoadScript, MemoryScalesWithRampProgress) {
+  LoadScript s;
+  LoadRamp r;
+  r.start_time = 0;
+  r.rate = 1.0;
+  r.target_level = 2.0;
+  r.memory_mb = 100.0;
+  s.add(r);
+  EXPECT_DOUBLE_EQ(s.memory_used_at(1.0), 50.0);   // half ramped
+  EXPECT_DOUBLE_EQ(s.memory_used_at(10.0), 100.0);  // full
+}
+
+TEST(LoadScript, TrafficScalesWithRampProgress) {
+  LoadScript s;
+  LoadRamp r;
+  r.rate = 0;
+  r.target_level = 1.0;
+  r.traffic_mbps = 40.0;
+  s.add(r);
+  EXPECT_DOUBLE_EQ(s.traffic_at(0.0), 40.0);
+}
+
+TEST(Cluster, FactoriesBuildRequestedShapes) {
+  const Cluster homo = Cluster::homogeneous(4);
+  EXPECT_EQ(homo.size(), 4);
+  EXPECT_EQ(homo.spec(0).peak_rate, homo.spec(3).peak_rate);
+
+  const Cluster het =
+      Cluster::heterogeneous(4, {1.0, 2.0}, NodeSpec{"n", 100.0, 512, 100});
+  EXPECT_DOUBLE_EQ(het.spec(0).peak_rate, 100.0);
+  EXPECT_DOUBLE_EQ(het.spec(1).peak_rate, 200.0);
+  EXPECT_DOUBLE_EQ(het.spec(2).peak_rate, 100.0);  // pattern repeats
+}
+
+TEST(Cluster, RejectsBadSpecs) {
+  EXPECT_THROW(Cluster::homogeneous(0), Error);
+  NodeSpec bad;
+  bad.peak_rate = 0;
+  EXPECT_THROW(Cluster({bad}), Error);
+  Cluster c = Cluster::homogeneous(2);
+  EXPECT_THROW(c.spec(5), Error);
+  EXPECT_THROW(c.add_load(-1, LoadRamp{}), Error);
+}
+
+TEST(Cluster, StateReflectsLoads) {
+  Cluster c = Cluster::homogeneous(2);
+  LoadRamp r;
+  r.rate = 0;
+  r.target_level = 1.0;
+  r.memory_mb = 200.0;
+  r.traffic_mbps = 30.0;
+  c.add_load(0, r);
+  const NodeState s0 = c.state_at(0, 1.0);
+  const NodeState s1 = c.state_at(1, 1.0);
+  EXPECT_DOUBLE_EQ(s0.cpu_available, 0.5);
+  EXPECT_DOUBLE_EQ(s0.memory_free_mb, c.spec(0).memory_mb - 200.0);
+  EXPECT_DOUBLE_EQ(s0.bandwidth_mbps, 70.0);
+  EXPECT_DOUBLE_EQ(s1.cpu_available, 1.0);
+}
+
+TEST(Cluster, EffectiveRateTracksCpu) {
+  Cluster c = Cluster::homogeneous(1);
+  LoadRamp r;
+  r.rate = 0;
+  r.target_level = 1.0;
+  c.add_load(0, r);
+  EXPECT_NEAR(c.effective_rate(0, 1.0), c.spec(0).peak_rate * 0.5, 1e-9);
+}
+
+TEST(Cluster, PagingPenaltyWhenOvercommitted) {
+  NodeSpec spec;
+  spec.memory_mb = 100.0;
+  Cluster c({spec});
+  const real_t fits = c.effective_rate(0, 0.0, 50.0);
+  const real_t pages = c.effective_rate(0, 0.0, 200.0);
+  EXPECT_DOUBLE_EQ(fits, spec.peak_rate);
+  EXPECT_LT(pages, fits / 2);
+  EXPECT_GT(pages, 0.0);
+}
+
+TEST(Cluster, MemoryNeverGoesNegative) {
+  Cluster c = Cluster::homogeneous(1);
+  LoadRamp r;
+  r.rate = 0;
+  r.target_level = 1.0;
+  r.memory_mb = 1.0e6;
+  c.add_load(0, r);
+  EXPECT_EQ(c.state_at(0, 1.0).memory_free_mb, 0.0);
+}
+
+TEST(Network, TransferTimeLatencyPlusBandwidth) {
+  NetworkModel net;
+  net.latency_s = 1e-4;
+  net.efficiency = 1.0;
+  // 1 Mbit over min(100,50)=50 Mbps -> 0.02 s + latency.
+  EXPECT_NEAR(net.transfer_time(125000, 100.0, 50.0), 0.02 + 1e-4, 1e-9);
+  EXPECT_EQ(net.transfer_time(0, 100.0, 100.0), 0.0);
+  EXPECT_THROW(net.transfer_time(-1, 100, 100), Error);
+}
+
+TEST(Network, EfficiencyDeratesBandwidth) {
+  NetworkModel net;
+  net.latency_s = 0;
+  net.efficiency = 0.5;
+  EXPECT_NEAR(net.exchange_time(125000, 100.0), 0.02, 1e-9);
+}
+
+TEST(Network, SurvivesZeroBandwidth) {
+  NetworkModel net;
+  // Bandwidth floor prevents division blowups.
+  EXPECT_LT(net.exchange_time(1000, 0.0), 1.0);
+}
+
+}  // namespace
+}  // namespace ssamr

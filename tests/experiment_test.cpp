@@ -1,0 +1,131 @@
+// Sanity tests for the paper experiment setups (core/experiment.hpp) —
+// these pin the calibrated shapes the benches report.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "util/error.hpp"
+#include "core/experiment.hpp"
+
+namespace ssamr {
+namespace {
+
+TEST(Experiment, ReferenceCapacitiesMatchThePaper) {
+  const auto caps = exp::reference_capacities4();
+  ASSERT_EQ(caps.size(), 4u);
+  EXPECT_NEAR(std::accumulate(caps.begin(), caps.end(), 0.0), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(caps[0], 0.16);
+  EXPECT_DOUBLE_EQ(caps[3], 0.34);
+}
+
+TEST(Experiment, PaperTraceIsPaperScale) {
+  const TraceConfig cfg = exp::paper_trace_config();
+  EXPECT_EQ(cfg.domain.extent(), IntVec(128, 32, 32));
+  EXPECT_EQ(cfg.max_levels, 4);  // 3 levels of factor-2 refinement
+  EXPECT_EQ(cfg.ratio, 2);
+  SyntheticAmrTrace t(cfg);
+  const BoxList b0 = t.boxes_at_epoch(0);
+  EXPECT_GT(b0.size(), 3u);
+  EXPECT_GT(b0.total_cells(), 128 * 32 * 32);
+}
+
+TEST(Experiment, PaperClusterIsFastEthernet) {
+  const Cluster c = exp::paper_cluster(4);
+  EXPECT_EQ(c.size(), 4);
+  EXPECT_DOUBLE_EQ(c.spec(0).bandwidth_mbps, 100.0);
+  EXPECT_DOUBLE_EQ(c.spec(0).peak_rate, c.spec(3).peak_rate);
+}
+
+TEST(Experiment, StaticLoadsDifferentiateNodes) {
+  Cluster c = exp::paper_cluster(4);
+  exp::apply_static_loads(c);
+  EXPECT_LT(c.state_at(0, 10.0).cpu_available, 0.8);
+  EXPECT_DOUBLE_EQ(c.state_at(3, 10.0).cpu_available, 1.0);
+}
+
+TEST(Experiment, DynamicLoadsEvolveOverTime) {
+  Cluster c = exp::paper_cluster(4);
+  exp::apply_dynamic_loads(c, 100.0);
+  const real_t before = c.state_at(0, 0.0).cpu_available;
+  const real_t during = c.state_at(0, 40.0).cpu_available;
+  const real_t after = c.state_at(0, 60.0).cpu_available;
+  EXPECT_DOUBLE_EQ(before, 1.0);
+  EXPECT_LT(during, 0.35);
+  EXPECT_GT(after, during);  // heavy generator exited at 0.55 tau
+}
+
+TEST(Experiment, SystemSensitiveWinsAtFourProcs) {
+  const auto cmp = exp::compare_partitioners(4, 60, 0, false);
+  EXPECT_GT(cmp.improvement(), 0.0);
+  EXPECT_LT(cmp.improvement(), 0.5);
+}
+
+TEST(Experiment, ImbalanceLowerForSystemSensitive) {
+  // Fig. 10's claim, at reduced scale: mean max-imbalance of the
+  // system-sensitive partitioner is below the default's under fixed
+  // heterogeneous capacities.
+  const auto caps = exp::reference_capacities4();
+  SyntheticAmrTrace trace(exp::paper_trace_config());
+  HeterogeneousPartitioner het;
+  GraceDefaultPartitioner def;
+  const WorkModel wm;
+  real_t het_sum = 0, def_sum = 0;
+  for (int e = 0; e < 6; ++e) {
+    const BoxList boxes = trace.boxes_at_epoch(e);
+    // Imbalance is measured against the capacity-proportional targets for
+    // BOTH schemes (the default ignores capacities, which is the point).
+    auto het_r = het.partition(boxes, caps, wm);
+    auto def_r = def.partition(boxes, caps, wm);
+    const real_t total = total_work(boxes, wm);
+    for (std::size_t k = 0; k < caps.size(); ++k)
+      def_r.target_work[k] = caps[k] * total;
+    het_sum += max_load_imbalance_pct(het_r);
+    def_sum += max_load_imbalance_pct(def_r);
+  }
+  EXPECT_LT(het_sum, def_sum);
+  // Paper: system-sensitive residual imbalance stays under ~40 %.
+  EXPECT_LT(het_sum / 6, 40.0);
+}
+
+TEST(Experiment, TimescaleCalibrationConverges) {
+  const real_t tau = exp::calibrate_timescale(4, 30, 10, 2);
+  EXPECT_GT(tau, 1.0);
+  const RunTrace t = exp::run_dynamic_het(4, 30, 10, tau);
+  // The calibrated timescale must be within a factor ~2 of the duration.
+  EXPECT_GT(t.total_time, 0.4 * tau);
+  EXPECT_LT(t.total_time, 2.5 * tau);
+}
+
+TEST(Experiment, HeadlineResultHoldsAcrossSensorSeeds) {
+  // The Table I conclusion (system-sensitive wins) must not hinge on the
+  // particular sensor-noise stream.
+  for (std::uint64_t seed : {11u, 222u, 3333u}) {
+    Cluster c1 = exp::paper_cluster(8);
+    exp::apply_static_loads(c1);
+    Cluster c2 = exp::paper_cluster(8);
+    exp::apply_static_loads(c2);
+    RuntimeConfig cfg = exp::paper_runtime_config(60, 0);
+    cfg.monitor.seed = seed;
+    TraceWorkloadSource s1(exp::paper_trace_config());
+    TraceWorkloadSource s2(exp::paper_trace_config());
+    HeterogeneousPartitioner het;
+    GraceDefaultPartitioner def;
+    AdaptiveRuntime r1(c1, s1, het, cfg);
+    AdaptiveRuntime r2(c2, s2, def, cfg);
+    EXPECT_LT(r1.run().total_time, r2.run().total_time)
+        << "seed " << seed;
+  }
+}
+
+TEST(Experiment, RuntimeConfigMatchesPaperParameters) {
+  const RuntimeConfig cfg = exp::paper_runtime_config(200, 20);
+  EXPECT_EQ(cfg.total_iterations, 200);
+  EXPECT_EQ(cfg.regrid_interval, 5);  // paper: regrid every 5 iterations
+  EXPECT_EQ(cfg.sensing.interval, 20);
+  EXPECT_TRUE(cfg.weights.valid());
+  EXPECT_DOUBLE_EQ(cfg.weights.cpu, 1.0 / 3.0);  // equal weights
+}
+
+}  // namespace
+}  // namespace ssamr

@@ -1,0 +1,230 @@
+// Tests for conservative refluxing: face identification, and exact
+// composite-mass conservation on periodic AMR runs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "amr/flux_register.hpp"
+#include "amr/integrator.hpp"
+#include "geom/box_algebra.hpp"
+#include "solver/advection.hpp"
+#include "solver/euler.hpp"
+#include "util/error.hpp"
+
+namespace ssamr {
+namespace {
+
+// ---- face identification ---------------------------------------------------
+
+TEST(FluxRegister, CountsBoundaryFacesOfAnInteriorBox) {
+  GridLevel coarse(0, 1, 1);
+  coarse.add_patch(Box::from_extent(IntVec(0, 0, 0), IntVec(16, 16, 16), 0));
+  GridLevel fine(1, 1, 1);
+  // Fine box covering coarse cells [4,7]^3 -> coarsened extent 4^3.
+  fine.add_patch(Box::from_extent(IntVec(8, 8, 8), IntVec(8, 8, 8), 1));
+  FluxRegister reg(coarse, fine,
+                   Box::from_extent(IntVec(0, 0, 0), IntVec(16, 16, 16), 0),
+                   2, 1);
+  EXPECT_EQ(reg.num_faces(), 6u * 16u);  // 6 faces of a 4x4x4 cube
+}
+
+TEST(FluxRegister, DomainBoundaryFacesAreNotRegistered) {
+  GridLevel coarse(0, 1, 1);
+  coarse.add_patch(Box::from_extent(IntVec(0, 0, 0), IntVec(8, 8, 8), 0));
+  GridLevel fine(1, 1, 1);
+  // Fine region touches the low-x domain face.
+  fine.add_patch(Box::from_extent(IntVec(0, 4, 4), IntVec(8, 8, 8), 1));
+  FluxRegister reg(coarse, fine,
+                   Box::from_extent(IntVec(0, 0, 0), IntVec(8, 8, 8), 0), 2,
+                   1);
+  // Coarsened box is 4x4x4 at (0,2,2): one x-face is on the domain
+  // boundary, so only 5 sides x 16 faces remain.
+  EXPECT_EQ(reg.num_faces(), 5u * 16u);
+}
+
+TEST(FluxRegister, InternalFacesBetweenFineBoxesExcluded) {
+  GridLevel coarse(0, 1, 1);
+  coarse.add_patch(Box::from_extent(IntVec(0, 0, 0), IntVec(16, 16, 16), 0));
+  GridLevel fine(1, 1, 1);
+  // Two adjacent fine boxes forming an 8x4x4 coarsened slab.
+  fine.add_patch(Box::from_extent(IntVec(8, 8, 8), IntVec(8, 8, 8), 1));
+  fine.add_patch(Box::from_extent(IntVec(16, 8, 8), IntVec(8, 8, 8), 1));
+  FluxRegister reg(coarse, fine,
+                   Box::from_extent(IntVec(0, 0, 0), IntVec(16, 16, 16), 0),
+                   2, 1);
+  // Coarsened slab 8x4x4: surface = 2*(4*4) + 2*(8*4) + 2*(8*4) = 160.
+  EXPECT_EQ(reg.num_faces(), 160u);
+}
+
+// ---- conservation ----------------------------------------------------------
+
+/// Composite mass of component `comp`: fine cells where refined, coarse
+/// cells elsewhere.
+real_t composite_mass(const GridHierarchy& h, real_t dx0, int comp) {
+  const coord_t r = h.config().ratio;
+  real_t mass = 0;
+  // Fine level contribution.
+  std::vector<Box> shadow;
+  if (h.num_levels() > 1) {
+    const real_t dxf = dx0 / static_cast<real_t>(r);
+    const real_t vol_f = dxf * dxf * dxf;
+    for (const Patch& p : h.level(1).patches()) {
+      shadow.push_back(p.box().coarsened(r));
+      const Box& b = p.box();
+      for (coord_t k = b.lo().z; k <= b.hi().z; ++k)
+        for (coord_t j = b.lo().y; j <= b.hi().y; ++j)
+          for (coord_t i = b.lo().x; i <= b.hi().x; ++i)
+            mass += p.data()(comp, i, j, k) * vol_f;
+    }
+  }
+  const real_t vol_c = dx0 * dx0 * dx0;
+  for (const Patch& p : h.level(0).patches()) {
+    const Box& b = p.box();
+    for (coord_t k = b.lo().z; k <= b.hi().z; ++k)
+      for (coord_t j = b.lo().y; j <= b.hi().y; ++j)
+        for (coord_t i = b.lo().x; i <= b.hi().x; ++i) {
+          bool covered = false;
+          for (const Box& s : shadow)
+            if (s.contains(IntVec(i, j, k))) {
+              covered = true;
+              break;
+            }
+          if (!covered) mass += p.data()(comp, i, j, k) * vol_c;
+        }
+  }
+  return mass;
+}
+
+/// Two-level periodic advection hierarchy with a fixed fine patch.
+struct AdvectionSetup {
+  HierarchyConfig hc;
+  IntegratorConfig ic;
+  AdvectionOperator op{1.0, 0.5, 0.25, 0.5, 0.5, 0.5, 0.15};
+  GradientFlagger flagger{0, 1e9};  // never regrid
+
+  AdvectionSetup() {
+    hc.domain = Box::from_extent(IntVec(0, 0, 0), IntVec(16, 16, 16), 0);
+    hc.ncomp = 1;
+    hc.ghost = 1;
+    hc.max_levels = 2;
+    hc.min_box_size = 2;
+    ic.dx0 = 1.0 / 16.0;
+    ic.regrid_interval = 100000;  // frozen hierarchy
+    ic.bc = BoundaryKind::Periodic;
+  }
+
+  GridHierarchy make_hierarchy(bool reflux) {
+    ic.reflux = reflux;
+    GridHierarchy h(hc);
+    BoxList l1;
+    l1.push_back(Box::from_extent(IntVec(8, 8, 8), IntVec(16, 16, 16), 1));
+    h.set_level_boxes(1, l1);
+    for (int l = 0; l < h.num_levels(); ++l) {
+      const real_t dx = ic.dx0 / std::pow(2.0, l);
+      for (Patch& p : h.level(l).patches()) op.initialize(p, dx);
+    }
+    return h;
+  }
+};
+
+TEST(Reflux, ConservesCompositeMassExactly) {
+  AdvectionSetup setup;
+  GridHierarchy h = setup.make_hierarchy(/*reflux=*/true);
+  BergerOliger bo(h, setup.op, setup.flagger, setup.ic);
+  const real_t m0 = composite_mass(h, setup.ic.dx0, 0);
+  for (int s = 0; s < 10; ++s) bo.advance_step();
+  const real_t m1 = composite_mass(h, setup.ic.dx0, 0);
+  EXPECT_NEAR(m1, m0, std::abs(m0) * 1e-12 + 1e-14);
+}
+
+TEST(Reflux, WithoutItMassDrifts) {
+  AdvectionSetup setup;
+  GridHierarchy h = setup.make_hierarchy(/*reflux=*/false);
+  BergerOliger bo(h, setup.op, setup.flagger, setup.ic);
+  const real_t m0 = composite_mass(h, setup.ic.dx0, 0);
+  for (int s = 0; s < 10; ++s) bo.advance_step();
+  const real_t m1 = composite_mass(h, setup.ic.dx0, 0);
+  // The coarse-fine flux mismatch leaks measurable mass.
+  EXPECT_GT(std::abs(m1 - m0), std::abs(m0) * 1e-8);
+}
+
+TEST(Reflux, SingleLevelRunsAreUnaffected) {
+  AdvectionSetup setup;
+  setup.hc.max_levels = 1;
+  setup.ic.reflux = true;
+  GridHierarchy h(setup.hc);
+  for (Patch& p : h.level(0).patches()) setup.op.initialize(p, setup.ic.dx0);
+  BergerOliger bo(h, setup.op, setup.flagger, setup.ic);
+  const real_t m0 = composite_mass(h, setup.ic.dx0, 0);
+  for (int s = 0; s < 5; ++s) bo.advance_step();
+  EXPECT_NEAR(composite_mass(h, setup.ic.dx0, 0), m0,
+              std::abs(m0) * 1e-12);
+}
+
+TEST(Reflux, EulerConservesMassMomentumEnergy) {
+  HierarchyConfig hc;
+  hc.domain = Box::from_extent(IntVec(0, 0, 0), IntVec(16, 8, 8), 0);
+  hc.ncomp = kEulerNcomp;
+  hc.ghost = 1;
+  hc.max_levels = 2;
+  hc.min_box_size = 2;
+  IntegratorConfig ic;
+  ic.dx0 = 1.0 / 16.0;
+  ic.regrid_interval = 100000;
+  ic.bc = BoundaryKind::Periodic;
+  ic.reflux = true;
+
+  EulerOperator op(1.4, [](real_t x, real_t, real_t) {
+    EulerPrimitive s;
+    s.rho = 1.0 + 0.4 * std::sin(2 * 3.14159265358979 * x);
+    s.u = 0.7;
+    s.p = 1.0;
+    return s;
+  });
+  GradientFlagger flagger(kRho, 1e9);
+  GridHierarchy h(hc);
+  BoxList l1;
+  l1.push_back(Box::from_extent(IntVec(8, 4, 4), IntVec(16, 8, 8), 1));
+  h.set_level_boxes(1, l1);
+  for (int l = 0; l < 2; ++l) {
+    const real_t dx = ic.dx0 / std::pow(2.0, l);
+    for (Patch& p : h.level(l).patches()) op.initialize(p, dx);
+  }
+  BergerOliger bo(h, op, flagger, ic);
+
+  real_t m0[kEulerNcomp];
+  for (int c = 0; c < kEulerNcomp; ++c)
+    m0[c] = composite_mass(h, ic.dx0, c);
+  for (int s = 0; s < 6; ++s) bo.advance_step();
+  for (int c = 0; c < kEulerNcomp; ++c) {
+    const real_t m1 = composite_mass(h, ic.dx0, c);
+    EXPECT_NEAR(m1, m0[c], std::abs(m0[c]) * 1e-11 + 1e-12)
+        << "component " << c;
+  }
+}
+
+TEST(Reflux, RefusesOperatorsWithoutFluxCapture) {
+  // A dummy operator that does not support capture must throw when the
+  // integrator asks for fluxes.
+  class NoCaptureOp final : public PatchOperator {
+   public:
+    int ncomp() const override { return 1; }
+    int ghost() const override { return 1; }
+    void initialize(Patch& p, real_t) const override { p.data().fill(1.0); }
+    real_t max_wave_speed(const Patch&) const override { return 1.0; }
+    void advance(Patch& p, real_t, real_t) const override {
+      p.scratch().fill(1.0);
+    }
+  };
+  NoCaptureOp op;
+  Patch p(Box::from_extent(IntVec(0, 0, 0), IntVec(2, 2, 2)), 1, 1);
+  FaceFluxes ff(p.box(), 1);
+  EXPECT_THROW(op.advance_capture(p, 0.1, 1.0, ff), Error);
+  // And the integrator silently skips refluxing for such operators
+  // (supports_flux_capture() is false), instead of crashing.
+  EXPECT_FALSE(op.supports_flux_capture());
+}
+
+}  // namespace
+}  // namespace ssamr

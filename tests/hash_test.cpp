@@ -1,0 +1,126 @@
+// Tests for extendible hashing (Fagin et al. 1979).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "hash/extendible_hash.hpp"
+#include "util/rng.hpp"
+
+namespace ssamr {
+namespace {
+
+TEST(ExtendibleHash, InsertFindBasic) {
+  ExtendibleHash<int> h;
+  EXPECT_TRUE(h.insert(1, 10));
+  EXPECT_TRUE(h.insert(2, 20));
+  EXPECT_EQ(h.find(1), std::optional<int>(10));
+  EXPECT_EQ(h.find(2), std::optional<int>(20));
+  EXPECT_FALSE(h.find(3).has_value());
+  EXPECT_EQ(h.size(), 2u);
+}
+
+TEST(ExtendibleHash, InsertOverwrites) {
+  ExtendibleHash<int> h;
+  EXPECT_TRUE(h.insert(1, 10));
+  EXPECT_FALSE(h.insert(1, 11));  // existing key
+  EXPECT_EQ(h.find(1), std::optional<int>(11));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(ExtendibleHash, EraseRemoves) {
+  ExtendibleHash<int> h;
+  h.insert(1, 10);
+  EXPECT_TRUE(h.erase(1));
+  EXPECT_FALSE(h.erase(1));
+  EXPECT_FALSE(h.contains(1));
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(ExtendibleHash, DirectoryDoublesUnderLoad) {
+  ExtendibleHash<int> h(/*bucket_capacity=*/2);
+  for (key_t k = 0; k < 64; ++k) h.insert(k, static_cast<int>(k));
+  EXPECT_GT(h.global_depth(), 0);
+  EXPECT_GT(h.bucket_count(), 1u);
+  for (key_t k = 0; k < 64; ++k)
+    EXPECT_EQ(h.find(k), std::optional<int>(static_cast<int>(k)));
+}
+
+TEST(ExtendibleHash, TenThousandKeysIntegrity) {
+  ExtendibleHash<std::int64_t> h(8);
+  std::map<key_t, std::int64_t> ref;
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const key_t k = rng();
+    const auto v = static_cast<std::int64_t>(rng());
+    h.insert(k, v);
+    ref[k] = v;
+  }
+  EXPECT_EQ(h.size(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_EQ(h.find(k), std::optional(v));
+}
+
+TEST(ExtendibleHash, MixedInsertEraseAgainstReference) {
+  ExtendibleHash<std::int64_t> h(4);
+  std::map<key_t, std::int64_t> ref;
+  Rng rng(7);
+  for (int i = 0; i < 5000; ++i) {
+    const key_t k = rng() % 512;  // force collisions and reuse
+    if (rng.uniform() < 0.6) {
+      h.insert(k, static_cast<std::int64_t>(i));
+      ref[k] = i;
+    } else {
+      EXPECT_EQ(h.erase(k), ref.erase(k) > 0);
+    }
+  }
+  EXPECT_EQ(h.size(), ref.size());
+  for (const auto& [k, v] : ref) EXPECT_EQ(h.find(k), std::optional(v));
+}
+
+TEST(ExtendibleHash, ForEachVisitsEverythingOnce) {
+  ExtendibleHash<int> h(2);
+  for (key_t k = 100; k < 150; ++k) h.insert(k, 1);
+  std::map<key_t, int> seen;
+  h.for_each([&](key_t k, const int& v) { seen[k] += v; });
+  EXPECT_EQ(seen.size(), 50u);
+  for (const auto& [k, count] : seen) {
+    EXPECT_GE(k, 100u);
+    EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(ExtendibleHash, FindPtrAllowsMutation) {
+  ExtendibleHash<std::string> h;
+  h.insert(9, "a");
+  auto* p = h.find_ptr(9);
+  ASSERT_NE(p, nullptr);
+  *p = "b";
+  EXPECT_EQ(h.find(9), std::optional<std::string>("b"));
+  EXPECT_EQ(h.find_ptr(999), nullptr);
+}
+
+TEST(ExtendibleHash, SequentialKeysHashWell) {
+  // Sequential keys (the common HDDA pattern) must spread across buckets.
+  ExtendibleHash<int> h(4);
+  for (key_t k = 0; k < 1024; ++k) h.insert(k, 0);
+  // With 1024 entries and capacity 4, at least 256 buckets must exist;
+  // a directory depth of >= 8 shows the hash is not degenerate.
+  EXPECT_GE(h.global_depth(), 8);
+}
+
+TEST(ExtendibleHash, RejectsZeroCapacity) {
+  EXPECT_THROW(ExtendibleHash<int>(0), Error);
+}
+
+TEST(HashMix, IsInjectiveOnSmallRange) {
+  std::map<key_t, key_t> seen;
+  for (key_t k = 0; k < 10000; ++k) {
+    const key_t m = hash_mix64(k);
+    EXPECT_EQ(seen.count(m), 0u);
+    seen[m] = k;
+  }
+}
+
+}  // namespace
+}  // namespace ssamr

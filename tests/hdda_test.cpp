@@ -1,0 +1,120 @@
+// Tests for the Hierarchical Distributed Dynamic Array.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "hdda/hdda.hpp"
+
+namespace ssamr {
+namespace {
+
+Box box_at(coord_t x, level_t l = 0) {
+  return Box::from_extent(IntVec(x, 0, 0), IntVec(4, 4, 4), l);
+}
+
+TEST(Hdda, InsertFindErase) {
+  Hdda h;
+  const Box b = box_at(0);
+  h.insert(b, /*owner=*/2, /*bytes=*/100);
+  const auto e = h.find(b);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->owner, 2);
+  EXPECT_EQ(e->bytes, 100);
+  EXPECT_TRUE(h.erase(b));
+  EXPECT_FALSE(h.find(b).has_value());
+  EXPECT_FALSE(h.erase(b));
+}
+
+TEST(Hdda, KeysDistinguishLevels) {
+  Hdda h;
+  const Box c(IntVec(0, 0, 0), IntVec(7, 7, 7), 0);
+  const Box f(IntVec(0, 0, 0), IntVec(7, 7, 7), 1);
+  EXPECT_NE(h.key_of(c), h.key_of(f));
+  h.insert(c, 0, 10);
+  h.insert(f, 1, 20);
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_EQ(h.owner_of(c), 0);
+  EXPECT_EQ(h.owner_of(f), 1);
+}
+
+TEST(Hdda, DistinctBoxesDistinctKeys) {
+  Hdda h;
+  std::set<key_t> keys;
+  for (coord_t x = 0; x < 16; ++x)
+    for (coord_t y = 0; y < 8; ++y)
+      keys.insert(h.key_of(
+          Box::from_extent(IntVec(x * 4, y * 4, 0), IntVec(4, 4, 4), 0)));
+  EXPECT_EQ(keys.size(), 16u * 8u);
+}
+
+TEST(Hdda, EraseLevelRemovesOnlyThatLevel) {
+  Hdda h;
+  h.insert(box_at(0, 0), 0, 1);
+  h.insert(box_at(8, 0), 0, 1);
+  h.insert(box_at(0, 1), 0, 1);
+  EXPECT_EQ(h.erase_level(0), 2u);
+  EXPECT_EQ(h.size(), 1u);
+  EXPECT_TRUE(h.find(box_at(0, 1)).has_value());
+}
+
+TEST(Hdda, SetOwnerReportsMigration) {
+  Hdda h;
+  const Box b = box_at(0);
+  h.insert(b, 0, 500);
+  EXPECT_EQ(h.set_owner(b, 0), 0);    // unchanged: no movement
+  EXPECT_EQ(h.set_owner(b, 1), 500);  // moved: full payload
+  EXPECT_EQ(h.owner_of(b), 1);
+}
+
+TEST(Hdda, SetOwnerOnUnknownBoxInsertsWithoutCost) {
+  Hdda h;
+  const Box b = box_at(4);
+  EXPECT_EQ(h.set_owner(b, 3), 0);
+  EXPECT_EQ(h.owner_of(b), 3);
+}
+
+TEST(Hdda, OwnerOfUnknownIsMinusOne) {
+  Hdda h;
+  EXPECT_EQ(h.owner_of(box_at(0)), -1);
+}
+
+TEST(Hdda, BytesOnSumsPerRank) {
+  Hdda h;
+  h.insert(box_at(0), 0, 100);
+  h.insert(box_at(8), 0, 50);
+  h.insert(box_at(16), 1, 70);
+  EXPECT_EQ(h.bytes_on(0), 150);
+  EXPECT_EQ(h.bytes_on(1), 70);
+  EXPECT_EQ(h.bytes_on(2), 0);
+}
+
+TEST(Hdda, OrderedEntriesFollowCurveOrder) {
+  Hdda h;
+  // Insert in scrambled order; enumeration must be locality-ordered
+  // (deterministically sorted by hierarchical key).
+  h.insert(box_at(24), 0, 1);
+  h.insert(box_at(0), 0, 1);
+  h.insert(box_at(16), 0, 1);
+  h.insert(box_at(8), 0, 1);
+  const auto entries = h.ordered_entries();
+  ASSERT_EQ(entries.size(), 4u);
+  std::vector<key_t> keys;
+  for (const auto& e : entries) keys.push_back(h.key_of(e.box));
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST(Hdda, GrowsAndShrinksWithRegrids) {
+  Hdda h;
+  // Simulate three regrid cycles replacing level 1 each time.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    h.erase_level(1);
+    for (coord_t x = 0; x < 8; ++x)
+      h.insert(box_at(x * 8 + cycle * 2, 1), x % 4, 64);
+    EXPECT_EQ(h.size(), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace ssamr

@@ -1,0 +1,123 @@
+// Tests for partition quality metrics (Eq. 2 imbalance, comm volume).
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+#include "partition/metrics.hpp"
+
+namespace ssamr {
+namespace {
+
+PartitionResult two_rank_result(real_t w0, real_t w1, real_t l0, real_t l1) {
+  PartitionResult r;
+  r.assigned_work = {w0, w1};
+  r.target_work = {l0, l1};
+  return r;
+}
+
+TEST(Imbalance, Equation2Exact) {
+  // I_k = |W_k - L_k| / L_k * 100
+  const auto r = two_rank_result(120, 80, 100, 100);
+  const auto i = load_imbalance_pct(r);
+  EXPECT_DOUBLE_EQ(i[0], 20.0);
+  EXPECT_DOUBLE_EQ(i[1], 20.0);
+  EXPECT_DOUBLE_EQ(max_load_imbalance_pct(r), 20.0);
+}
+
+TEST(Imbalance, PerfectAssignmentIsZero) {
+  const auto i = load_imbalance_pct(two_rank_result(100, 200, 100, 200));
+  EXPECT_DOUBLE_EQ(i[0], 0.0);
+  EXPECT_DOUBLE_EQ(i[1], 0.0);
+}
+
+TEST(Imbalance, ZeroTargetHandled) {
+  const auto i = load_imbalance_pct(two_rank_result(0, 100, 0, 100));
+  EXPECT_DOUBLE_EQ(i[0], 0.0);
+  const auto j = load_imbalance_pct(two_rank_result(10, 90, 0, 100));
+  EXPECT_GT(j[0], 1000.0);  // sentinel: work assigned against zero target
+}
+
+TEST(Imbalance, EffectiveImbalanceIsWorstOverload) {
+  EXPECT_NEAR(effective_imbalance_pct(two_rank_result(130, 70, 100, 100)),
+              30.0, 1e-12);
+  EXPECT_DOUBLE_EQ(
+      effective_imbalance_pct(two_rank_result(90, 100, 100, 100)), 0.0);
+}
+
+TEST(CommCells, AdjacentBoxesDifferentOwners) {
+  PartitionResult r;
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 0});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(4, 4, 4), 0), 1});
+  r.assigned_work = {64, 64};
+  r.target_work = {64, 64};
+  // Ghost width 1: each box's shell overlaps the other by one 4x4 face.
+  EXPECT_EQ(partition_comm_cells(r, 1), 2 * 16);
+  // Ghost width 2: two planes each.
+  EXPECT_EQ(partition_comm_cells(r, 2), 2 * 32);
+}
+
+TEST(CommCells, SameOwnerCostsNothing) {
+  PartitionResult r;
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 0});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(4, 4, 4), 0), 0});
+  EXPECT_EQ(partition_comm_cells(r, 2), 0);
+}
+
+TEST(CommCells, DifferentLevelsDoNotExchange) {
+  PartitionResult r;
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 0});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(4, 4, 4), 1), 1});
+  EXPECT_EQ(partition_comm_cells(r, 2), 0);
+}
+
+TEST(CommCells, DistantBoxesDoNotExchange) {
+  PartitionResult r;
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 0});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(40, 0, 0), IntVec(4, 4, 4), 0), 1});
+  EXPECT_EQ(partition_comm_cells(r, 2), 0);
+}
+
+TEST(RankCommBytes, CountsBothDirectionsForOneRank) {
+  PartitionResult r;
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 0});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(4, 4, 4), 0), 1});
+  const std::int64_t expected =
+      2 * 16 * 5 * static_cast<std::int64_t>(sizeof(real_t));
+  EXPECT_EQ(rank_comm_bytes(r, 0, 1, 5), expected);
+  EXPECT_EQ(rank_comm_bytes(r, 1, 1, 5), expected);
+  EXPECT_EQ(rank_comm_bytes(r, 2, 1, 5), 0);
+  EXPECT_THROW(rank_comm_bytes(r, 0, 1, 0), Error);
+}
+
+TEST(PartitionResultHelper, BoxesOfFiltersByOwner) {
+  PartitionResult r;
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(2, 2, 2), 0), 0});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(2, 2, 2), 0), 1});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(8, 0, 0), IntVec(2, 2, 2), 0), 0});
+  EXPECT_EQ(r.boxes_of(0).size(), 2u);
+  EXPECT_EQ(r.boxes_of(1).size(), 1u);
+  EXPECT_EQ(r.boxes_of(7).size(), 0u);
+}
+
+TEST(Imbalance, MalformedResultRejected) {
+  PartitionResult r;
+  r.assigned_work = {1.0};
+  r.target_work = {1.0, 2.0};
+  EXPECT_THROW(load_imbalance_pct(r), Error);
+}
+
+}  // namespace
+}  // namespace ssamr

@@ -1,0 +1,156 @@
+// Tests for the NWS-substitute monitoring stack: sensors, forecasters,
+// monitor service.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "monitor/monitor_service.hpp"
+#include "util/error.hpp"
+
+namespace ssamr {
+namespace {
+
+TEST(Sensor, NoiselessMeasurementMatchesTruth) {
+  Cluster c = Cluster::homogeneous(2);
+  LoadRamp r;
+  r.rate = 0;
+  r.target_level = 1.0;
+  c.add_load(0, r);
+  Sensor s(c, SensorNoise{0, 0, 0}, 1);
+  const Measurement m = s.measure(0, 5.0);
+  EXPECT_DOUBLE_EQ(m.cpu_available, 0.5);
+  EXPECT_DOUBLE_EQ(m.bandwidth_mbps, 100.0);
+}
+
+TEST(Sensor, NoiseIsBoundedAndDeterministic) {
+  Cluster c = Cluster::homogeneous(1);
+  Sensor a(c, SensorNoise{0.05, 0.05, 0.05}, 7);
+  Sensor b(c, SensorNoise{0.05, 0.05, 0.05}, 7);
+  for (int i = 0; i < 100; ++i) {
+    const Measurement ma = a.measure(0, i);
+    const Measurement mb = b.measure(0, i);
+    EXPECT_EQ(ma.cpu_available, mb.cpu_available);
+    EXPECT_GE(ma.cpu_available, 0.0);
+    EXPECT_LE(ma.cpu_available, 1.0);
+    EXPECT_LE(ma.memory_free_mb, c.spec(0).memory_mb);
+    EXPECT_LE(ma.bandwidth_mbps, c.spec(0).bandwidth_mbps);
+  }
+}
+
+TEST(Forecaster, LastValue) {
+  LastValueForecaster f;
+  EXPECT_EQ(f.forecast({}), 0.0);
+  EXPECT_EQ(f.forecast({1.0, 2.0, 3.0}), 3.0);
+}
+
+TEST(Forecaster, RunningMean) {
+  RunningMeanForecaster f;
+  EXPECT_DOUBLE_EQ(f.forecast({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Forecaster, SlidingMeanUsesWindow) {
+  SlidingMeanForecaster f(2);
+  EXPECT_DOUBLE_EQ(f.forecast({10.0, 1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(f.forecast({5.0}), 5.0);
+  EXPECT_THROW(SlidingMeanForecaster(0), Error);
+}
+
+TEST(Forecaster, SlidingMedianRobustToSpike) {
+  SlidingMedianForecaster f(5);
+  EXPECT_DOUBLE_EQ(f.forecast({1.0, 1.0, 100.0, 1.0, 1.0}), 1.0);
+}
+
+TEST(Forecaster, AdaptivePicksLastValueOnAStep) {
+  AdaptiveForecaster f;
+  // A step series: last-value has the lowest postcast MSE.
+  std::vector<real_t> hist{1, 1, 1, 1, 0.3, 0.3, 0.3, 0.3, 0.3};
+  EXPECT_EQ(f.best_member(hist), "last");
+  EXPECT_DOUBLE_EQ(f.forecast(hist), 0.3);
+}
+
+TEST(Forecaster, AdaptivePrefersSmoothingOnNoise) {
+  AdaptiveForecaster f;
+  // Alternating noise around 0.5: any mean beats last-value.
+  std::vector<real_t> hist;
+  for (int i = 0; i < 30; ++i) hist.push_back(i % 2 ? 0.8 : 0.2);
+  EXPECT_NE(f.best_member(hist), "last");
+  EXPECT_NEAR(f.forecast(hist), 0.5, 0.11);
+}
+
+TEST(Forecaster, AdaptiveCustomFamilyValidated) {
+  EXPECT_THROW(AdaptiveForecaster(std::vector<std::unique_ptr<Forecaster>>{}),
+               Error);
+}
+
+TEST(Monitor, ProbeAllReturnsPerNodeEstimates) {
+  Cluster c = Cluster::homogeneous(3);
+  MonitorConfig cfg;
+  cfg.noise = SensorNoise{0, 0, 0};
+  ResourceMonitor m(c, cfg);
+  real_t overhead = -1;
+  const auto est = m.probe_all(0.0, &overhead);
+  ASSERT_EQ(est.size(), 3u);
+  EXPECT_DOUBLE_EQ(overhead, 3 * cfg.probe_cost_s);
+  EXPECT_EQ(m.probe_count(), 3u);
+  for (const auto& e : est) EXPECT_DOUBLE_EQ(e.cpu_available, 1.0);
+}
+
+TEST(Monitor, HistoriesAccumulate) {
+  Cluster c = Cluster::homogeneous(1);
+  MonitorConfig cfg;
+  ResourceMonitor m(c, cfg);
+  m.probe(0, 0.0);
+  m.probe(0, 1.0);
+  m.probe(0, 2.0);
+  EXPECT_EQ(m.cpu_history(0).size(), 3u);
+  EXPECT_THROW(m.cpu_history(5), Error);
+}
+
+TEST(Monitor, ForecastTracksLoadStep) {
+  Cluster c = Cluster::homogeneous(1);
+  LoadRamp r;
+  r.start_time = 10.0;
+  r.rate = 1e9;
+  r.target_level = 1.0;
+  c.add_load(0, r);
+  MonitorConfig cfg;
+  cfg.noise = SensorNoise{0, 0, 0};
+  ResourceMonitor m(c, cfg);
+  m.probe(0, 0.0);
+  m.probe(0, 5.0);
+  const auto after = m.probe(0, 20.0);
+  // Adaptive forecaster must move decisively toward the new 0.5 level.
+  EXPECT_LT(after.cpu_available, 0.75);
+}
+
+TEST(Monitor, RawModeSkipsForecasting) {
+  Cluster c = Cluster::homogeneous(1);
+  MonitorConfig cfg;
+  cfg.forecast = false;
+  cfg.noise = SensorNoise{0, 0, 0};
+  ResourceMonitor m(c, cfg);
+  LoadRamp r;
+  r.rate = 0;
+  r.target_level = 3.0;
+  c.set_load_script(0, [&] {
+    LoadScript s;
+    s.add(r);
+    return s;
+  }());
+  const auto e = m.probe(0, 0.0);
+  EXPECT_DOUBLE_EQ(e.cpu_available, 0.25);
+}
+
+TEST(Monitor, ConfigValidation) {
+  Cluster c = Cluster::homogeneous(1);
+  MonitorConfig cfg;
+  cfg.probe_cost_s = -1;
+  EXPECT_THROW(ResourceMonitor(c, cfg), Error);
+  cfg = MonitorConfig{};
+  cfg.intrusion_cpu = 1.0;
+  EXPECT_THROW(ResourceMonitor(c, cfg), Error);
+}
+
+}  // namespace
+}  // namespace ssamr

@@ -1,0 +1,116 @@
+// Randomized property tests: every partitioner must uphold its invariants
+// on arbitrary (valid) workloads and capacity vectors.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "geom/box_algebra.hpp"
+#include "partition/grace_default.hpp"
+#include "partition/greedy.hpp"
+#include "partition/heterogeneous.hpp"
+#include "partition/multiaxis.hpp"
+#include "partition/sfc_heterogeneous.hpp"
+#include "util/rng.hpp"
+
+namespace ssamr {
+namespace {
+
+/// A random, valid composite workload: disjoint same-level boxes laid out
+/// on a jittered lattice, one or two levels.
+BoxList random_workload(Rng& rng) {
+  BoxList out;
+  const coord_t cell = 4 + 4 * rng.uniform_int(0, 2);  // 4, 8 or 12
+  const coord_t nx = rng.uniform_int(2, 5);
+  const coord_t ny = rng.uniform_int(1, 4);
+  for (coord_t i = 0; i < nx; ++i)
+    for (coord_t j = 0; j < ny; ++j) {
+      if (rng.uniform() < 0.2) continue;  // holes
+      const IntVec ext(cell + 2 * rng.uniform_int(0, 3),
+                       cell + 2 * rng.uniform_int(0, 2), cell);
+      out.push_back(Box::from_extent(
+          IntVec(i * 40, j * 40, 0), ext, 0));
+      if (rng.uniform() < 0.5)  // a refined child inside
+        out.push_back(Box::from_extent(IntVec(i * 80, j * 80, 0),
+                                       IntVec(ext.x, ext.y, cell), 1));
+    }
+  if (out.empty())
+    out.push_back(Box::from_extent(IntVec(0, 0, 0), IntVec(8, 8, 8), 0));
+  return out;
+}
+
+std::vector<real_t> random_capacities(Rng& rng) {
+  const int n = static_cast<int>(rng.uniform_int(1, 9));
+  std::vector<real_t> caps(static_cast<std::size_t>(n));
+  real_t sum = 0;
+  for (auto& c : caps) {
+    c = rng.uniform(0.05, 1.0);
+    sum += c;
+  }
+  for (auto& c : caps) c /= sum;
+  return caps;
+}
+
+class PartitionerFuzzTest
+    : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Partitioner> make() const {
+    const std::string name = GetParam();
+    if (name == "default")
+      return std::make_unique<GraceDefaultPartitioner>();
+    if (name == "heterogeneous")
+      return std::make_unique<HeterogeneousPartitioner>();
+    if (name == "multiaxis") return std::make_unique<MultiAxisPartitioner>();
+    if (name == "sfc_het")
+      return std::make_unique<SfcHeterogeneousPartitioner>();
+    return std::make_unique<GreedyPartitioner>();
+  }
+};
+
+TEST_P(PartitionerFuzzTest, InvariantsOnRandomWorkloads) {
+  auto partitioner = make();
+  Rng rng(0xf00d + std::hash<std::string>{}(GetParam()));
+  const WorkModel work;
+  for (int trial = 0; trial < 50; ++trial) {
+    const BoxList boxes = random_workload(rng);
+    const auto caps = random_capacities(rng);
+    const PartitionResult r = partitioner->partition(boxes, caps, work);
+
+    // Cell conservation.
+    std::int64_t cells = 0;
+    for (const auto& a : r.assignments) {
+      cells += a.box.cells();
+      ASSERT_GE(a.owner, 0);
+      ASSERT_LT(a.owner, static_cast<rank_t>(caps.size()));
+    }
+    ASSERT_EQ(cells, boxes.total_cells()) << "trial " << trial;
+
+    // Work bookkeeping.
+    real_t assigned = 0;
+    for (real_t w : r.assigned_work) {
+      ASSERT_GE(w, 0.0);
+      assigned += w;
+    }
+    ASSERT_NEAR(assigned, total_work(boxes, work),
+                total_work(boxes, work) * 1e-9);
+
+    // Exact coverage of every input box by same-level pieces.
+    for (const Box& in : boxes) {
+      std::vector<Box> pieces;
+      for (const auto& a : r.assignments)
+        if (a.box.level() == in.level() && in.intersects(a.box))
+          pieces.push_back(a.box.intersection(in));
+      ASSERT_TRUE(box_difference(in, pieces).empty())
+          << "trial " << trial << " box " << in;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, PartitionerFuzzTest,
+                         ::testing::Values("default", "heterogeneous",
+                                           "multiaxis", "sfc_het",
+                                           "greedy"));
+
+}  // namespace
+}  // namespace ssamr

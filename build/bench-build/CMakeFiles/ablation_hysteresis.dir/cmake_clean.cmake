@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hysteresis"
+  "../bench/ablation_hysteresis.pdb"
+  "CMakeFiles/ablation_hysteresis.dir/ablation_hysteresis.cpp.o"
+  "CMakeFiles/ablation_hysteresis.dir/ablation_hysteresis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hysteresis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_multiaxis"
+  "../bench/ablation_multiaxis.pdb"
+  "CMakeFiles/ablation_multiaxis.dir/ablation_multiaxis.cpp.o"
+  "CMakeFiles/ablation_multiaxis.dir/ablation_multiaxis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multiaxis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

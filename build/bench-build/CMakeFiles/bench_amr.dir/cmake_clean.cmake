@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_amr"
+  "../bench/bench_amr.pdb"
+  "CMakeFiles/bench_amr.dir/bench_amr.cpp.o"
+  "CMakeFiles/bench_amr.dir/bench_amr.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

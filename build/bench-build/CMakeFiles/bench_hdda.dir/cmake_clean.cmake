@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hdda"
+  "../bench/bench_hdda.pdb"
+  "CMakeFiles/bench_hdda.dir/bench_hdda.cpp.o"
+  "CMakeFiles/bench_hdda.dir/bench_hdda.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hdda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

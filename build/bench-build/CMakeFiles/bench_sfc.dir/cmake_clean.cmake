@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sfc"
+  "../bench/bench_sfc.pdb"
+  "CMakeFiles/bench_sfc.dir/bench_sfc.cpp.o"
+  "CMakeFiles/bench_sfc.dir/bench_sfc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_fig11"
+  "../bench/exp_fig11.pdb"
+  "CMakeFiles/exp_fig11.dir/exp_fig11.cpp.o"
+  "CMakeFiles/exp_fig11.dir/exp_fig11.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig11.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_fig7_table1"
+  "../bench/exp_fig7_table1.pdb"
+  "CMakeFiles/exp_fig7_table1.dir/exp_fig7_table1.cpp.o"
+  "CMakeFiles/exp_fig7_table1.dir/exp_fig7_table1.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig7_table1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

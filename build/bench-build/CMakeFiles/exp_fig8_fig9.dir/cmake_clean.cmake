@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_fig8_fig9"
+  "../bench/exp_fig8_fig9.pdb"
+  "CMakeFiles/exp_fig8_fig9.dir/exp_fig8_fig9.cpp.o"
+  "CMakeFiles/exp_fig8_fig9.dir/exp_fig8_fig9.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig8_fig9.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

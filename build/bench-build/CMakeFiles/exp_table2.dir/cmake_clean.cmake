@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_table2"
+  "../bench/exp_table2.pdb"
+  "CMakeFiles/exp_table2.dir/exp_table2.cpp.o"
+  "CMakeFiles/exp_table2.dir/exp_table2.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

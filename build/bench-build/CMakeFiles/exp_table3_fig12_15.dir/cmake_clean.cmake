@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/exp_table3_fig12_15"
+  "../bench/exp_table3_fig12_15.pdb"
+  "CMakeFiles/exp_table3_fig12_15.dir/exp_table3_fig12_15.cpp.o"
+  "CMakeFiles/exp_table3_fig12_15.dir/exp_table3_fig12_15.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table3_fig12_15.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_table3_fig12_15.
+# This may be replaced when dependencies are built.

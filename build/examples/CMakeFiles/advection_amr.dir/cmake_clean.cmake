@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advection_amr.dir/advection_amr.cpp.o"
+  "CMakeFiles/advection_amr.dir/advection_amr.cpp.o.d"
+  "advection_amr"
+  "advection_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advection_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for advection_amr.
+# This may be replaced when dependencies are built.

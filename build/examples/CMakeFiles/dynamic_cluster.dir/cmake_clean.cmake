@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_cluster.dir/dynamic_cluster.cpp.o"
+  "CMakeFiles/dynamic_cluster.dir/dynamic_cluster.cpp.o.d"
+  "dynamic_cluster"
+  "dynamic_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rm3d_amr.dir/rm3d_amr.cpp.o"
+  "CMakeFiles/rm3d_amr.dir/rm3d_amr.cpp.o.d"
+  "rm3d_amr"
+  "rm3d_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rm3d_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

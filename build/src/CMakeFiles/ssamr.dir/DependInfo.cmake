@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amr/cluster_br.cpp" "src/CMakeFiles/ssamr.dir/amr/cluster_br.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/cluster_br.cpp.o.d"
+  "/root/repo/src/amr/flagging.cpp" "src/CMakeFiles/ssamr.dir/amr/flagging.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/flagging.cpp.o.d"
+  "/root/repo/src/amr/flux_register.cpp" "src/CMakeFiles/ssamr.dir/amr/flux_register.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/flux_register.cpp.o.d"
+  "/root/repo/src/amr/ghost.cpp" "src/CMakeFiles/ssamr.dir/amr/ghost.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/ghost.cpp.o.d"
+  "/root/repo/src/amr/hierarchy.cpp" "src/CMakeFiles/ssamr.dir/amr/hierarchy.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/hierarchy.cpp.o.d"
+  "/root/repo/src/amr/integrator.cpp" "src/CMakeFiles/ssamr.dir/amr/integrator.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/integrator.cpp.o.d"
+  "/root/repo/src/amr/interp.cpp" "src/CMakeFiles/ssamr.dir/amr/interp.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/interp.cpp.o.d"
+  "/root/repo/src/amr/level.cpp" "src/CMakeFiles/ssamr.dir/amr/level.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/level.cpp.o.d"
+  "/root/repo/src/amr/patch.cpp" "src/CMakeFiles/ssamr.dir/amr/patch.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/patch.cpp.o.d"
+  "/root/repo/src/amr/richardson.cpp" "src/CMakeFiles/ssamr.dir/amr/richardson.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/richardson.cpp.o.d"
+  "/root/repo/src/amr/trace_generator.cpp" "src/CMakeFiles/ssamr.dir/amr/trace_generator.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/trace_generator.cpp.o.d"
+  "/root/repo/src/amr/workload.cpp" "src/CMakeFiles/ssamr.dir/amr/workload.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/amr/workload.cpp.o.d"
+  "/root/repo/src/capacity/capacity.cpp" "src/CMakeFiles/ssamr.dir/capacity/capacity.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/capacity/capacity.cpp.o.d"
+  "/root/repo/src/cluster/cluster.cpp" "src/CMakeFiles/ssamr.dir/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/cluster/cluster.cpp.o.d"
+  "/root/repo/src/cluster/load_generator.cpp" "src/CMakeFiles/ssamr.dir/cluster/load_generator.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/cluster/load_generator.cpp.o.d"
+  "/root/repo/src/cluster/network.cpp" "src/CMakeFiles/ssamr.dir/cluster/network.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/cluster/network.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/ssamr.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/geom/box.cpp" "src/CMakeFiles/ssamr.dir/geom/box.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/geom/box.cpp.o.d"
+  "/root/repo/src/geom/box_algebra.cpp" "src/CMakeFiles/ssamr.dir/geom/box_algebra.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/geom/box_algebra.cpp.o.d"
+  "/root/repo/src/geom/box_list.cpp" "src/CMakeFiles/ssamr.dir/geom/box_list.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/geom/box_list.cpp.o.d"
+  "/root/repo/src/hash/extendible_hash.cpp" "src/CMakeFiles/ssamr.dir/hash/extendible_hash.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/hash/extendible_hash.cpp.o.d"
+  "/root/repo/src/hdda/hdda.cpp" "src/CMakeFiles/ssamr.dir/hdda/hdda.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/hdda/hdda.cpp.o.d"
+  "/root/repo/src/monitor/forecaster.cpp" "src/CMakeFiles/ssamr.dir/monitor/forecaster.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/monitor/forecaster.cpp.o.d"
+  "/root/repo/src/monitor/monitor_service.cpp" "src/CMakeFiles/ssamr.dir/monitor/monitor_service.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/monitor/monitor_service.cpp.o.d"
+  "/root/repo/src/monitor/sensor.cpp" "src/CMakeFiles/ssamr.dir/monitor/sensor.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/monitor/sensor.cpp.o.d"
+  "/root/repo/src/partition/grace_default.cpp" "src/CMakeFiles/ssamr.dir/partition/grace_default.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/partition/grace_default.cpp.o.d"
+  "/root/repo/src/partition/greedy.cpp" "src/CMakeFiles/ssamr.dir/partition/greedy.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/partition/greedy.cpp.o.d"
+  "/root/repo/src/partition/heterogeneous.cpp" "src/CMakeFiles/ssamr.dir/partition/heterogeneous.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/partition/heterogeneous.cpp.o.d"
+  "/root/repo/src/partition/metrics.cpp" "src/CMakeFiles/ssamr.dir/partition/metrics.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/partition/metrics.cpp.o.d"
+  "/root/repo/src/partition/multiaxis.cpp" "src/CMakeFiles/ssamr.dir/partition/multiaxis.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/partition/multiaxis.cpp.o.d"
+  "/root/repo/src/partition/partitioner.cpp" "src/CMakeFiles/ssamr.dir/partition/partitioner.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/partition/partitioner.cpp.o.d"
+  "/root/repo/src/partition/sfc_heterogeneous.cpp" "src/CMakeFiles/ssamr.dir/partition/sfc_heterogeneous.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/partition/sfc_heterogeneous.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/ssamr.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/CMakeFiles/ssamr.dir/runtime/runtime.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/runtime/runtime.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/ssamr.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/sfc/hilbert.cpp" "src/CMakeFiles/ssamr.dir/sfc/hilbert.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/sfc/hilbert.cpp.o.d"
+  "/root/repo/src/sfc/morton.cpp" "src/CMakeFiles/ssamr.dir/sfc/morton.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/sfc/morton.cpp.o.d"
+  "/root/repo/src/sfc/sfc_index.cpp" "src/CMakeFiles/ssamr.dir/sfc/sfc_index.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/sfc/sfc_index.cpp.o.d"
+  "/root/repo/src/solver/advection.cpp" "src/CMakeFiles/ssamr.dir/solver/advection.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/solver/advection.cpp.o.d"
+  "/root/repo/src/solver/euler.cpp" "src/CMakeFiles/ssamr.dir/solver/euler.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/solver/euler.cpp.o.d"
+  "/root/repo/src/solver/richtmyer_meshkov.cpp" "src/CMakeFiles/ssamr.dir/solver/richtmyer_meshkov.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/solver/richtmyer_meshkov.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/ssamr.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/ssamr.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/ssamr.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/ssamr.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/ssamr.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for ssamr.
+# This may be replaced when dependencies are built.

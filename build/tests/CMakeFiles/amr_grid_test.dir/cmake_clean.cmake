@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amr_grid_test.dir/amr_grid_test.cpp.o"
+  "CMakeFiles/amr_grid_test.dir/amr_grid_test.cpp.o.d"
+  "amr_grid_test"
+  "amr_grid_test.pdb"
+  "amr_grid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amr_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

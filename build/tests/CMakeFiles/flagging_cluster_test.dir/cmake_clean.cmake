@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flagging_cluster_test.dir/flagging_cluster_test.cpp.o"
+  "CMakeFiles/flagging_cluster_test.dir/flagging_cluster_test.cpp.o.d"
+  "flagging_cluster_test"
+  "flagging_cluster_test.pdb"
+  "flagging_cluster_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flagging_cluster_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

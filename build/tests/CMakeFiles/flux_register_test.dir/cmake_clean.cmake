@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flux_register_test.dir/flux_register_test.cpp.o"
+  "CMakeFiles/flux_register_test.dir/flux_register_test.cpp.o.d"
+  "flux_register_test"
+  "flux_register_test.pdb"
+  "flux_register_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flux_register_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geom_algebra_test.dir/geom_algebra_test.cpp.o"
+  "CMakeFiles/geom_algebra_test.dir/geom_algebra_test.cpp.o.d"
+  "geom_algebra_test"
+  "geom_algebra_test.pdb"
+  "geom_algebra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geom_algebra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ghost_interp_test.dir/ghost_interp_test.cpp.o"
+  "CMakeFiles/ghost_interp_test.dir/ghost_interp_test.cpp.o.d"
+  "ghost_interp_test"
+  "ghost_interp_test.pdb"
+  "ghost_interp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ghost_interp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdda_test.dir/hdda_test.cpp.o"
+  "CMakeFiles/hdda_test.dir/hdda_test.cpp.o.d"
+  "hdda_test"
+  "hdda_test.pdb"
+  "hdda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

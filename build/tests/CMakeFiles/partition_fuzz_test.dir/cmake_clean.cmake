@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_fuzz_test.dir/partition_fuzz_test.cpp.o"
+  "CMakeFiles/partition_fuzz_test.dir/partition_fuzz_test.cpp.o.d"
+  "partition_fuzz_test"
+  "partition_fuzz_test.pdb"
+  "partition_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

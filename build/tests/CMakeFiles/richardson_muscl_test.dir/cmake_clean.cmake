@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/richardson_muscl_test.dir/richardson_muscl_test.cpp.o"
+  "CMakeFiles/richardson_muscl_test.dir/richardson_muscl_test.cpp.o.d"
+  "richardson_muscl_test"
+  "richardson_muscl_test.pdb"
+  "richardson_muscl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/richardson_muscl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

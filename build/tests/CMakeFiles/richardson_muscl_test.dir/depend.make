@@ -1,0 +1,2 @@
+# Empty dependencies file for richardson_muscl_test.
+# This may be replaced when dependencies are built.

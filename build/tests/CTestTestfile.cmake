@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_box_test[1]_include.cmake")
+include("/root/repo/build/tests/geom_algebra_test[1]_include.cmake")
+include("/root/repo/build/tests/sfc_test[1]_include.cmake")
+include("/root/repo/build/tests/hash_test[1]_include.cmake")
+include("/root/repo/build/tests/hdda_test[1]_include.cmake")
+include("/root/repo/build/tests/amr_grid_test[1]_include.cmake")
+include("/root/repo/build/tests/hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/flagging_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/ghost_interp_test[1]_include.cmake")
+include("/root/repo/build/tests/integrator_test[1]_include.cmake")
+include("/root/repo/build/tests/richardson_muscl_test[1]_include.cmake")
+include("/root/repo/build/tests/flux_register_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_generator_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/capacity_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/executor_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")

@@ -1,5 +1,6 @@
 #include "amr/hierarchy.hpp"
 
+#include "audit/audit.hpp"
 #include "geom/box_algebra.hpp"
 #include "util/error.hpp"
 
@@ -65,6 +66,10 @@ void GridHierarchy::set_level_boxes(level_t l, const BoxList& boxes) {
       break;
     }
   }
+
+  // Re-audit the whole structure after the mutation: nesting, disjointness
+  // and ghost-storage consistency across every surviving level.
+  SSAMR_AUDIT(audit::Validator{}.validate_hierarchy(*this));
 }
 
 BoxList GridHierarchy::composite_box_list() const {

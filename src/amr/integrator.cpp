@@ -172,8 +172,11 @@ void BergerOliger::regrid_level_above(int l) {
       existed ? std::move(hier_.level(l + 1)) : GridLevel(l + 1, 0, 0);
   hier_.set_level_boxes(l + 1, fine_boxes);
   if (l + 1 >= hier_.num_levels()) return;  // level vanished
+  // set_level_boxes can grow the hierarchy's level array, invalidating
+  // references taken before the call — re-acquire the parent, do not reuse
+  // `parent` from above.
   GridLevel& fresh = hier_.level(l + 1);
-  prolong_level(parent, fresh, hier_.config().ratio, cfg_.prolong);
+  prolong_level(hier_.level(l), fresh, hier_.config().ratio, cfg_.prolong);
   if (existed) copy_overlap(old_level, fresh);
 }
 

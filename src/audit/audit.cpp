@@ -1,0 +1,22 @@
+#include "audit/audit.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/logging.hpp"
+
+namespace ssamr::audit::detail {
+
+void enforce(const AuditReport& report, const char* file, int line) {
+  if (report.clean()) return;
+  if (report.ok()) {
+    SSAMR_DEBUG << file << ":" << line << " " << report.summary();
+    return;
+  }
+  std::ostringstream os;
+  os << "invariant audit failed at " << file << ":" << line << "\n"
+     << report.summary();
+  throw Error(os.str());
+}
+
+}  // namespace ssamr::audit::detail

@@ -1,0 +1,356 @@
+#include "audit/validator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "amr/patch.hpp"
+#include "amr/workload.hpp"
+#include "geom/box_algebra.hpp"
+
+namespace ssamr::audit {
+
+namespace {
+
+std::string str(const Box& b) {
+  std::ostringstream os;
+  os << b;
+  return os.str();
+}
+
+std::string rank_loc(std::size_t k) {
+  return "rank " + std::to_string(k);
+}
+
+std::string level_loc(int l) { return "level " + std::to_string(l); }
+
+bool finite(real_t v) { return std::isfinite(v); }
+
+}  // namespace
+
+AuditReport Validator::validate_hierarchy(const GridHierarchy& h) const {
+  AuditReport r("hierarchy");
+  const HierarchyConfig& cfg = h.config();
+
+  // Level 0 must be exactly the domain.
+  {
+    const BoxList base = h.level(0).box_list();
+    for (const Box& b : base)
+      if (!cfg.domain.contains(b))
+        r.add(Severity::Error, "hierarchy.bounds", level_loc(0),
+              "box " + str(b) + " leaves the domain " + str(cfg.domain));
+    if (base.empty() || !base.covers(cfg.domain))
+      r.add(Severity::Error, "hierarchy.level0", level_loc(0),
+            "level 0 does not cover the domain " + str(cfg.domain));
+  }
+
+  for (int l = 0; l < h.num_levels(); ++l) {
+    const GridLevel& lvl = h.level(l);
+    if (lvl.level() != l)
+      r.add(Severity::Error, "hierarchy.level_index", level_loc(l),
+            "GridLevel carries level " + std::to_string(lvl.level()));
+    if (lvl.ncomp() != cfg.ncomp || lvl.ghost() != cfg.ghost)
+      r.add(Severity::Error, "hierarchy.ghost_config", level_loc(l),
+            "level has ncomp=" + std::to_string(lvl.ncomp()) + " ghost=" +
+                std::to_string(lvl.ghost()) + ", config says ncomp=" +
+                std::to_string(cfg.ncomp) + " ghost=" +
+                std::to_string(cfg.ghost));
+
+    const Box dom = h.domain_at(l);
+    const BoxList boxes = lvl.box_list();
+    for (const Box& b : boxes) {
+      if (b.level() != l)
+        r.add(Severity::Error, "hierarchy.box_level", level_loc(l),
+              "box " + str(b) + " carries level " +
+                  std::to_string(b.level()));
+      if (l > 0 && !dom.contains(b))
+        r.add(Severity::Error, "hierarchy.bounds", level_loc(l),
+              "box " + str(b) + " leaves the domain " + str(dom));
+      if (l >= 1) {
+        // Refined patches come from coarse-cell clusters mapped down by the
+        // refinement ratio, so their faces must lie on coarse-cell
+        // boundaries.
+        const IntVec lo = b.lo(), hi = b.hi();
+        bool aligned = true;
+        for (int d = 0; d < kDim; ++d)
+          aligned = aligned && lo[d] % cfg.ratio == 0 &&
+                    (hi[d] + 1) % cfg.ratio == 0;
+        if (!aligned)
+          r.add(Severity::Warning, "hierarchy.alignment", level_loc(l),
+                "box " + str(b) + " is not aligned to the refinement ratio " +
+                    std::to_string(cfg.ratio));
+        const IntVec ext = b.extent();
+        if (std::min({ext.x, ext.y, ext.z}) < cfg.min_box_size)
+          r.add(Severity::Warning, "hierarchy.min_box", level_loc(l),
+                "box " + str(b) + " is smaller than min_box_size " +
+                    std::to_string(cfg.min_box_size));
+      }
+    }
+
+    // Disjointness, pairwise so the offending pair is reported.
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      for (std::size_t j = i + 1; j < boxes.size(); ++j)
+        if (boxes[i].level() == boxes[j].level() &&
+            boxes[i].intersects(boxes[j]))
+          r.add(Severity::Error, "hierarchy.overlap", level_loc(l),
+                "boxes " + str(boxes[i]) + " and " + str(boxes[j]) +
+                    " overlap");
+
+    if (l >= 2 && !h.properly_nested(l, boxes))
+      r.add(Severity::Error, "hierarchy.nesting", level_loc(l),
+            "level is not properly nested in level " + std::to_string(l - 1));
+
+    // Ghost-region/storage consistency of the patch data.
+    for (std::size_t p = 0; p < lvl.num_patches(); ++p) {
+      const Patch& patch = lvl.patch(p);
+      const std::string loc =
+          level_loc(l) + " patch " + std::to_string(p) + " " +
+          str(patch.box());
+      for (const GridFunction* gf : {&patch.data(), &patch.scratch()}) {
+        if (!gf->allocated()) {
+          r.add(Severity::Error, "hierarchy.ghost", loc,
+                "patch field data is unallocated");
+          continue;
+        }
+        if (gf->box() != patch.box() ||
+            gf->storage_box() != patch.box().grown(gf->ghost()))
+          r.add(Severity::Error, "hierarchy.ghost", loc,
+                "field storage does not match the patch box grown by the "
+                "ghost width");
+        if (gf->ncomp() != cfg.ncomp || gf->ghost() != cfg.ghost)
+          r.add(Severity::Error, "hierarchy.ghost", loc,
+                "field has ncomp=" + std::to_string(gf->ncomp()) +
+                    " ghost=" + std::to_string(gf->ghost()) +
+                    ", config says ncomp=" + std::to_string(cfg.ncomp) +
+                    " ghost=" + std::to_string(cfg.ghost));
+      }
+    }
+  }
+  return r;
+}
+
+AuditReport Validator::validate_partition(
+    const BoxList& input, const PartitionResult& result,
+    const std::vector<real_t>& capacities, const WorkModel& work,
+    const PartitionConstraints& constraints) const {
+  AuditReport r("partition");
+  const std::size_t nranks = capacities.size();
+  if (nranks == 0) {
+    r.add(Severity::Error, "partition.shape", "",
+          "capacity vector is empty");
+    return r;
+  }
+  if (result.assigned_work.size() != nranks ||
+      result.target_work.size() != nranks) {
+    r.add(Severity::Error, "partition.shape", "",
+          "assigned_work/target_work sized " +
+              std::to_string(result.assigned_work.size()) + "/" +
+              std::to_string(result.target_work.size()) + " for " +
+              std::to_string(nranks) + " capacities");
+    return r;
+  }
+
+  // Owners in range, no degenerate pieces.
+  for (const BoxAssignment& a : result.assignments) {
+    if (a.owner < 0 || a.owner >= static_cast<rank_t>(nranks))
+      r.add(Severity::Error, "partition.ranks", str(a.box),
+            "owner " + std::to_string(a.owner) + " outside 0.." +
+                std::to_string(nranks - 1));
+    if (a.box.empty())
+      r.add(Severity::Error, "partition.empty_box", str(a.box),
+            "assignment contains an empty box");
+  }
+
+  // No two same-level pieces may overlap.
+  for (std::size_t i = 0; i < result.assignments.size(); ++i)
+    for (std::size_t j = i + 1; j < result.assignments.size(); ++j) {
+      const Box& a = result.assignments[i].box;
+      const Box& b = result.assignments[j].box;
+      if (a.level() == b.level() && a.intersects(b))
+        r.add(Severity::Error, "partition.overlap", str(a),
+              "overlaps assigned box " + str(b));
+    }
+
+  // Each piece must lie inside exactly one input box; split pieces must
+  // respect the minimum box size and the aspect-ratio bound reachable by
+  // legal splitting (longest input extent over the smallest admissible
+  // extent).
+  for (const BoxAssignment& a : result.assignments) {
+    if (a.box.empty()) continue;
+    const Box* parent = nullptr;
+    for (const Box& in : input)
+      if (in.level() == a.box.level() && in.contains(a.box)) {
+        parent = &in;
+        break;
+      }
+    if (parent == nullptr) {
+      r.add(Severity::Error, "partition.containment", str(a.box),
+            "piece is not contained in any input box");
+      continue;
+    }
+    if (a.box == *parent) continue;  // whole-box assignment, always legal
+    const IntVec ext = a.box.extent();
+    const IntVec in_ext = parent->extent();
+    for (int d = 0; d < kDim; ++d)
+      if (ext[d] < std::min(constraints.min_box_size, in_ext[d]))
+        r.add(Severity::Error, "partition.min_box", str(a.box),
+              "extent " + std::to_string(ext[d]) + " along axis " +
+                  std::to_string(d) + " violates min_box_size " +
+                  std::to_string(constraints.min_box_size) + " (input " +
+                  str(*parent) + ")");
+    const coord_t in_longest = std::max({in_ext.x, in_ext.y, in_ext.z});
+    const coord_t in_shortest = std::min({in_ext.x, in_ext.y, in_ext.z});
+    const coord_t admissible = std::min(constraints.min_box_size, in_shortest);
+    if (admissible > 0) {
+      const real_t bound = static_cast<real_t>(in_longest) /
+                           static_cast<real_t>(admissible);
+      if (a.box.aspect_ratio() > bound * cfg_.aspect_slack)
+        r.add(Severity::Error, "partition.aspect_ratio", str(a.box),
+              "aspect ratio " + std::to_string(a.box.aspect_ratio()) +
+                  " exceeds the bound " + std::to_string(bound) +
+                  " of legal splits of " + str(*parent));
+    }
+  }
+
+  // Full coverage: every input cell is assigned (given the overlap check,
+  // exactly once).
+  for (const Box& in : input) {
+    std::vector<Box> pieces;
+    for (const BoxAssignment& a : result.assignments)
+      if (a.box.level() == in.level() && a.box.intersects(in))
+        pieces.push_back(a.box.intersection(in));
+    if (!box_difference(in, pieces).empty())
+      r.add(Severity::Error, "partition.coverage", str(in),
+            "input box is not fully covered by assigned pieces");
+  }
+
+  // Work bookkeeping: W_k must equal the work of rank k's pieces, and the
+  // total must equal the input work.
+  const real_t total = total_work(input, work);
+  std::vector<real_t> recomputed(nranks, 0);
+  for (const BoxAssignment& a : result.assignments)
+    if (a.owner >= 0 && a.owner < static_cast<rank_t>(nranks))
+      recomputed[static_cast<std::size_t>(a.owner)] += box_work(a.box, work);
+  real_t assigned_sum = 0;
+  const real_t work_tol = std::max(total, real_t{1}) * cfg_.work_rel_tolerance;
+  for (std::size_t k = 0; k < nranks; ++k) {
+    if (!finite(result.assigned_work[k]) || result.assigned_work[k] < 0)
+      r.add(Severity::Error, "partition.work_bookkeeping", rank_loc(k),
+            "assigned work is negative or non-finite");
+    else if (std::abs(result.assigned_work[k] - recomputed[k]) > work_tol)
+      r.add(Severity::Error, "partition.work_bookkeeping", rank_loc(k),
+            "assigned_work " + std::to_string(result.assigned_work[k]) +
+                " does not match the work of the rank's pieces " +
+                std::to_string(recomputed[k]));
+    assigned_sum += result.assigned_work[k];
+  }
+  if (std::abs(assigned_sum - total) > work_tol)
+    r.add(Severity::Error, "partition.work_sum", "",
+          "assigned work sums to " + std::to_string(assigned_sum) +
+              ", input work is " + std::to_string(total));
+
+  // Load tracking (soft): W_k should stay near L_k, and L_k near C_k · L
+  // (Eq. 1).  Deviations are expected — box granularity, the remainder
+  // absorbed by the last rank, capacity-blind baselines — so these warn.
+  const real_t mean_target =
+      std::max(total / static_cast<real_t>(nranks), real_t{1e-12});
+  for (std::size_t k = 0; k < nranks; ++k) {
+    const real_t target = result.target_work[k];
+    if (!finite(target) || target < 0) {
+      r.add(Severity::Error, "partition.work_bookkeeping", rank_loc(k),
+            "target work is negative or non-finite");
+      continue;
+    }
+    if (std::abs(result.assigned_work[k] - target) >
+        cfg_.load_rel_tolerance * mean_target)
+      r.add(Severity::Warning, "partition.load_tracking", rank_loc(k),
+            "assigned work " + std::to_string(result.assigned_work[k]) +
+                " is far from the target " + std::to_string(target));
+    if (std::abs(target - capacities[k] * total) >
+        cfg_.load_rel_tolerance * mean_target)
+      r.add(Severity::Warning, "partition.target_capacity", rank_loc(k),
+            "target " + std::to_string(target) +
+                " is far from the capacity share C_k * L = " +
+                std::to_string(capacities[k] * total));
+  }
+  return r;
+}
+
+AuditReport Validator::validate_capacities(
+    const std::vector<real_t>& capacities) const {
+  AuditReport r("capacities");
+  if (capacities.empty()) {
+    r.add(Severity::Error, "capacity.size", "", "capacity vector is empty");
+    return r;
+  }
+  real_t sum = 0;
+  for (std::size_t k = 0; k < capacities.size(); ++k) {
+    const real_t c = capacities[k];
+    if (!finite(c) || c < -cfg_.capacity_tolerance ||
+        c > 1 + cfg_.capacity_tolerance)
+      r.add(Severity::Error, "capacity.range", rank_loc(k),
+            "C_k = " + std::to_string(c) + " outside [0, 1]");
+    else
+      sum += c;
+  }
+  if (r.ok() && std::abs(sum - 1) > cfg_.capacity_tolerance)
+    r.add(Severity::Error, "capacity.normalization", "",
+          "capacities sum to " + std::to_string(sum) +
+              ", Eq. 1 requires 1");
+  return r;
+}
+
+AuditReport Validator::validate_capacities(
+    const std::vector<real_t>& capacities,
+    const CapacityWeights& weights) const {
+  AuditReport r = validate_capacities(capacities);
+  if (!weights.valid())
+    r.add(Severity::Error, "capacity.weights", "",
+          "weights (" + std::to_string(weights.cpu) + ", " +
+              std::to_string(weights.memory) + ", " +
+              std::to_string(weights.bandwidth) +
+              ") must be non-negative and sum to 1");
+  return r;
+}
+
+AuditReport Validator::validate_node_state(const NodeSpec& spec,
+                                           const NodeState& state,
+                                           const std::string& location) const {
+  AuditReport r("cluster");
+  const real_t tol = cfg_.capacity_tolerance;
+  if (!(spec.peak_rate > 0) || !(spec.memory_mb > 0) ||
+      !(spec.bandwidth_mbps > 0))
+    r.add(Severity::Error, "cluster.spec", location,
+          "node spec has non-positive peak rate, memory or bandwidth");
+  if (!finite(state.cpu_available) || state.cpu_available < -tol ||
+      state.cpu_available > 1 + tol)
+    r.add(Severity::Error, "cluster.availability", location,
+          "cpu availability " + std::to_string(state.cpu_available) +
+              " outside [0, 1]");
+  if (!finite(state.memory_free_mb) || state.memory_free_mb < -tol ||
+      state.memory_free_mb > spec.memory_mb + tol)
+    r.add(Severity::Error, "cluster.memory", location,
+          "free memory " + std::to_string(state.memory_free_mb) +
+              " outside [0, " + std::to_string(spec.memory_mb) + "]");
+  // The network model never reports below 1 Mbit/s, so links slower than
+  // that legitimately "exceed" their spec by the clamp amount.
+  const real_t bw_cap = std::max(spec.bandwidth_mbps, real_t{1});
+  if (!finite(state.bandwidth_mbps) || !(state.bandwidth_mbps > 0) ||
+      state.bandwidth_mbps > bw_cap + tol)
+    r.add(Severity::Error, "cluster.bandwidth", location,
+          "bandwidth " + std::to_string(state.bandwidth_mbps) +
+              " outside (0, " + std::to_string(bw_cap) + "]");
+  return r;
+}
+
+AuditReport Validator::validate_cluster(const Cluster& cluster,
+                                        real_t t) const {
+  AuditReport r("cluster");
+  for (rank_t k = 0; k < cluster.size(); ++k)
+    r.merge(validate_node_state(cluster.spec(k), cluster.state_at(k, t),
+                                rank_loc(static_cast<std::size_t>(k)) +
+                                    " at t=" + std::to_string(t)));
+  return r;
+}
+
+}  // namespace ssamr::audit

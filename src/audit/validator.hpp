@@ -1,0 +1,91 @@
+#pragma once
+/// \file validator.hpp
+/// Runtime invariant audits over the core data structures.
+///
+/// The paper's correctness rests on structural invariants that the library
+/// enforces locally (SSAMR_REQUIRE at mutation time) but never re-checks
+/// globally: relative capacities must satisfy Σ C_k = 1 (Eq. 1), assigned
+/// work must track L_k = C_k · L, box splitting must respect the minimum
+/// box size and the aspect-ratio bound along the longest axis, and the grid
+/// hierarchy must stay properly nested, disjoint and ratio-aligned.  The
+/// Validator re-derives each invariant from the data alone and reports every
+/// violation in a structured AuditReport instead of throwing, so corrupted
+/// states can be inspected whole.
+///
+/// Use the SSAMR_AUDIT hook (audit.hpp) to enforce a report at a call site
+/// in Debug/audit builds, or call the validators explicitly from tests and
+/// drivers.
+
+#include <string>
+#include <vector>
+
+#include "amr/hierarchy.hpp"
+#include "audit/report.hpp"
+#include "capacity/capacity.hpp"
+#include "cluster/cluster.hpp"
+#include "geom/box_list.hpp"
+#include "partition/partitioner.hpp"
+#include "util/types.hpp"
+
+namespace ssamr::audit {
+
+/// Tolerances of the audit checks.
+struct AuditConfig {
+  /// Allowed deviation of Σ C_k from 1 and of any C_k outside [0, 1].
+  real_t capacity_tolerance = 1e-6;
+  /// Relative tolerance of exact bookkeeping identities (work sums).
+  real_t work_rel_tolerance = 1e-6;
+  /// Per-rank deviation of assigned from target work beyond which a
+  /// load-tracking warning is issued, as a fraction of the mean target.
+  real_t load_rel_tolerance = 0.5;
+  /// Multiplicative slack on the aspect-ratio bound (numerical headroom).
+  real_t aspect_slack = 1.0 + 1e-9;
+};
+
+/// Re-derives structural invariants and reports violations.
+class Validator {
+ public:
+  explicit Validator(AuditConfig cfg = {}) : cfg_(cfg) {}
+
+  const AuditConfig& config() const { return cfg_; }
+
+  /// Audit the grid hierarchy: per-level box/level agreement, domain
+  /// bounds, disjointness, proper nesting (l >= 2), refinement-ratio
+  /// alignment and minimum box size (warnings), and ghost-region/storage
+  /// consistency of every patch against the hierarchy configuration.
+  AuditReport validate_hierarchy(const GridHierarchy& h) const;
+
+  /// Audit one partitioning pass against its input: full coverage of every
+  /// input box by same-level pieces, no overlap among pieces, owners in
+  /// range, minimum box size and aspect-ratio bound for split pieces, work
+  /// bookkeeping identities, and capacity-proportional load tracking
+  /// (W_k vs L_k and L_k vs C_k · L, warnings).
+  AuditReport validate_partition(const BoxList& input,
+                                 const PartitionResult& result,
+                                 const std::vector<real_t>& capacities,
+                                 const WorkModel& work,
+                                 const PartitionConstraints& constraints =
+                                     PartitionConstraints{}) const;
+
+  /// Audit a relative-capacity vector: non-empty, every C_k finite and in
+  /// [0, 1], and Σ C_k = 1 within tolerance (Eq. 1).
+  AuditReport validate_capacities(const std::vector<real_t>& capacities) const;
+
+  /// As above, plus the Eq. 1 weight constraints (non-negative, sum 1).
+  AuditReport validate_capacities(const std::vector<real_t>& capacities,
+                                  const CapacityWeights& weights) const;
+
+  /// Audit one node's spec and instantaneous state: positive peak rate,
+  /// availability in [0, 1], free memory within [0, spec memory],
+  /// deliverable bandwidth positive and within the link capacity.
+  AuditReport validate_node_state(const NodeSpec& spec, const NodeState& state,
+                                  const std::string& location) const;
+
+  /// Audit the whole cluster's true state at virtual time t.
+  AuditReport validate_cluster(const Cluster& cluster, real_t t) const;
+
+ private:
+  AuditConfig cfg_;
+};
+
+}  // namespace ssamr::audit

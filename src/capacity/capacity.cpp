@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "audit/audit.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -58,6 +59,7 @@ std::vector<real_t> CapacityCalculator::relative_capacities(
   // Renormalize: when a resource total is zero its column drops out, so the
   // weighted sum can fall short of 1.
   for (auto& c : cap) c /= sum;
+  SSAMR_AUDIT(audit::Validator{}.validate_capacities(cap, weights_));
   return cap;
 }
 

@@ -22,6 +22,8 @@
 #include "amr/richardson.hpp"       // IWYU pragma: export
 #include "amr/trace_generator.hpp"  // IWYU pragma: export
 #include "amr/workload.hpp"         // IWYU pragma: export
+#include "audit/audit.hpp"          // IWYU pragma: export
+#include "audit/validator.hpp"      // IWYU pragma: export
 #include "capacity/capacity.hpp"    // IWYU pragma: export
 #include "cluster/cluster.hpp"      // IWYU pragma: export
 #include "geom/box.hpp"             // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "monitor/monitor_service.hpp"
 
+#include "audit/audit.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -45,6 +46,9 @@ std::vector<ResourceEstimate> ResourceMonitor::probe_all(real_t t,
   out.reserve(static_cast<std::size_t>(cluster_.size()));
   for (rank_t r = 0; r < cluster_.size(); ++r) out.push_back(probe(r, t));
   if (overhead_s != nullptr) *overhead_s = sweep_cost();
+  // The probed truth must itself be consistent: availabilities in [0, 1],
+  // free memory and bandwidth within each node's spec.
+  SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));
   return out;
 }
 

@@ -28,6 +28,8 @@ class GraceDefaultPartitioner final : public Partitioner {
 
   std::string name() const override { return "ACEComposite"; }
 
+  PartitionConstraints constraints() const override { return constraints_; }
+
  private:
   SfcConfig sfc_;
   PartitionConstraints constraints_;

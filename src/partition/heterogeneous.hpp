@@ -26,6 +26,8 @@ class HeterogeneousPartitioner final : public Partitioner {
 
   std::string name() const override { return "ACEHeterogeneous"; }
 
+  PartitionConstraints constraints() const override { return constraints_; }
+
  private:
   PartitionConstraints constraints_;
 };

@@ -28,6 +28,8 @@ class MultiAxisPartitioner final : public Partitioner {
 
   std::string name() const override { return "ACEHeterogeneousMultiAxis"; }
 
+  PartitionConstraints constraints() const override { return constraints_; }
+
  private:
   PartitionConstraints constraints_;
 };

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <deque>
 #include <limits>
+#include <numeric>
 
+#include "audit/audit.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -154,6 +156,19 @@ PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
       ++p;
     }
   }
+
+  // Self-audit the walk in Debug/audit builds: coverage, disjointness and
+  // split legality against the capacities implied by the targets.
+  SSAMR_AUDIT([&] {
+    const real_t sum =
+        std::accumulate(targets.begin(), targets.end(), real_t{0});
+    std::vector<real_t> caps(nproc, real_t{1} / static_cast<real_t>(nproc));
+    if (sum > 0)
+      for (std::size_t q = 0; q < nproc; ++q)
+        caps[static_cast<std::size_t>(proc_order[q])] = targets[q] / sum;
+    return audit::Validator{}.validate_partition(
+        BoxList(ordered_boxes), result, caps, work, constraints);
+  }());
   return result;
 }
 

@@ -71,6 +71,13 @@ class Partitioner {
 
   /// Identifier for reporting (e.g. "ACEComposite", "ACEHeterogeneous").
   virtual std::string name() const = 0;
+
+  /// The splitting constraints this partitioner honours.  Audits
+  /// (audit/validator.hpp) check partition results against these; the
+  /// default matches the paper's constraints.
+  virtual PartitionConstraints constraints() const {
+    return PartitionConstraints{};
+  }
 };
 
 /// Split `b` so that the first piece's work is as close as possible to

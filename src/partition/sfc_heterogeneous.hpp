@@ -30,6 +30,8 @@ class SfcHeterogeneousPartitioner final : public Partitioner {
 
   std::string name() const override { return "ACECompositeHeterogeneous"; }
 
+  PartitionConstraints constraints() const override { return constraints_; }
+
  private:
   SfcConfig sfc_;
   PartitionConstraints constraints_;

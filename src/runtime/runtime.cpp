@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "audit/audit.hpp"
 #include "partition/metrics.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
@@ -55,6 +56,8 @@ RunTrace AdaptiveRuntime::run() {
   real_t sweep_cost = 0;
   auto estimates = monitor_.probe_all(t, &sweep_cost);
   std::vector<real_t> capacities = capacity_.relative_capacities(estimates);
+  SSAMR_AUDIT(audit::Validator{}.validate_capacities(capacities,
+                                                     cfg_.weights));
   if (cfg_.sensing.charge_initial_sweep) {
     t += sweep_cost;
     trace.sense_time += sweep_cost;
@@ -92,6 +95,10 @@ RunTrace AdaptiveRuntime::run() {
       SSAMR_REQUIRE(!boxes.empty(), "workload source produced no boxes");
       PartitionResult next =
           partitioner_.partition(boxes, capacities, cfg_.work);
+      // Audit every regrid's distribution before acting on it: coverage,
+      // disjointness, split legality and Eq. 1 work tracking.
+      SSAMR_AUDIT(audit::Validator{}.validate_partition(
+          boxes, next, capacities, cfg_.work, partitioner_.constraints()));
 
       const real_t t_regrid = executor_.regrid_time(boxes.size()) +
                               executor_.partition_time(boxes.size());

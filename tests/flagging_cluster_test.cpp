@@ -168,7 +168,9 @@ TEST_P(BrEfficiencyTest, InvariantsHoldOnLShape) {
   std::int64_t covered = 0;
   for (const Box& b : boxes) covered += b.cells();
   const auto nflags = static_cast<std::int64_t>(flags.size());
-  if (eff >= 0.9) EXPECT_LE(covered, nflags * 2);
+  if (eff >= 0.9) {
+    EXPECT_LE(covered, nflags * 2);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(EfficiencySweep, BrEfficiencyTest,

@@ -6,6 +6,7 @@
 #include <memory>
 #include <numeric>
 
+#include "audit/validator.hpp"
 #include "geom/box_algebra.hpp"
 #include "partition/grace_default.hpp"
 #include "partition/greedy.hpp"
@@ -104,6 +105,23 @@ TEST_P(PartitionerFuzzTest, InvariantsOnRandomWorkloads) {
       ASSERT_TRUE(box_difference(in, pieces).empty())
           << "trial " << trial << " box " << in;
     }
+  }
+}
+
+TEST_P(PartitionerFuzzTest, OutputsPassTheInvariantAudit) {
+  auto partitioner = make();
+  Rng rng(0xbead + std::hash<std::string>{}(GetParam()));
+  const WorkModel work;
+  const audit::Validator validator;
+  for (int trial = 0; trial < 50; ++trial) {
+    const BoxList boxes = random_workload(rng);
+    const auto caps = random_capacities(rng);
+    ASSERT_TRUE(validator.validate_capacities(caps).ok());
+    const PartitionResult r = partitioner->partition(boxes, caps, work);
+    const audit::AuditReport report = validator.validate_partition(
+        boxes, r, caps, work, partitioner->constraints());
+    ASSERT_TRUE(report.ok())
+        << "trial " << trial << ": " << report.summary();
   }
 }
 

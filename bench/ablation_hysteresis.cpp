@@ -9,21 +9,24 @@
 /// Table III dynamics with frequent sensing and noisy sensors.
 
 #include <iostream>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace ssamr;
 
 namespace {
 
-RunTrace run_with_threshold(real_t threshold, real_t tau, real_t noise) {
+RunTrace run_with_threshold(real_t threshold, real_t tau, real_t noise,
+                            int iterations) {
   Cluster cluster = exp::paper_cluster(4);
   exp::apply_dynamic_loads(cluster, tau);
   TraceWorkloadSource source(exp::paper_trace_config());
   HeterogeneousPartitioner het;
-  RuntimeConfig cfg = exp::paper_runtime_config(/*iterations=*/200,
+  RuntimeConfig cfg = exp::paper_runtime_config(iterations,
                                                 /*sensing_interval=*/10);
   cfg.sensing.capacity_change_threshold = threshold;
   cfg.monitor.noise.cpu_sigma = noise;
@@ -39,13 +42,22 @@ int main() {
                "(sensing every 10 iterations, noisy sensors) ===\n\n";
 
   const real_t noise = 0.10;
-  const real_t tau = exp::calibrate_timescale(4, 200, 10);
+  const int iterations = exp::run_iterations(200);
+  const real_t tau = exp::calibrate_timescale(4, iterations, 10);
 
   Table t({"threshold", "total (s)", "migrate (s)", "compute (s)"});
-  CsvWriter csv("ablation_hysteresis.csv",
+  CsvWriter csv(exp::results_path("ablation_hysteresis.csv"),
                 {"threshold", "total_s", "migrate_s", "compute_s"});
-  for (real_t theta : {0.0, 0.05, 0.10, 0.20, 0.50, 2.0}) {
-    const RunTrace trace = run_with_threshold(theta, tau, noise);
+  // The six threshold sweeps are independent runs over the same load
+  // script; run them in parallel, emit rows in fixed order.
+  const std::vector<real_t> thetas{0.0, 0.05, 0.10, 0.20, 0.50, 2.0};
+  std::vector<RunTrace> traces(thetas.size());
+  ThreadPool::global().parallel_for(thetas.size(), [&](std::size_t i) {
+    traces[i] = run_with_threshold(thetas[i], tau, noise, iterations);
+  });
+  for (std::size_t i = 0; i < thetas.size(); ++i) {
+    const real_t theta = thetas[i];
+    const RunTrace& trace = traces[i];
     t.add_row({fmt(theta, 2), fmt(trace.total_time, 1),
                fmt(trace.migrate_time, 1), fmt(trace.compute_time, 1)});
     csv.add_row({fmt(theta, 2), fmt(trace.total_time, 2),
@@ -55,6 +67,6 @@ int main() {
   std::cout << "Expected shape: an interior optimum — small thresholds "
                "migrate data chasing noise,\nhuge thresholds never adopt "
                "real load changes (compute blows up).\nraw series written "
-               "to ablation_hysteresis.csv\n";
+               "to results/ablation_hysteresis.csv\n";
   return 0;
 }

@@ -36,7 +36,7 @@ int main() {
   schemes.push_back(std::make_unique<GreedyPartitioner>());
 
   Table t({"scheme", "effective imbalance", "comm cells/step", "splits"});
-  CsvWriter csv("ablation_locality.csv",
+  CsvWriter csv(exp::results_path("ablation_locality.csv"),
                 {"scheme", "imbalance_pct", "comm_cells", "splits",
                  "exec_time_s"});
 
@@ -86,6 +86,6 @@ int main() {
          "most; the composite\nbaseline communicates least but ignores "
          "capacities; the hybrid sits between on comm while\nmatching the "
          "heterogeneous balance — and wins (or ties) on execution time.\n"
-         "raw series written to ablation_locality.csv\n";
+         "raw series written to results/ablation_locality.csv\n";
   return 0;
 }

@@ -82,7 +82,7 @@ void run_workload(const char* name, const std::vector<BoxList>& epochs,
 int main() {
   std::cout << "=== Ablation: longest-axis-only vs multi-axis box "
                "splitting (paper §8 future work) ===\n\n";
-  CsvWriter csv("ablation_multiaxis.csv",
+  CsvWriter csv(exp::results_path("ablation_multiaxis.csv"),
                 {"workload", "min_box_size", "single_pct", "multi_pct"});
   run_workload("paper trace, coarse clustering", coarse_trace_epochs(6),
                csv);
@@ -91,6 +91,6 @@ int main() {
       << "Expected shape: the multi-axis variant never increases the "
          "effective imbalance, and the gap\nwidens as the workload "
          "coarsens — the paper's predicted benefit of finer granularity.\n"
-         "raw series written to ablation_multiaxis.csv\n";
+         "raw series written to results/ablation_multiaxis.csv\n";
   return 0;
 }

@@ -104,7 +104,8 @@ int main() {
 
   Table t({"application \\ weights", "equal", "cpu-weighted",
            "memory-weighted", "comm-weighted", "best", "paper-matched"});
-  CsvWriter csv("ablation_weights.csv", {"profile", "weights", "time_s"});
+  CsvWriter csv(exp::results_path("ablation_weights.csv"),
+                {"profile", "weights", "time_s"});
 
   for (const Profile& profile : make_profiles()) {
     std::vector<std::string> row{profile.name};
@@ -129,6 +130,6 @@ int main() {
                "profile matched to the application's dominant resource "
                "demand\nis at or near the per-row minimum — the paper's "
                "§8 conjecture.\nraw series written to "
-               "ablation_weights.csv\n";
+               "results/ablation_weights.csv\n";
   return 0;
 }

@@ -24,7 +24,7 @@ int main() {
   const auto caps = exp::reference_capacities4();
   SyntheticAmrTrace trace(exp::paper_trace_config());
   const WorkModel work;
-  CsvWriter csv("fig10.csv",
+  CsvWriter csv(exp::results_path("fig10.csv"),
                 {"min_box_size", "regrid", "default_pct", "system_pct"});
 
   // The residual imbalance of the system-sensitive scheme comes from the
@@ -70,6 +70,7 @@ int main() {
               << fmt_pct(1.0 - sum_het / sum_def)
               << " (paper: \"up to 45% lower\")\n\n";
   }
-  std::cout << "raw series written to fig10.csv\n";
+  std::cout << "raw series written to " << exp::results_path("fig10.csv")
+            << "\n";
   return 0;
 }

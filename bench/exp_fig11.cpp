@@ -22,7 +22,7 @@ int main() {
 
   // ~30 regrids at regrid_interval 5 => 150 iterations; sensing every 50
   // iterations yields exactly two mid-run samplings.
-  const int iterations = 150;
+  const int iterations = exp::run_iterations(150);
   const int sensing = 50;
   const real_t tau = exp::calibrate_timescale(4, iterations, sensing);
 
@@ -44,7 +44,8 @@ int main() {
 
   std::cout << "work-load assignment per regrid:\n";
   Table t({"regrid", "proc 0", "proc 1", "proc 2", "proc 3"});
-  CsvWriter csv("fig11.csv", {"regrid", "proc", "work", "capacity"});
+  CsvWriter csv(exp::results_path("fig11.csv"),
+                {"regrid", "proc", "work", "capacity"});
   for (const RegridRecord& r : trace.regrids) {
     t.add_row({std::to_string(r.regrid_index), fmt(r.assigned_work[0], 0),
                fmt(r.assigned_work[1], 0), fmt(r.assigned_work[2], 0),
@@ -60,6 +61,6 @@ int main() {
       << "Expected shape: assignments re-proportion after each sampling as "
          "the capacities change;\nbetween samplings the proportions hold "
          "while the total work drifts with the adapting hierarchy.\n"
-         "raw series written to fig11.csv\n";
+         "raw series written to results/fig11.csv\n";
   return 0;
 }

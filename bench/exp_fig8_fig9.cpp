@@ -47,7 +47,8 @@ void run_scheme(const Partitioner& partitioner, const char* figure,
 int main() {
   std::cout << "=== Figures 8 & 9: per-processor work-load assignment vs "
                "regrid number ===\n\n";
-  CsvWriter csv("fig8_fig9.csv", {"scheme", "regrid", "proc", "work"});
+  CsvWriter csv(exp::results_path("fig8_fig9.csv"),
+                {"scheme", "regrid", "proc", "work"});
 
   GraceDefaultPartitioner def;
   HeterogeneousPartitioner het;
@@ -58,6 +59,6 @@ int main() {
                "(equal work irrespective of capacity);\n"
                "the system-sensitive curves are ordered by capacity, "
                "proc 3 > proc 2 > proc 1 > proc 0.\n"
-               "raw series written to fig8_fig9.csv\n";
+               "raw series written to results/fig8_fig9.csv\n";
   return 0;
 }

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <future>
+#include <iterator>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ssamr {
 
@@ -141,6 +144,28 @@ void cluster_recursive(std::vector<IntVec>& pts, std::size_t lo,
   const auto mid = static_cast<std::size_t>(mid_it - pts.begin());
   if (mid == lo || mid == hi) {
     out.push_back(b);  // degenerate cut (all flags on one side)
+    return;
+  }
+
+  // Fork-join over the two disjoint spans when the left half is big
+  // enough to pay for a task.  Each side writes its own vector; appending
+  // left-then-right reproduces the serial depth-first output order
+  // exactly, so box lists are bit-identical at any thread count.
+  constexpr std::size_t kForkThreshold = 1024;
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.worker_count() > 0 && mid - lo >= kForkThreshold) {
+    std::vector<Box> left;
+    std::future<void> fut = pool.async([&pts, lo, mid, level, &cfg, depth,
+                                        &left] {
+      cluster_recursive(pts, lo, mid, level, cfg, depth + 1, left);
+    });
+    std::vector<Box> right;
+    cluster_recursive(pts, mid, hi, level, cfg, depth + 1, right);
+    pool.wait(fut);
+    out.insert(out.end(), std::make_move_iterator(left.begin()),
+               std::make_move_iterator(left.end()));
+    out.insert(out.end(), std::make_move_iterator(right.begin()),
+               std::make_move_iterator(right.end()));
     return;
   }
   cluster_recursive(pts, lo, mid, level, cfg, depth + 1, out);

@@ -20,6 +20,9 @@ namespace ssamr {
 /// Face fluxes of one patch, all three axes.
 class FaceFluxes {
  public:
+  /// Empty fluxes (no storage) — a placeholder slot to be assigned later.
+  FaceFluxes() = default;
+
   /// Allocate zeroed flux storage for a patch over `cell_box`.
   FaceFluxes(const Box& cell_box, int ncomp) : cell_box_(cell_box) {
     for (int d = 0; d < kDim; ++d) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ssamr {
 
@@ -15,7 +16,13 @@ GradientFlagger::GradientFlagger(int component, real_t tol)
 
 void GradientFlagger::flag_level(const GridLevel& lvl,
                                  std::vector<IntVec>& flags) const {
-  for (const Patch& p : lvl.patches()) {
+  // Patches are scanned independently into per-patch buffers which are
+  // concatenated in patch order — the flag sequence is bit-identical to
+  // the serial single-vector scan at any thread count.
+  std::vector<std::vector<IntVec>> per_patch(lvl.num_patches());
+  ThreadPool::global().parallel_for(lvl.num_patches(), [&](std::size_t pi) {
+    const Patch& p = lvl.patch(pi);
+    std::vector<IntVec>& out = per_patch[pi];
     const GridFunction& u = p.data();
     SSAMR_REQUIRE(component_ < u.ncomp(), "component out of range");
     const Box& b = p.box();
@@ -42,11 +49,13 @@ void GradientFlagger::flag_level(const GridLevel& lvl,
                                    u(component_, i, j, km)) /
                               static_cast<real_t>(std::max<coord_t>(
                                   kp - km, 1)));
-          if (g > tol_) flags.emplace_back(i, j, k);
+          if (g > tol_) out.emplace_back(i, j, k);
         }
       }
     }
-  }
+  });
+  for (const std::vector<IntVec>& buf : per_patch)
+    flags.insert(flags.end(), buf.begin(), buf.end());
 }
 
 std::vector<IntVec> buffer_flags(const std::vector<IntVec>& flags,

@@ -8,6 +8,7 @@
 #include "geom/box_algebra.hpp"
 #include "util/error.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ssamr {
 
@@ -32,15 +33,22 @@ real_t BergerOliger::dx_at(level_t l) const {
 
 void BergerOliger::initialize() {
   // Initial data on the base level, then build finer levels by repeated
-  // flagging until the hierarchy stops deepening.
-  for (Patch& p : hier_.level(0).patches()) op_.initialize(p, dx_at(0));
+  // flagging until the hierarchy stops deepening.  Patches are independent,
+  // so initial data is set in parallel.
+  auto init_level = [this](int l) {
+    GridLevel& lvl = hier_.level(l);
+    const real_t dx = dx_at(static_cast<level_t>(l));
+    ThreadPool::global().parallel_for(
+        lvl.num_patches(),
+        [&](std::size_t i) { op_.initialize(lvl.patch(i), dx); });
+  };
+  init_level(0);
   for (int pass = 0; pass < hier_.config().max_levels - 1; ++pass) {
     const int before = hier_.num_levels();
     regrid();
     // Newly created levels got data by prolongation; overwrite with exact
     // initial conditions for a clean start.
-    for (int l = 1; l < hier_.num_levels(); ++l)
-      for (Patch& p : hier_.level(l).patches()) op_.initialize(p, dx_at(l));
+    for (int l = 1; l < hier_.num_levels(); ++l) init_level(l);
     if (hier_.num_levels() == before) break;
   }
 }
@@ -48,9 +56,14 @@ void BergerOliger::initialize() {
 real_t BergerOliger::compute_dt() const {
   real_t dt0 = std::numeric_limits<real_t>::infinity();
   for (int l = 0; l < hier_.num_levels(); ++l) {
-    real_t speed = 0;
-    for (const Patch& p : hier_.level(l).patches())
-      speed = std::max(speed, op_.max_wave_speed(p));
+    // Fixed-order max over the patches: the reduction is evaluated per
+    // patch in parallel and combined in patch order, so the result is
+    // bit-identical to the serial loop.
+    const GridLevel& lvl = hier_.level(l);
+    const real_t speed = ThreadPool::global().transform_reduce_ordered(
+        lvl.num_patches(), real_t{0},
+        [&](std::size_t i) { return op_.max_wave_speed(lvl.patch(i)); },
+        [](real_t a, real_t b) { return std::max(a, b); });
     if (speed <= 0) continue;
     // A level-l step is dt0 / ratio^l; require cfl at every level.
     real_t scale = 1;
@@ -103,18 +116,24 @@ void BergerOliger::advance_level(int l, real_t dt,
                                          hier_.domain_at(l),
                                          hier_.config().ratio, op_.ncomp());
 
+  // Per-patch advance: ghosts are already filled and each kernel touches
+  // only its own patch (and its flux slot), so patches run in parallel.
+  // Flux slots are indexed by patch, keeping the register updates below in
+  // the same fixed patch order as the serial path.
   const bool capture = parent_register != nullptr || reg != nullptr;
   std::vector<FaceFluxes> fluxes;
-  if (capture) fluxes.reserve(lvl.num_patches());
-  for (Patch& p : lvl.patches()) {
-    if (capture) {
-      fluxes.emplace_back(p.box(), op_.ncomp());
-      op_.advance_capture(p, dt, dx, fluxes.back());
-    } else {
-      op_.advance(p, dt, dx);
-    }
-    p.swap_time_levels();
-  }
+  if (capture) fluxes.resize(lvl.num_patches());
+  ThreadPool::global().parallel_for(
+      lvl.num_patches(), [&](std::size_t i) {
+        Patch& p = lvl.patch(i);
+        if (capture) {
+          fluxes[i] = FaceFluxes(p.box(), op_.ncomp());
+          op_.advance_capture(p, dt, dx, fluxes[i]);
+        } else {
+          op_.advance(p, dt, dx);
+        }
+        p.swap_time_levels();
+      });
   if (parent_register != nullptr) parent_register->add_fine(fluxes, dt);
   if (reg) reg->add_coarse(fluxes, dt);
 

@@ -1,8 +1,30 @@
 #include "core/experiment.hpp"
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "util/error.hpp"
 
 namespace ssamr::exp {
+
+std::string results_path(const std::string& filename) {
+  namespace fs = std::filesystem;
+  const char* env = std::getenv("SSAMR_RESULTS_DIR");
+  const fs::path dir = (env != nullptr && *env != '\0') ? fs::path(env)
+                                                        : fs::path("results");
+  std::error_code ec;
+  fs::create_directories(dir, ec);  // best-effort; CsvWriter reports failure
+  return (dir / filename).string();
+}
+
+int run_iterations(int default_iters) {
+  if (const char* env = std::getenv("SSAMR_EXP_ITERS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  return default_iters;
+}
 
 TraceConfig paper_trace_config() {
   TraceConfig cfg;

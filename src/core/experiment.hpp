@@ -7,11 +7,23 @@
 /// scripts and runtime parameters stay consistent with the descriptions in
 /// EXPERIMENTS.md.
 
+#include <string>
 #include <vector>
 
 #include "core/ssamr.hpp"
 
 namespace ssamr::exp {
+
+/// Path for a generated result file: `$SSAMR_RESULTS_DIR/filename`
+/// (default directory `results/`, created on demand).  Keeps generated
+/// CSVs out of the repo root; the golden-file regression tests point
+/// SSAMR_RESULTS_DIR at a scratch directory.
+std::string results_path(const std::string& filename);
+
+/// Iteration count for an experiment driver: `$SSAMR_EXP_ITERS` when set
+/// (the golden regression tests run the drivers at a small trial count),
+/// otherwise `default_iters` (the paper-scale run).
+int run_iterations(int default_iters);
 
 /// The paper's application scale: 128×32×32 base mesh, 3 levels of
 /// factor-2 refinement, regrid every 5 iterations.

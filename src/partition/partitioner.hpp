@@ -24,6 +24,8 @@ namespace ssamr {
 struct BoxAssignment {
   Box box;
   rank_t owner = 0;
+
+  bool operator==(const BoxAssignment&) const = default;
 };
 
 /// Output of a partitioning pass.
@@ -40,6 +42,9 @@ struct PartitionResult {
 
   /// Boxes owned by one rank.
   BoxList boxes_of(rank_t rank) const;
+
+  /// Bit-exact comparison (the determinism tests diff whole results).
+  bool operator==(const PartitionResult&) const = default;
 };
 
 /// The paper's splitting constraints (§5.3).

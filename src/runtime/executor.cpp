@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ssamr {
 
@@ -30,28 +31,32 @@ std::vector<real_t> VirtualExecutor::compute_times(const PartitionResult& r,
   const auto n = static_cast<std::size_t>(cluster_.size());
   SSAMR_REQUIRE(r.assigned_work.size() == n,
                 "partition arity must match cluster size");
+  // Ranks are evaluated independently (each scans the assignment list for
+  // its own memory footprint), each writing only its own slot.
   std::vector<real_t> out(n, 0);
-  for (std::size_t k = 0; k < n; ++k) {
+  ThreadPool::global().parallel_for(n, [&](std::size_t k) {
     const auto rank = static_cast<rank_t>(k);
     const real_t mem = memory_demand_mb(r, rank);
     real_t rate = cluster_.effective_rate(rank, t, mem);
     rate *= (1.0 - cfg_.monitor_intrusion_cpu);
     out[k] = r.assigned_work[k] / std::max(rate, real_t{1e-9});
-  }
+  });
   return out;
 }
 
 std::vector<real_t> VirtualExecutor::comm_times(const PartitionResult& r,
                                                 real_t t) const {
   const auto n = static_cast<std::size_t>(cluster_.size());
+  // rank_comm_bytes is O(assignments²) per rank — the dominant cost here —
+  // and ranks are independent, so evaluate them in parallel.
   std::vector<real_t> out(n, 0);
-  for (std::size_t k = 0; k < n; ++k) {
+  ThreadPool::global().parallel_for(n, [&](std::size_t k) {
     const auto rank = static_cast<rank_t>(k);
     const std::int64_t bytes =
         rank_comm_bytes(r, rank, cfg_.ghost, cfg_.ncomp);
     const NodeState s = cluster_.state_at(rank, t);
     out[k] = cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
-  }
+  });
   return out;
 }
 
@@ -114,14 +119,17 @@ std::int64_t VirtualExecutor::migration_bytes(const PartitionResult& previous,
 real_t VirtualExecutor::migration_time(const PartitionResult& previous,
                                        const PartitionResult& next,
                                        real_t t) const {
-  real_t worst = 0;
-  for (rank_t rank = 0; rank < cluster_.size(); ++rank) {
-    const std::int64_t bytes = migration_bytes(previous, next, rank);
-    const NodeState s = cluster_.state_at(rank, t);
-    worst = std::max(
-        worst, cluster_.network().exchange_time(bytes, s.bandwidth_mbps));
-  }
-  return worst;
+  // migration_bytes is O(|previous| · |next|) per rank; the max over ranks
+  // is combined in fixed rank order (bit-identical to the serial loop).
+  return ThreadPool::global().transform_reduce_ordered(
+      static_cast<std::size_t>(cluster_.size()), real_t{0},
+      [&](std::size_t k) {
+        const auto rank = static_cast<rank_t>(k);
+        const std::int64_t bytes = migration_bytes(previous, next, rank);
+        const NodeState s = cluster_.state_at(rank, t);
+        return cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
+      },
+      [](real_t a, real_t b) { return std::max(a, b); });
 }
 
 }  // namespace ssamr

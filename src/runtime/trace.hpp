@@ -24,6 +24,9 @@ struct RegridRecord {
   int splits = 0;          ///< boxes broken by the partitioner
   std::size_t num_boxes = 0;  ///< composite boxes before splitting
   real_t total_work = 0;   ///< L
+
+  /// Bit-exact comparison (the determinism tests diff whole traces).
+  bool operator==(const RegridRecord&) const = default;
 };
 
 /// One sensing (NWS probe sweep) event.
@@ -31,6 +34,8 @@ struct SenseRecord {
   int iteration = 0;
   real_t vtime = 0;
   std::vector<real_t> capacities;  ///< capacities computed from this sweep
+
+  bool operator==(const SenseRecord&) const = default;
 };
 
 /// Complete record of one run.
@@ -48,6 +53,8 @@ struct RunTrace {
 
   /// Mean of the per-regrid max imbalance.
   real_t mean_max_imbalance_pct() const;
+
+  bool operator==(const RunTrace&) const = default;
 };
 
 }  // namespace ssamr

@@ -1,19 +1,29 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace ssamr {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
-std::ostream* g_sink = nullptr;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<std::ostream*> g_sink{nullptr};
+// Serializes emission: messages from pool workers (parallel experiment
+// trials, parallel runtime stages) must not interleave mid-line.
+std::mutex g_write_mutex;
 }  // namespace
 
-LogLevel Log::level() { return g_level; }
+LogLevel Log::level() { return g_level.load(std::memory_order_relaxed); }
 
-void Log::set_level(LogLevel lvl) { g_level = lvl; }
+void Log::set_level(LogLevel lvl) {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
 
-void Log::set_sink(std::ostream* os) { g_sink = os; }
+void Log::set_sink(std::ostream* os) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  g_sink.store(os, std::memory_order_relaxed);
+}
 
 const char* Log::name(LogLevel lvl) {
   switch (lvl) {
@@ -28,8 +38,11 @@ const char* Log::name(LogLevel lvl) {
 }
 
 void Log::write(LogLevel lvl, const std::string& msg) {
-  if (lvl < g_level || g_level == LogLevel::Off) return;
-  std::ostream& os = g_sink ? *g_sink : std::cerr;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  const LogLevel min = g_level.load(std::memory_order_relaxed);
+  if (lvl < min || min == LogLevel::Off) return;
+  std::ostream* sink = g_sink.load(std::memory_order_relaxed);
+  std::ostream& os = sink ? *sink : std::cerr;
   os << "[" << name(lvl) << "] " << msg << '\n';
 }
 

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Golden-file regression check for the experiment drivers.
+
+Runs one experiment binary with a small, fixed trial count
+(SSAMR_EXP_ITERS) and a scratch results directory (SSAMR_RESULTS_DIR),
+then diffs the CSV it produced against the committed golden under
+tests/golden/.  Numeric fields must agree within a relative tolerance
+(default: exact, because the runtime is deterministic at any thread
+count); non-numeric fields must match exactly.
+
+Usage:
+  golden_check.py --driver build/bench/exp_fig10 --csv fig10.csv \
+      --golden tests/golden/fig10.csv [--iters 40] [--rtol 0]
+"""
+
+import argparse
+import csv
+import math
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def load_csv(path):
+    with open(path, newline="") as f:
+        return list(csv.reader(f))
+
+
+def numeric(s):
+    try:
+        return float(s)
+    except ValueError:
+        return None
+
+
+def diff_tables(got, want, rtol):
+    """Return a list of human-readable mismatch descriptions."""
+    errors = []
+    if len(got) != len(want):
+        errors.append(f"row count: got {len(got)}, golden {len(want)}")
+    for r, (grow, wrow) in enumerate(zip(got, want)):
+        if len(grow) != len(wrow):
+            errors.append(f"row {r}: got {len(grow)} cols, golden {len(wrow)}")
+            continue
+        for c, (g, w) in enumerate(zip(grow, wrow)):
+            gn, wn = numeric(g), numeric(w)
+            if gn is not None and wn is not None:
+                tol = rtol * max(abs(gn), abs(wn))
+                if not math.isclose(gn, wn, rel_tol=rtol, abs_tol=tol + 1e-12):
+                    errors.append(
+                        f"row {r} col {c}: got {g}, golden {w} (rtol={rtol})")
+            elif g != w:
+                errors.append(f"row {r} col {c}: got {g!r}, golden {w!r}")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--driver", required=True,
+                    help="experiment binary to run")
+    ap.add_argument("--csv", required=True,
+                    help="CSV filename the driver writes (basename)")
+    ap.add_argument("--golden", required=True,
+                    help="committed golden CSV to compare against")
+    ap.add_argument("--iters", type=int, default=40,
+                    help="SSAMR_EXP_ITERS for the run (default 40)")
+    ap.add_argument("--threads", type=int, default=0,
+                    help="SSAMR_THREADS for the run (0 = leave unset)")
+    ap.add_argument("--rtol", type=float, default=0.0,
+                    help="relative tolerance for numeric fields (default "
+                         "0: bit-identical formatting expected)")
+    ap.add_argument("--update", action="store_true",
+                    help="regenerate the golden instead of checking")
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="ssamr-golden-") as scratch:
+        env = dict(os.environ)
+        env["SSAMR_EXP_ITERS"] = str(args.iters)
+        env["SSAMR_RESULTS_DIR"] = scratch
+        if args.threads > 0:
+            env["SSAMR_THREADS"] = str(args.threads)
+        proc = subprocess.run([args.driver], env=env,
+                              stdout=subprocess.PIPE,
+                              stderr=subprocess.STDOUT, text=True)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stdout)
+            sys.stderr.write(
+                f"\ndriver {args.driver} exited {proc.returncode}\n")
+            return 1
+
+        produced = os.path.join(scratch, args.csv)
+        if not os.path.exists(produced):
+            sys.stderr.write(f"driver did not produce {produced}\n")
+            return 1
+
+        if args.update:
+            os.makedirs(os.path.dirname(args.golden) or ".", exist_ok=True)
+            with open(produced) as src, open(args.golden, "w") as dst:
+                dst.write(src.read())
+            print(f"updated {args.golden}")
+            return 0
+
+        errors = diff_tables(load_csv(produced), load_csv(args.golden),
+                             args.rtol)
+        if errors:
+            sys.stderr.write(
+                f"{args.csv} diverges from {args.golden} "
+                f"({len(errors)} mismatches):\n")
+            for e in errors[:20]:
+                sys.stderr.write(f"  {e}\n")
+            if len(errors) > 20:
+                sys.stderr.write(f"  ... and {len(errors) - 20} more\n")
+            return 1
+        print(f"{args.csv}: matches golden ({args.iters} iters)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,9 +16,13 @@
 
 using namespace ssamr;
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Figure 11: dynamic load allocation, NWS queried once "
                "before the run + twice during it ===\n\n";
+
+  const ExecModelKind model = exp::select_exec_model(argc, argv);
+  std::cout << "execution model: " << exec_model_name(model)
+            << " (--exec-model=bsp|event, or SSAMR_EXEC_MODEL)\n\n";
 
   // ~30 regrids at regrid_interval 5 => 150 iterations; sensing every 50
   // iterations yields exactly two mid-run samplings.

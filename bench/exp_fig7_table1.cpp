@@ -20,9 +20,13 @@
 
 using namespace ssamr;
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Figure 7 + Table I: execution time, system-sensitive "
                "vs default partitioner ===\n\n";
+
+  const ExecModelKind model = exp::select_exec_model(argc, argv);
+  std::cout << "execution model: " << exec_model_name(model)
+            << " (--exec-model=bsp|event, or SSAMR_EXEC_MODEL)\n\n";
 
   const int iterations = exp::run_iterations(200);
   const double paper_improvement[] = {7.0, 6.0, 18.0, 18.0};
@@ -63,5 +67,13 @@ int main() {
             << table1.str() << '\n';
   std::cout << "raw series written to " << exp::results_path("fig7_table1.csv")
             << "\n";
+
+  // Per-rank timeline export of the P = 4 system-sensitive run (set
+  // SSAMR_TRACE_JSON=/path/to/trace.json; open in ui.perfetto.dev).
+  const std::string trace_path =
+      exp::maybe_export_trace(cmps[0].system_sensitive);
+  if (!trace_path.empty())
+    std::cout << "Chrome trace (P=4, system-sensitive) written to "
+              << trace_path << "\n";
   return 0;
 }

@@ -14,9 +14,13 @@
 
 using namespace ssamr;
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Table II: execution time, dynamic sensing vs sensing "
                "only once ===\n\n";
+
+  const ExecModelKind model = exp::select_exec_model(argc, argv);
+  std::cout << "execution model: " << exec_model_name(model)
+            << " (--exec-model=bsp|event, or SSAMR_EXEC_MODEL)\n\n";
 
   const int iterations = exp::run_iterations(200);
   const int dynamic_interval = 40;

@@ -18,9 +18,13 @@
 
 using namespace ssamr;
 
-int main() {
+int main(int argc, char** argv) {
   std::cout << "=== Table III + Figures 12-15: sensitivity to the sensing "
                "frequency (P = 4) ===\n\n";
+
+  const ExecModelKind model = exp::select_exec_model(argc, argv);
+  std::cout << "execution model: " << exec_model_name(model)
+            << " (--exec-model=bsp|event, or SSAMR_EXEC_MODEL)\n\n";
 
   const int iterations = exp::run_iterations(200);
   const int paper_times[] = {316, 277, 286, 293};

@@ -22,7 +22,7 @@ int main() {
   MonitorConfig mon;
   mon.seed = 7;
   ResourceMonitor monitor(cluster, mon);
-  const auto estimates = monitor.probe_all(/*t=*/0.0);
+  const auto estimates = monitor.probe_all(/*t=*/0.0).estimates;
   CapacityCalculator calc(CapacityWeights::equal());
   const auto capacities = calc.relative_capacities(estimates);
 

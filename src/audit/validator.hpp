@@ -24,7 +24,9 @@
 #include "capacity/capacity.hpp"
 #include "cluster/cluster.hpp"
 #include "geom/box_list.hpp"
+#include "monitor/monitor_service.hpp"
 #include "partition/partitioner.hpp"
+#include "runtime/executor.hpp"
 #include "util/types.hpp"
 
 namespace ssamr::audit {
@@ -83,6 +85,17 @@ class Validator {
 
   /// Audit the whole cluster's true state at virtual time t.
   AuditReport validate_cluster(const Cluster& cluster, real_t t) const;
+
+  /// Audit the execution-model cost knobs: all costs and footprints
+  /// non-negative and finite, ncomp/bytes_per_value/time_levels >= 1,
+  /// ghost >= 0, monitor intrusion in [0,1), comm_overlap in [0,1].
+  /// VirtualExecutor enforces this report at construction.
+  AuditReport validate_executor_config(const ExecutorConfig& cfg) const;
+
+  /// Audit the resource-monitor knobs: probe cost, memory footprint and
+  /// noise sigmas non-negative and finite, CPU intrusion in [0,1).
+  /// ResourceMonitor enforces this report at construction.
+  AuditReport validate_monitor_config(const MonitorConfig& cfg) const;
 
  private:
   AuditConfig cfg_;

@@ -7,7 +7,7 @@
 namespace ssamr {
 
 namespace {
-constexpr real_t kMinBandwidthMbps = 0.1;
+constexpr real_t kMinBandwidthMbps = NetworkModel::kMinBandwidthMbps;
 }
 
 real_t NetworkModel::transfer_time(std::int64_t bytes, real_t src_mbps,

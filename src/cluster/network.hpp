@@ -15,6 +15,10 @@ namespace ssamr {
 
 /// Parameters of the interconnect.
 struct NetworkModel {
+  /// Floor on any deliverable bandwidth (keeps transfer times finite when
+  /// background traffic saturates a link).
+  static constexpr real_t kMinBandwidthMbps = 0.1;
+
   /// One-way message latency in seconds (Fast Ethernet + TCP ≈ 100 µs).
   real_t latency_s = 1.0e-4;
   /// Protocol efficiency: fraction of nominal link bandwidth achievable by

@@ -142,6 +142,44 @@ void apply_dynamic_loads(Cluster& cluster, real_t timescale_s) {
   }
 }
 
+namespace {
+
+/// Process-wide model selection (bench drivers pick once in main()).
+ExecModelKind g_exec_model = ExecModelKind::kBsp;
+bool g_exec_model_forced = false;
+
+}  // namespace
+
+void set_exec_model(ExecModelKind kind) {
+  g_exec_model = kind;
+  g_exec_model_forced = true;
+}
+
+ExecModelKind current_exec_model() {
+  if (g_exec_model_forced) return g_exec_model;
+  if (const char* env = std::getenv("SSAMR_EXEC_MODEL");
+      env != nullptr && *env != '\0')
+    return parse_exec_model_name(env);
+  return ExecModelKind::kBsp;
+}
+
+ExecModelKind select_exec_model(int argc, char** argv) {
+  const std::string flag = "--exec-model=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(flag, 0) == 0)
+      set_exec_model(parse_exec_model_name(arg.substr(flag.size())));
+  }
+  return current_exec_model();
+}
+
+std::string maybe_export_trace(const RunTrace& trace) {
+  const char* env = std::getenv("SSAMR_TRACE_JSON");
+  if (env == nullptr || *env == '\0') return {};
+  sim::write_chrome_trace_file(env, trace);
+  return env;
+}
+
 RuntimeConfig paper_runtime_config(int iterations, int sensing_interval) {
   RuntimeConfig cfg;
   cfg.total_iterations = iterations;
@@ -158,6 +196,7 @@ RuntimeConfig paper_runtime_config(int iterations, int sensing_interval) {
   cfg.executor.ncomp = 5;
   cfg.executor.ghost = 1;  // first-order Rusanov stencil
   cfg.executor.comm_overlap = 0.8;
+  cfg.exec_model = current_exec_model();
   return cfg;
 }
 

@@ -48,10 +48,29 @@ void apply_static_loads(Cluster& cluster);
 /// times on two of every four nodes.
 void apply_dynamic_loads(Cluster& cluster, real_t timescale_s);
 
-/// Baseline runtime configuration of the paper runs.
+/// Baseline runtime configuration of the paper runs.  Uses the execution
+/// model selected via select_exec_model()/set_exec_model() (default: BSP,
+/// which reproduces the golden CSVs bit-for-bit).
 /// \param iterations total coarse iterations
 /// \param sensing_interval iterations between probes (0 = sense once)
 RuntimeConfig paper_runtime_config(int iterations, int sensing_interval);
+
+/// Select the execution model for subsequent paper_runtime_config() calls:
+/// a `--exec-model=bsp|event` argument wins, else the SSAMR_EXEC_MODEL
+/// environment variable, else the BSP default.  Bench drivers call this
+/// from main(); returns the selection so drivers can print it.
+ExecModelKind select_exec_model(int argc, char** argv);
+
+/// Force the execution model programmatically (overrides the environment).
+void set_exec_model(ExecModelKind kind);
+
+/// The execution model subsequent paper_runtime_config() calls will use.
+ExecModelKind current_exec_model();
+
+/// When $SSAMR_TRACE_JSON names a file, export `trace` there as Chrome
+/// trace-event JSON (load it in chrome://tracing or ui.perfetto.dev).
+/// Returns the path written, or empty when the variable is unset.
+std::string maybe_export_trace(const RunTrace& trace);
 
 /// Outcome of running both partitioners on identical setups.
 struct Comparison {

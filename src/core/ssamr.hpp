@@ -37,6 +37,8 @@
 #include "partition/multiaxis.hpp"      // IWYU pragma: export
 #include "partition/sfc_heterogeneous.hpp"  // IWYU pragma: export
 #include "runtime/runtime.hpp"          // IWYU pragma: export
+#include "sim/chrome_trace.hpp"         // IWYU pragma: export
+#include "sim/exec_model.hpp"           // IWYU pragma: export
 #include "solver/advection.hpp"         // IWYU pragma: export
 #include "solver/euler.hpp"             // IWYU pragma: export
 #include "solver/richtmyer_meshkov.hpp" // IWYU pragma: export

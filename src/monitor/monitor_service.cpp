@@ -12,9 +12,9 @@ ResourceMonitor::ResourceMonitor(const Cluster& cluster, MonitorConfig cfg)
       cpu_hist_(static_cast<std::size_t>(cluster.size())),
       mem_hist_(static_cast<std::size_t>(cluster.size())),
       bw_hist_(static_cast<std::size_t>(cluster.size())) {
-  SSAMR_REQUIRE(cfg.probe_cost_s >= 0, "probe cost must be non-negative");
-  SSAMR_REQUIRE(cfg.intrusion_cpu >= 0 && cfg.intrusion_cpu < 1,
-                "intrusion fraction must be in [0,1)");
+  const audit::AuditReport report =
+      audit::Validator{}.validate_monitor_config(cfg);
+  SSAMR_REQUIRE(report.ok(), report.summary());
 }
 
 ResourceEstimate ResourceMonitor::probe(rank_t rank, real_t t) {
@@ -40,12 +40,12 @@ ResourceEstimate ResourceMonitor::probe(rank_t rank, real_t t) {
   return e;
 }
 
-std::vector<ResourceEstimate> ResourceMonitor::probe_all(real_t t,
-                                                         real_t* overhead_s) {
-  std::vector<ResourceEstimate> out;
-  out.reserve(static_cast<std::size_t>(cluster_.size()));
-  for (rank_t r = 0; r < cluster_.size(); ++r) out.push_back(probe(r, t));
-  if (overhead_s != nullptr) *overhead_s = sweep_cost();
+SweepResult ResourceMonitor::probe_all(real_t t) {
+  SweepResult out;
+  out.estimates.reserve(static_cast<std::size_t>(cluster_.size()));
+  for (rank_t r = 0; r < cluster_.size(); ++r)
+    out.estimates.push_back(probe(r, t));
+  out.overhead_s = sweep_cost();
   // The probed truth must itself be consistent: availabilities in [0, 1],
   // free memory and bandwidth within each node's spec.
   SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));

@@ -27,6 +27,13 @@ struct ResourceEstimate {
   real_t bandwidth_mbps = 0;
 };
 
+/// One full probe sweep: the per-node estimates plus what the sweep cost.
+struct SweepResult {
+  std::vector<ResourceEstimate> estimates;
+  /// Virtual-time cost of the sweep (probe_cost_s × nodes).
+  real_t overhead_s = 0;
+};
+
 /// Monitor configuration.
 struct MonitorConfig {
   SensorNoise noise;
@@ -51,10 +58,9 @@ class ResourceMonitor {
   /// history, and return the forecasted estimate.
   ResourceEstimate probe(rank_t rank, real_t t);
 
-  /// Probe every node.  `overhead_s` (if non-null) receives the total
-  /// virtual-time cost of the sweep (probe_cost_s × nodes).
-  std::vector<ResourceEstimate> probe_all(real_t t,
-                                          real_t* overhead_s = nullptr);
+  /// Probe every node and report the sweep's virtual-time cost alongside
+  /// the estimates.
+  SweepResult probe_all(real_t t);
 
   /// Virtual-time cost of probing the whole cluster once.
   real_t sweep_cost() const;

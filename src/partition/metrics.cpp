@@ -78,4 +78,32 @@ std::int64_t rank_comm_bytes(const PartitionResult& r, rank_t rank,
   return cells * ncomp * static_cast<std::int64_t>(sizeof(real_t));
 }
 
+std::vector<RankFlow> pairwise_comm_bytes(const PartitionResult& r,
+                                          coord_t ghost, int ncomp) {
+  SSAMR_REQUIRE(ghost >= 0, "ghost width must be non-negative");
+  SSAMR_REQUIRE(ncomp >= 1, "ncomp must be >= 1");
+  const auto n = r.assigned_work.size();
+  std::vector<std::int64_t> cells(n * n, 0);
+  const auto& as = r.assignments;
+  for (std::size_t i = 0; i < as.size(); ++i)
+    for (std::size_t j = 0; j < as.size(); ++j) {
+      if (i == j || as[i].owner == as[j].owner) continue;
+      const auto src = static_cast<std::size_t>(as[j].owner);
+      const auto dst = static_cast<std::size_t>(as[i].owner);
+      SSAMR_REQUIRE(src < n && dst < n, "owner out of range");
+      // as[i]'s ghost shell filled from as[j]: data flows owner(j) -> owner(i).
+      cells[src * n + dst] += shell_overlap_cells(as[i].box, as[j].box, ghost);
+    }
+  const std::int64_t cell_bytes =
+      static_cast<std::int64_t>(ncomp) *
+      static_cast<std::int64_t>(sizeof(real_t));
+  std::vector<RankFlow> flows;
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t d = 0; d < n; ++d)
+      if (cells[s * n + d] > 0)
+        flows.push_back({static_cast<rank_t>(s), static_cast<rank_t>(d),
+                         cells[s * n + d] * cell_bytes});
+  return flows;
+}
+
 }  // namespace ssamr

@@ -34,4 +34,21 @@ std::int64_t partition_comm_cells(const PartitionResult& r, coord_t ghost);
 std::int64_t rank_comm_bytes(const PartitionResult& r, rank_t rank,
                              coord_t ghost, int ncomp);
 
+/// One directed rank-to-rank traffic aggregate.
+struct RankFlow {
+  rank_t src = 0;
+  rank_t dst = 0;
+  std::int64_t bytes = 0;
+
+  bool operator==(const RankFlow&) const = default;
+};
+
+/// Directed point-to-point ghost traffic of one coarse step: for every
+/// ordered rank pair (src → dst), the bytes dst's ghost shells receive
+/// from boxes owned by src.  Sorted by (src, dst), zero flows omitted.
+/// Summing the flows incident to a rank (either side) reproduces
+/// rank_comm_bytes for that rank.
+std::vector<RankFlow> pairwise_comm_bytes(const PartitionResult& r,
+                                          coord_t ghost, int ncomp);
+
 }  // namespace ssamr

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/validator.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -9,11 +10,9 @@ namespace ssamr {
 
 VirtualExecutor::VirtualExecutor(const Cluster& cluster, ExecutorConfig cfg)
     : cluster_(cluster), cfg_(cfg) {
-  SSAMR_REQUIRE(cfg.ncomp >= 1, "ncomp must be >= 1");
-  SSAMR_REQUIRE(cfg.ghost >= 0, "ghost must be non-negative");
-  SSAMR_REQUIRE(cfg.monitor_intrusion_cpu >= 0 &&
-                    cfg.monitor_intrusion_cpu < 1,
-                "intrusion must be in [0,1)");
+  const audit::AuditReport report =
+      audit::Validator{}.validate_executor_config(cfg);
+  SSAMR_REQUIRE(report.ok(), report.summary());
 }
 
 real_t VirtualExecutor::memory_demand_mb(const PartitionResult& r,
@@ -114,6 +113,42 @@ std::int64_t VirtualExecutor::migration_bytes(const PartitionResult& previous,
     }
   }
   return total;
+}
+
+std::vector<RankFlow> VirtualExecutor::migration_flows(
+    const PartitionResult& previous, const PartitionResult& next) const {
+  const auto n = static_cast<std::size_t>(cluster_.size());
+  std::vector<std::int64_t> bytes(n * n, 0);
+  const std::int64_t cell_bytes =
+      static_cast<std::int64_t>(cfg_.ncomp) * cfg_.bytes_per_value;
+  auto add = [&](rank_t src, rank_t dst, std::int64_t b) {
+    SSAMR_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < n &&
+                      dst >= 0 && static_cast<std::size_t>(dst) < n,
+                  "owner out of range");
+    bytes[static_cast<std::size_t>(src) * n +
+          static_cast<std::size_t>(dst)] += b;
+  };
+  if (previous.assignments.empty()) {
+    // Initial scatter from rank 0.
+    for (const BoxAssignment& a : next.assignments)
+      if (a.owner != 0) add(0, a.owner, a.box.cells() * cell_bytes);
+  } else {
+    for (const BoxAssignment& nb : next.assignments)
+      for (const BoxAssignment& ob : previous.assignments) {
+        if (nb.box.level() != ob.box.level()) continue;
+        if (nb.owner == ob.owner) continue;
+        const Box overlap = nb.box.intersection(ob.box);
+        if (overlap.empty()) continue;
+        add(ob.owner, nb.owner, overlap.cells() * cell_bytes);
+      }
+  }
+  std::vector<RankFlow> flows;
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t d = 0; d < n; ++d)
+      if (bytes[s * n + d] > 0)
+        flows.push_back({static_cast<rank_t>(s), static_cast<rank_t>(d),
+                         bytes[s * n + d]});
+  return flows;
 }
 
 real_t VirtualExecutor::migration_time(const PartitionResult& previous,

@@ -87,6 +87,13 @@ class VirtualExecutor {
                                const PartitionResult& next,
                                rank_t rank) const;
 
+  /// Directed per-pair migration traffic from `previous` to `next`
+  /// ownership, sorted by (src, dst) with zero flows omitted (`previous`
+  /// empty = initial scatter from rank 0).  The flows incident to a rank
+  /// sum to migration_bytes for that rank.
+  std::vector<RankFlow> migration_flows(const PartitionResult& previous,
+                                        const PartitionResult& next) const;
+
   const ExecutorConfig& config() const { return cfg_; }
 
  private:

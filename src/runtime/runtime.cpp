@@ -39,7 +39,7 @@ AdaptiveRuntime::AdaptiveRuntime(Cluster& cluster, WorkloadSource& source,
       cfg_(cfg),
       monitor_(cluster, cfg.monitor),
       capacity_(cfg.weights),
-      executor_(cluster, cfg.executor) {
+      model_(make_execution_model(cfg.exec_model, cluster, cfg.executor)) {
   SSAMR_REQUIRE(cfg.total_iterations >= 1, "need at least one iteration");
   SSAMR_REQUIRE(cfg.regrid_interval >= 1, "regrid interval must be >= 1");
   SSAMR_REQUIRE(cfg.sensing.interval >= 0,
@@ -50,19 +50,12 @@ AdaptiveRuntime::AdaptiveRuntime(Cluster& cluster, WorkloadSource& source,
 
 RunTrace AdaptiveRuntime::run() {
   RunTrace trace;
+  trace.model = model_->name();
+  trace.num_ranks = cluster_.size();
   real_t t = 0;
 
   // Initial sensing sweep: capacities used until the first periodic probe.
-  real_t sweep_cost = 0;
-  auto estimates = monitor_.probe_all(t, &sweep_cost);
-  std::vector<real_t> capacities = capacity_.relative_capacities(estimates);
-  SSAMR_AUDIT(audit::Validator{}.validate_capacities(capacities,
-                                                     cfg_.weights));
-  if (cfg_.sensing.charge_initial_sweep) {
-    t += sweep_cost;
-    trace.sense_time += sweep_cost;
-  }
-  trace.senses.push_back({0, t, capacities});
+  stage_sense(trace, t, /*iteration=*/0, /*initial=*/true);
 
   PartitionResult current;  // empty until the first regrid
   int regrid_index = 0;
@@ -70,93 +63,112 @@ RunTrace AdaptiveRuntime::run() {
   for (int iter = 0; iter < cfg_.total_iterations; ++iter) {
     // Periodic sensing (paper: every N iterations).
     if (cfg_.sensing.interval > 0 && iter > 0 &&
-        iter % cfg_.sensing.interval == 0) {
-      estimates = monitor_.probe_all(t, &sweep_cost);
-      const auto fresh = capacity_.relative_capacities(estimates);
-      t += sweep_cost;
-      trace.sense_time += sweep_cost;
-      // Hysteresis: ignore jitter below the configured threshold so the
-      // partitioner does not migrate data chasing sensor noise.
-      real_t worst_shift = 0;
-      for (std::size_t k = 0; k < fresh.size(); ++k) {
-        const real_t base = std::max(capacities[k], real_t{1e-9});
-        worst_shift =
-            std::max(worst_shift, std::abs(fresh[k] - capacities[k]) / base);
-      }
-      if (worst_shift >= cfg_.sensing.capacity_change_threshold)
-        capacities = fresh;
-      trace.senses.push_back({iter, t, capacities});
-    }
+        iter % cfg_.sensing.interval == 0)
+      stage_sense(trace, t, iter, /*initial=*/false);
 
     // Regrid + repartition every regrid_interval iterations (including
     // iteration 0: the initial distribution).
-    if (iter % cfg_.regrid_interval == 0) {
-      const BoxList boxes = source_.boxes_for_regrid(regrid_index);
-      SSAMR_REQUIRE(!boxes.empty(), "workload source produced no boxes");
-      PartitionResult next =
-          partitioner_.partition(boxes, capacities, cfg_.work);
-      // Audit every regrid's distribution before acting on it: coverage,
-      // disjointness, split legality and Eq. 1 work tracking.
-      SSAMR_AUDIT(audit::Validator{}.validate_partition(
-          boxes, next, capacities, cfg_.work, partitioner_.constraints()));
+    if (iter % cfg_.regrid_interval == 0)
+      stage_repartition(trace, t, iter, regrid_index, current);
 
-      const real_t t_regrid = executor_.regrid_time(boxes.size()) +
-                              executor_.partition_time(boxes.size());
-      const real_t t_migrate = executor_.migration_time(current, next, t);
-      t += t_regrid + t_migrate;
-      trace.regrid_time += t_regrid;
-      trace.migrate_time += t_migrate;
-
-      RegridRecord rec;
-      rec.iteration = iter;
-      rec.regrid_index = regrid_index + 1;
-      rec.vtime = t;
-      rec.capacities = capacities;
-      rec.assigned_work = next.assigned_work;
-      rec.target_work = next.target_work;
-      rec.imbalance_pct = load_imbalance_pct(next);
-      rec.splits = next.splits;
-      rec.num_boxes = boxes.size();
-      rec.total_work = total_work(boxes, cfg_.work);
-      trace.regrids.push_back(std::move(rec));
-
-      // Refresh the HDDA registry with the new distribution.
-      registry_.clear();
-      const std::int64_t cell_bytes =
-          static_cast<std::int64_t>(cfg_.executor.ncomp) *
-          cfg_.executor.bytes_per_value * cfg_.executor.time_levels;
-      for (const BoxAssignment& a : next.assignments)
-        registry_.insert(a.box, a.owner, a.box.cells() * cell_bytes);
-
-      current = std::move(next);
-      ++regrid_index;
-    }
-
-    const real_t t_iter = executor_.iteration_time(current, t);
-    // Split the step into its compute and comm parts for the breakdown.
-    {
-      const auto comp = executor_.compute_times(current, t);
-      const auto comm = executor_.effective_comm_times(current, t);
-      real_t worst_comp = 0, worst_total = 0;
-      std::size_t worst_k = 0;
-      for (std::size_t k = 0; k < comp.size(); ++k) {
-        if (comp[k] + comm[k] > worst_total) {
-          worst_total = comp[k] + comm[k];
-          worst_k = k;
-        }
-      }
-      worst_comp = comp[worst_k];
-      trace.compute_time += worst_comp;
-      trace.comm_time += worst_total - worst_comp;
-    }
-    t += t_iter;
-    ++trace.iterations;
+    stage_advance(trace, t, iter, current);
   }
 
+  model_->finish(trace, t);
   trace.total_time = t;
   SSAMR_INFO << partitioner_.name() << ": " << trace.iterations
-             << " iterations in " << trace.total_time << " virtual s";
+             << " iterations in " << trace.total_time << " virtual s ("
+             << trace.model << " model)";
   return trace;
+}
+
+void AdaptiveRuntime::stage_sense(RunTrace& trace, real_t& t, int iteration,
+                                  bool initial) {
+  const SweepResult sweep = monitor_.probe_all(t);
+  const std::vector<real_t> fresh =
+      capacity_.relative_capacities(sweep.estimates);
+  if (initial) {
+    capacities_ = fresh;
+    SSAMR_AUDIT(audit::Validator{}.validate_capacities(capacities_,
+                                                       cfg_.weights));
+    if (cfg_.sensing.charge_initial_sweep) {
+      t += model_->sense(t, sweep.overhead_s, iteration);
+      trace.sense_time += sweep.overhead_s;
+    }
+  } else {
+    t += model_->sense(t, sweep.overhead_s, iteration);
+    trace.sense_time += sweep.overhead_s;
+    stage_adopt_capacities(fresh);
+  }
+  trace.senses.push_back({iteration, t, capacities_});
+}
+
+void AdaptiveRuntime::stage_adopt_capacities(
+    const std::vector<real_t>& fresh) {
+  // Hysteresis: ignore jitter below the configured threshold so the
+  // partitioner does not migrate data chasing sensor noise.
+  real_t worst_shift = 0;
+  for (std::size_t k = 0; k < fresh.size(); ++k) {
+    const real_t base = std::max(capacities_[k], real_t{1e-9});
+    worst_shift =
+        std::max(worst_shift, std::abs(fresh[k] - capacities_[k]) / base);
+  }
+  if (worst_shift >= cfg_.sensing.capacity_change_threshold)
+    capacities_ = fresh;
+}
+
+void AdaptiveRuntime::stage_repartition(RunTrace& trace, real_t& t,
+                                        int iteration, int& regrid_index,
+                                        PartitionResult& current) {
+  const BoxList boxes = source_.boxes_for_regrid(regrid_index);
+  SSAMR_REQUIRE(!boxes.empty(), "workload source produced no boxes");
+  PartitionResult next = partitioner_.partition(boxes, capacities_, cfg_.work);
+  // Audit every regrid's distribution before acting on it: coverage,
+  // disjointness, split legality and Eq. 1 work tracking.
+  SSAMR_AUDIT(audit::Validator{}.validate_partition(
+      boxes, next, capacities_, cfg_.work, partitioner_.constraints()));
+
+  // Migration is priced at the pre-regrid time t (the bandwidths in effect
+  // when the repartition was decided) — the BSP model depends on this for
+  // bit-identity with the pre-seam accounting.
+  const real_t t_regrid = model_->regrid(t, boxes.size(), iteration);
+  const real_t t_migrate = model_->migrate(current, next, t);
+  t += t_regrid + t_migrate;
+  trace.regrid_time += t_regrid;
+  trace.migrate_time += t_migrate;
+
+  RegridRecord rec;
+  rec.iteration = iteration;
+  rec.regrid_index = regrid_index + 1;
+  rec.vtime = t;
+  rec.capacities = capacities_;
+  rec.assigned_work = next.assigned_work;
+  rec.target_work = next.target_work;
+  rec.imbalance_pct = load_imbalance_pct(next);
+  rec.splits = next.splits;
+  rec.num_boxes = boxes.size();
+  rec.total_work = total_work(boxes, cfg_.work);
+  trace.regrids.push_back(std::move(rec));
+
+  // Refresh the HDDA registry with the new distribution.
+  registry_.clear();
+  const std::int64_t cell_bytes =
+      static_cast<std::int64_t>(cfg_.executor.ncomp) *
+      cfg_.executor.bytes_per_value * cfg_.executor.time_levels;
+  for (const BoxAssignment& a : next.assignments)
+    registry_.insert(a.box, a.owner, a.box.cells() * cell_bytes);
+
+  current = std::move(next);
+  ++regrid_index;
+}
+
+void AdaptiveRuntime::stage_advance(RunTrace& trace, real_t& t, int iteration,
+                                    const PartitionResult& current) {
+  const StepCost step = model_->advance(current, t, iteration);
+  trace.compute_time += step.compute;
+  trace.comm_time += step.comm;
+  t += step.elapsed;
+  ++trace.iterations;
 }
 
 }  // namespace ssamr

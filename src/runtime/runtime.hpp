@@ -6,8 +6,13 @@
 ///   application (a WorkloadSource producing bounding-box lists at each
 ///   regrid) → resource monitoring tool (ResourceMonitor) → capacity
 ///   calculator (CapacityCalculator) → heterogeneous partitioner
-///   (any Partitioner) — and accounts execution on the simulated cluster
-///   through the VirtualExecutor, producing a RunTrace.
+///   (any Partitioner) — and prices execution on the simulated cluster
+///   through an ExecutionModel (closed-form BSP accounting or the
+///   message-level discrete-event simulation), producing a RunTrace.
+///
+/// run() is decomposed into named stages — sense, adopt-capacities,
+/// repartition (partition + migrate), advance — each charging its cost to
+/// the global virtual clock through the model.
 
 #include <memory>
 #include <vector>
@@ -21,6 +26,7 @@
 #include "partition/partitioner.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/trace.hpp"
+#include "sim/exec_model.hpp"
 
 namespace ssamr {
 
@@ -86,6 +92,10 @@ struct RuntimeConfig {
   WorkModel work;
   MonitorConfig monitor;
   ExecutorConfig executor;
+  /// How stages are priced on the virtual cluster.  kBsp reproduces the
+  /// original closed-form accounting bit-for-bit; kEvent simulates
+  /// message-level traffic with per-rank timelines (exec_model.hpp).
+  ExecModelKind exec_model = ExecModelKind::kBsp;
 };
 
 /// The system-sensitive runtime driver.
@@ -101,6 +111,9 @@ class AdaptiveRuntime {
   /// The monitor (exposed for inspection after run()).
   ResourceMonitor& monitor() { return monitor_; }
 
+  /// The execution model pricing the stages (exposed for inspection).
+  const ExecutionModel& model() const { return *model_; }
+
   /// The HDDA patch registry: the current distribution (box -> owner,
   /// payload bytes), refreshed at every repartition.  The index space is
   /// sized for the paper workload (4 levels, factor 2); adjust via
@@ -109,14 +122,35 @@ class AdaptiveRuntime {
   void set_registry_config(const SfcConfig& cfg) { registry_ = Hdda(cfg); }
 
  private:
+  /// Probe the monitor, recompute relative capacities and charge the sweep
+  /// to the model.  The initial sweep always adopts what it sensed (there
+  /// is nothing to be hysteretic against); periodic sweeps go through
+  /// stage_adopt_capacities.
+  void stage_sense(RunTrace& trace, real_t& t, int iteration, bool initial);
+
+  /// Hysteresis: adopt freshly sensed capacities only when some node moved
+  /// by more than the configured threshold.
+  void stage_adopt_capacities(const std::vector<real_t>& fresh);
+
+  /// Regrid the application, repartition under the current capacities,
+  /// charge regrid + migration to the model, and refresh the registry.
+  void stage_repartition(RunTrace& trace, real_t& t, int iteration,
+                         int& regrid_index, PartitionResult& current);
+
+  /// One coarse iteration under the current assignment.
+  void stage_advance(RunTrace& trace, real_t& t, int iteration,
+                     const PartitionResult& current);
+
   Cluster& cluster_;
   WorkloadSource& source_;
   const Partitioner& partitioner_;
   RuntimeConfig cfg_;
   ResourceMonitor monitor_;
   CapacityCalculator capacity_;
-  VirtualExecutor executor_;
+  std::unique_ptr<ExecutionModel> model_;
   Hdda registry_;
+  /// Capacities the partitioner currently uses (updated by sensing).
+  std::vector<real_t> capacities_;
 };
 
 }  // namespace ssamr

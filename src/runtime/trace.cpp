@@ -4,6 +4,18 @@
 
 namespace ssamr {
 
+const char* span_kind_name(SpanKind k) {
+  switch (k) {
+    case SpanKind::kCompute: return "compute";
+    case SpanKind::kComm: return "comm";
+    case SpanKind::kSense: return "sense";
+    case SpanKind::kRegrid: return "regrid";
+    case SpanKind::kMigrate: return "migrate";
+    case SpanKind::kIdle: return "idle";
+  }
+  return "unknown";
+}
+
 real_t RunTrace::mean_max_imbalance_pct() const {
   if (regrids.empty()) return 0;
   real_t sum = 0;

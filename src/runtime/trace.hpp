@@ -4,6 +4,12 @@
 /// the paper plots: per-regrid workload assignments (Figs. 8, 9, 11–15),
 /// capacities at each sensing point, imbalance percentages (Fig. 10), and
 /// the execution-time breakdown behind Fig. 7 / Tables I–III.
+///
+/// Beyond the paper's aggregates, a trace carries per-rank timeline data
+/// filled in by the execution model (sim/exec_model.hpp): busy/comm/idle
+/// totals per rank and the individual spans behind them, exportable as
+/// Chrome trace-event JSON (sim/chrome_trace.hpp) for chrome://tracing or
+/// Perfetto.
 
 #include <string>
 #include <vector>
@@ -38,6 +44,39 @@ struct SenseRecord {
   bool operator==(const SenseRecord&) const = default;
 };
 
+/// What one timeline span represents.
+enum class SpanKind : std::uint8_t {
+  kCompute,  ///< patch updates (work / effective rate)
+  kComm,     ///< ghost-exchange transfers or waiting on them
+  kSense,    ///< resource-monitor probe sweep (monitor lane)
+  kRegrid,   ///< flagging + clustering + partitioning at a regrid barrier
+  kMigrate,  ///< data-migration transfers after a repartition
+  kIdle,     ///< waiting at a barrier / run tail
+};
+
+/// Human-readable name of a span kind ("compute", "comm", ...).
+const char* span_kind_name(SpanKind k);
+
+/// One contiguous interval on a rank's virtual timeline.
+struct TraceSpan {
+  int rank = 0;  ///< 0..num_ranks-1; == num_ranks for the monitor lane
+  SpanKind kind = SpanKind::kCompute;
+  real_t t0 = 0;
+  real_t t1 = 0;
+  int iteration = -1;  ///< coarse iteration, -1 outside the advance loop
+
+  bool operator==(const TraceSpan&) const = default;
+};
+
+/// Where one rank's virtual time went over the whole run.
+struct RankUsage {
+  real_t busy_s = 0;  ///< computing (including regrid/partition work)
+  real_t comm_s = 0;  ///< ghost exchange + migration (visible part)
+  real_t idle_s = 0;  ///< barrier waits and run tail
+
+  bool operator==(const RankUsage&) const = default;
+};
+
 /// Complete record of one run.
 struct RunTrace {
   std::vector<RegridRecord> regrids;
@@ -50,6 +89,15 @@ struct RunTrace {
   real_t sense_time = 0;
   real_t regrid_time = 0;
   real_t migrate_time = 0;
+
+  /// Execution-model identifier ("bsp" or "event").
+  std::string model;
+  /// Cluster size of the run (timeline lane count; monitor lane is extra).
+  int num_ranks = 0;
+  /// Per-rank busy/comm/idle totals, filled by the execution model.
+  std::vector<RankUsage> rank_usage;
+  /// Per-rank timeline spans (Chrome-trace exportable).
+  std::vector<TraceSpan> spans;
 
   /// Mean of the per-regrid max imbalance.
   real_t mean_max_imbalance_pct() const;

@@ -1,0 +1,47 @@
+#pragma once
+/// \file bsp_model.hpp
+/// The closed-form BSP execution model.
+///
+/// This is the original runtime accounting (DESIGN.md §2) extracted behind
+/// the ExecutionModel seam, arithmetic-for-arithmetic: every stage is
+/// charged serially to one global clock and an iteration costs
+/// max_k(compute_k + (1 − overlap) · comm_k).  Runs under this model are
+/// bit-identical to the pre-seam runtime — the determinism suite and the
+/// golden-file regressions pin that down.
+///
+/// Beyond the original it also fills the per-rank busy/comm/idle usage and
+/// illustrative timeline spans (the BSP view: all ranks advance in
+/// lockstep, the slack of non-critical ranks shows up as idle).
+
+#include <vector>
+
+#include "sim/exec_model.hpp"
+#include "sim/timeline.hpp"
+
+namespace ssamr::sim {
+
+class BspModel final : public ExecutionModel {
+ public:
+  BspModel(const Cluster& cluster, const ExecutorConfig& cfg);
+
+  std::string name() const override { return "bsp"; }
+  real_t sense(real_t t, real_t sweep_s, int iteration) override;
+  real_t regrid(real_t t, std::size_t boxes, int iteration) override;
+  real_t migrate(const PartitionResult& previous, const PartitionResult& next,
+                 real_t t) override;
+  StepCost advance(const PartitionResult& r, real_t t,
+                   int iteration) override;
+  void finish(RunTrace& trace, real_t t_end) override;
+  const VirtualExecutor& costs() const override { return exec_; }
+
+ private:
+  const Cluster& cluster_;
+  VirtualExecutor exec_;
+  std::vector<RankTimeline> lanes_;  ///< ranks 0..n-1, monitor lane at n
+  /// Regrid charge of the current repartition stage: the driver adds
+  /// regrid + migration to the clock together, so the migration spans
+  /// recorded by migrate() start after this offset.
+  real_t pending_regrid_s_ = 0;
+};
+
+}  // namespace ssamr::sim

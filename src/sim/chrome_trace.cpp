@@ -1,0 +1,70 @@
+#include "sim/chrome_trace.hpp"
+
+#include <fstream>
+#include <limits>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace ssamr::sim {
+
+namespace {
+
+/// Perfetto renders slices per (pid, tid); one process for the whole
+/// virtual cluster, one thread per rank lane.
+constexpr int kPid = 1;
+
+void write_metadata(std::ostream& os, const char* meta, int tid,
+                    const std::string& name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << "    {\"name\":\"" << meta << "\",\"ph\":\"M\",\"pid\":" << kPid
+     << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n"
+     << "  \"otherData\": {\"model\": \"" << trace.model
+     << "\", \"ranks\": " << trace.num_ranks << "},\n"
+     << "  \"traceEvents\": [\n";
+  bool first = true;
+  write_metadata(os, "process_name", 0, "virtual cluster", first);
+  for (int k = 0; k < trace.num_ranks; ++k)
+    write_metadata(os, "thread_name", k, "rank " + std::to_string(k), first);
+  write_metadata(os, "thread_name", trace.num_ranks, "monitor", first);
+
+  // max_digits10: timestamps round-trip exactly, so adjacent spans stay
+  // exactly adjacent after a JSON parse.
+  const std::streamsize old_precision =
+      os.precision(std::numeric_limits<double>::max_digits10);
+  for (const TraceSpan& s : trace.spans) {
+    // Skip idle filler: Perfetto shows gaps natively and the file shrinks.
+    if (s.kind == SpanKind::kIdle) continue;
+    if (!first) os << ",\n";
+    first = false;
+    const double ts_us = s.t0 * 1.0e6;
+    const double dur_us = (s.t1 - s.t0) * 1.0e6;
+    os << "    {\"name\":\"" << span_kind_name(s.kind) << "\",\"cat\":\""
+       << span_kind_name(s.kind) << "\",\"ph\":\"X\",\"pid\":" << kPid
+       << ",\"tid\":" << s.rank << ",\"ts\":" << ts_us << ",\"dur\":"
+       << dur_us;
+    if (s.iteration >= 0)
+      os << ",\"args\":{\"iteration\":" << s.iteration << "}";
+    os << "}";
+  }
+  os.precision(old_precision);
+  os << "\n  ]\n}\n";
+}
+
+void write_chrome_trace_file(const std::string& path,
+                             const RunTrace& trace) {
+  std::ofstream os(path);
+  SSAMR_REQUIRE(os.good(), "cannot open trace file: " + path);
+  write_chrome_trace(os, trace);
+  os.flush();
+  SSAMR_REQUIRE(os.good(), "failed writing trace file: " + path);
+}
+
+}  // namespace ssamr::sim

@@ -1,0 +1,28 @@
+#pragma once
+/// \file chrome_trace.hpp
+/// Chrome trace-event JSON export of a RunTrace's per-rank timelines.
+///
+/// The emitted file uses the trace-event "JSON object format": a
+/// `traceEvents` array of complete ("ph":"X") events — one per timeline
+/// span, with virtual seconds mapped to microseconds — plus thread-name
+/// metadata so lanes render as "rank 0".."rank n-1" and "monitor".  Load
+/// the file in chrome://tracing or https://ui.perfetto.dev (Open trace
+/// file) to inspect busy/comm/idle structure visually.
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/trace.hpp"
+
+namespace ssamr::sim {
+
+/// Serialize `trace`'s spans as Chrome trace-event JSON onto `os`.
+/// Requires trace.num_ranks (lane naming); works for either execution
+/// model (the BSP lanes show the lockstep view).
+void write_chrome_trace(std::ostream& os, const RunTrace& trace);
+
+/// Write the JSON to `path`; throws ssamr::Error when the file cannot be
+/// opened or written.
+void write_chrome_trace_file(const std::string& path, const RunTrace& trace);
+
+}  // namespace ssamr::sim

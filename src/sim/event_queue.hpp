@@ -1,0 +1,62 @@
+#pragma once
+/// \file event_queue.hpp
+/// Deterministic discrete-event queue for the virtual-cluster simulation.
+///
+/// A min-heap ordered by (time, insertion sequence): events at equal
+/// virtual times pop in the order they were pushed, so a simulation driven
+/// by this queue is bit-reproducible regardless of how the events were
+/// generated.  Payloads are caller-defined (sim/event.hpp defines the
+/// standard ones).
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace ssamr::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  struct Item {
+    real_t time = 0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  /// Schedule `payload` at virtual time `time` (ties pop in push order).
+  void push(real_t time, Payload payload) {
+    heap_.push(Item{time, next_seq_++, std::move(payload)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event.
+  real_t next_time() const {
+    SSAMR_REQUIRE(!heap_.empty(), "next_time() on empty event queue");
+    return heap_.top().time;
+  }
+
+  /// Remove and return the earliest pending event.
+  Item pop() {
+    SSAMR_REQUIRE(!heap_.empty(), "pop() on empty event queue");
+    Item out = heap_.top();
+    heap_.pop();
+    return out;
+  }
+
+ private:
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Item, std::vector<Item>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ssamr::sim

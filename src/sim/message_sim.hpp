@@ -1,0 +1,41 @@
+#pragma once
+/// \file message_sim.hpp
+/// Fluid simulation of concurrent point-to-point transfers with endpoint
+/// bandwidth contention.
+///
+/// The closed-form NetworkModel (cluster/network.hpp) prices one message
+/// in isolation.  When a rank drives several transfers at once — ghost
+/// exchanges with every neighbour, a migration fan-out — they share its
+/// deliverable NIC bandwidth.  This simulator resolves that sharing with
+/// the standard fluid model: at any instant a transfer progresses at
+///
+///   rate = efficiency · min(src_bw / src_sending, dst_bw / dst_receiving)
+///
+/// where k_sending counts the transfers currently leaving endpoint k and
+/// k_receiving the transfers arriving at it.  NICs are full duplex: a
+/// node's sends contend with each other and its receives with each other,
+/// but the two directions ride independent lanes — a symmetric ghost
+/// exchange costs the same as its one-way half, not double.
+/// Rates are re-evaluated at every transfer start/finish (driven by a
+/// deterministic EventQueue), so the result is exact for piecewise-
+/// constant sharing and bit-reproducible.  One `latency_s` is charged per
+/// message, exactly once, by delaying its network entry.  A transfer of
+/// zero bytes completes at its post time, mirroring
+/// NetworkModel::transfer_time.
+
+#include <vector>
+
+#include "cluster/network.hpp"
+#include "sim/event.hpp"
+#include "util/types.hpp"
+
+namespace ssamr::sim {
+
+/// Resolve `transfers` (post_time/bytes/src/dst set) against per-endpoint
+/// deliverable bandwidths `deliverable_mbps`, filling every finish_time.
+/// Endpoint indices must lie in [0, deliverable_mbps.size()).
+void simulate_transfers(std::vector<Transfer>& transfers,
+                        const std::vector<real_t>& deliverable_mbps,
+                        const NetworkModel& net);
+
+}  // namespace ssamr::sim

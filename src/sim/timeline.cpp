@@ -1,0 +1,40 @@
+#include "sim/timeline.hpp"
+
+#include <string>
+#include "util/error.hpp"
+
+namespace ssamr::sim {
+
+void RankTimeline::advance(real_t until, SpanKind kind, int iteration) {
+  SSAMR_REQUIRE(until >= now_,
+                "timeline may not move backwards (rank " +
+                    std::to_string(rank_) + " kind " +
+                    std::string(span_kind_name(kind)) + " now " +
+                    std::to_string(now_) + " until " + std::to_string(until) +
+                    " iter " + std::to_string(iteration) + ")");
+  const real_t dt = until - now_;
+  if (dt <= 0) return;
+  switch (kind) {
+    case SpanKind::kCompute:
+    case SpanKind::kRegrid:
+    case SpanKind::kSense:
+      usage_.busy_s += dt;
+      break;
+    case SpanKind::kComm:
+    case SpanKind::kMigrate:
+      usage_.comm_s += dt;
+      break;
+    case SpanKind::kIdle:
+      usage_.idle_s += dt;
+      break;
+  }
+  spans_.push_back(TraceSpan{rank_, kind, now_, until, iteration});
+  now_ = until;
+}
+
+void RankTimeline::skip_to(real_t until) {
+  SSAMR_REQUIRE(until >= now_, "timeline may not move backwards");
+  now_ = until;
+}
+
+}  // namespace ssamr::sim

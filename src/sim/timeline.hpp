@@ -1,0 +1,52 @@
+#pragma once
+/// \file timeline.hpp
+/// Per-rank virtual timelines for the discrete-event execution model.
+///
+/// A RankTimeline is a monotone clock plus the contiguous spans that
+/// advanced it.  Every advance is attributed to one of three buckets —
+/// busy (compute, regrid work), comm (ghost exchange, migration), idle
+/// (barrier waits, run tail) — so a finished timeline yields both the
+/// RankUsage aggregate and the span list behind the Chrome-trace export.
+
+#include <vector>
+
+#include "runtime/trace.hpp"
+#include "util/types.hpp"
+
+namespace ssamr::sim {
+
+/// The virtual timeline of one rank (or of the monitor lane).
+class RankTimeline {
+ public:
+  /// \param rank lane index recorded on every span (ranks 0..n-1; the
+  ///        monitor lane uses n).
+  explicit RankTimeline(int rank) : rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+  /// Current local clock (end of the last recorded span).
+  real_t now() const { return now_; }
+
+  /// Advance the clock to `until`, recording a span of the given kind.
+  /// `until` may not precede the current clock; zero-length advances are
+  /// accepted and record nothing.
+  void advance(real_t until, SpanKind kind, int iteration = -1);
+
+  /// Advance the clock without recording (used by the monitor lane, which
+  /// is not busy between sweeps).
+  void skip_to(real_t until);
+
+  /// Busy/comm/idle totals accumulated so far.
+  const RankUsage& usage() const { return usage_; }
+
+  /// All recorded spans, in time order.
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+
+ private:
+  int rank_;
+  real_t now_ = 0;
+  RankUsage usage_;
+  std::vector<TraceSpan> spans_;
+};
+
+}  // namespace ssamr::sim

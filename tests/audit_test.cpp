@@ -8,6 +8,8 @@
 #define SSAMR_ENABLE_AUDIT 1
 #endif
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "amr/hierarchy.hpp"
@@ -368,6 +370,91 @@ TEST(ValidateNodeState, FlagsBrokenSpec) {
       v.validate_node_state(spec, NodeState{}, "rank 0");
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.has("cluster.spec"));
+}
+
+// ---- config validators -----------------------------------------------------
+
+TEST(ValidateExecutorConfig, AcceptsDefaults) {
+  EXPECT_TRUE(Validator{}.validate_executor_config(ExecutorConfig{}).ok());
+}
+
+TEST(ValidateExecutorConfig, RejectsNegativeCosts) {
+  const Validator v;
+  ExecutorConfig cfg;
+  cfg.regrid_cost_base_s = -0.1;
+  EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.regrid_cost"));
+  cfg = ExecutorConfig{};
+  cfg.partition_cost_per_box_s = -1e-6;
+  EXPECT_TRUE(
+      v.validate_executor_config(cfg).has("executor.partition_cost"));
+  cfg = ExecutorConfig{};
+  cfg.app_base_memory_mb = std::nan("");  // NaN must not pass a >= 0 gate
+  EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.app_memory"));
+}
+
+TEST(ValidateExecutorConfig, RejectsDegenerateFieldShape) {
+  const Validator v;
+  ExecutorConfig cfg;
+  cfg.ncomp = 0;
+  EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.ncomp"));
+  cfg = ExecutorConfig{};
+  cfg.ghost = -1;
+  EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.ghost"));
+  cfg = ExecutorConfig{};
+  cfg.bytes_per_value = 0;
+  EXPECT_TRUE(
+      v.validate_executor_config(cfg).has("executor.bytes_per_value"));
+  cfg = ExecutorConfig{};
+  cfg.time_levels = 0;
+  EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.time_levels"));
+}
+
+TEST(ValidateExecutorConfig, RejectsOutOfRangeFractions) {
+  const Validator v;
+  ExecutorConfig cfg;
+  cfg.comm_overlap = 1.5;
+  EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.comm_overlap"));
+  cfg.comm_overlap = -0.1;
+  EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.comm_overlap"));
+  cfg = ExecutorConfig{};
+  cfg.monitor_intrusion_cpu = 1.0;  // would zero out every node's rate
+  EXPECT_TRUE(
+      v.validate_executor_config(cfg).has("executor.monitor_intrusion"));
+}
+
+TEST(ValidateExecutorConfig, VirtualExecutorEnforcesAtConstruction) {
+  Cluster cluster = Cluster::homogeneous(2);
+  ExecutorConfig cfg;
+  cfg.bytes_per_value = 0;
+  EXPECT_THROW(VirtualExecutor(cluster, cfg), Error);
+}
+
+TEST(ValidateMonitorConfig, AcceptsDefaults) {
+  EXPECT_TRUE(Validator{}.validate_monitor_config(MonitorConfig{}).ok());
+}
+
+TEST(ValidateMonitorConfig, RejectsBadKnobs) {
+  const Validator v;
+  MonitorConfig cfg;
+  cfg.probe_cost_s = -0.5;
+  EXPECT_TRUE(v.validate_monitor_config(cfg).has("monitor.probe_cost"));
+  cfg = MonitorConfig{};
+  cfg.intrusion_cpu = 1.0;
+  EXPECT_TRUE(v.validate_monitor_config(cfg).has("monitor.intrusion_cpu"));
+  cfg = MonitorConfig{};
+  cfg.intrusion_memory_mb = -1.0;
+  EXPECT_TRUE(
+      v.validate_monitor_config(cfg).has("monitor.intrusion_memory"));
+  cfg = MonitorConfig{};
+  cfg.noise.cpu_sigma = -0.01;
+  EXPECT_TRUE(v.validate_monitor_config(cfg).has("monitor.noise"));
+}
+
+TEST(ValidateMonitorConfig, ResourceMonitorEnforcesAtConstruction) {
+  Cluster cluster = Cluster::homogeneous(2);
+  MonitorConfig cfg;
+  cfg.probe_cost_s = -1.0;
+  EXPECT_THROW(ResourceMonitor(cluster, cfg), Error);
 }
 
 // ---- the SSAMR_AUDIT hook --------------------------------------------------

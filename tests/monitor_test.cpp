@@ -88,12 +88,11 @@ TEST(Monitor, ProbeAllReturnsPerNodeEstimates) {
   MonitorConfig cfg;
   cfg.noise = SensorNoise{0, 0, 0};
   ResourceMonitor m(c, cfg);
-  real_t overhead = -1;
-  const auto est = m.probe_all(0.0, &overhead);
-  ASSERT_EQ(est.size(), 3u);
-  EXPECT_DOUBLE_EQ(overhead, 3 * cfg.probe_cost_s);
+  const SweepResult sweep = m.probe_all(0.0);
+  ASSERT_EQ(sweep.estimates.size(), 3u);
+  EXPECT_DOUBLE_EQ(sweep.overhead_s, 3 * cfg.probe_cost_s);
   EXPECT_EQ(m.probe_count(), 3u);
-  for (const auto& e : est) EXPECT_DOUBLE_EQ(e.cpu_available, 1.0);
+  for (const auto& e : sweep.estimates) EXPECT_DOUBLE_EQ(e.cpu_available, 1.0);
 }
 
 TEST(Monitor, HistoriesAccumulate) {

@@ -1,0 +1,204 @@
+// Unit tests of the discrete-event simulation core (src/sim): event-queue
+// ordering, per-rank timelines, the fluid contention simulation and the
+// directed traffic decompositions it consumes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "partition/metrics.hpp"
+#include "runtime/executor.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/message_sim.hpp"
+#include "sim/timeline.hpp"
+#include "util/error.hpp"
+
+namespace ssamr::sim {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(3.0, 30);
+  q.push(1.0, 10);
+  q.push(2.0, 20);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_EQ(q.pop().payload, 10);
+  EXPECT_EQ(q.pop().payload, 20);
+  EXPECT_EQ(q.pop().payload, 30);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesPopInPushOrder) {
+  EventQueue<int> q;
+  for (int i = 0; i < 8; ++i) q.push(1.5, i);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(q.pop().payload, i);
+}
+
+TEST(EventQueue, EmptyQueueRejectsAccess) {
+  EventQueue<int> q;
+  EXPECT_THROW(q.next_time(), Error);
+  EXPECT_THROW(q.pop(), Error);
+}
+
+TEST(Timeline, BucketsSpansByKind) {
+  RankTimeline tl(0);
+  tl.advance(1.0, SpanKind::kCompute, 0);
+  tl.advance(1.5, SpanKind::kComm, 0);
+  tl.advance(2.0, SpanKind::kIdle, 0);
+  tl.advance(2.25, SpanKind::kRegrid, 1);
+  tl.advance(2.75, SpanKind::kMigrate);
+  EXPECT_DOUBLE_EQ(tl.usage().busy_s, 1.25);   // compute + regrid
+  EXPECT_DOUBLE_EQ(tl.usage().comm_s, 1.0);    // comm + migrate
+  EXPECT_DOUBLE_EQ(tl.usage().idle_s, 0.5);
+  EXPECT_DOUBLE_EQ(tl.now(), 2.75);
+  ASSERT_EQ(tl.spans().size(), 5u);
+  EXPECT_EQ(tl.spans()[0].kind, SpanKind::kCompute);
+  EXPECT_EQ(tl.spans()[0].iteration, 0);
+  // Spans are contiguous: each begins where the previous ended.
+  for (std::size_t i = 1; i < tl.spans().size(); ++i)
+    EXPECT_DOUBLE_EQ(tl.spans()[i].t0, tl.spans()[i - 1].t1);
+}
+
+TEST(Timeline, ZeroLengthAdvanceRecordsNothing) {
+  RankTimeline tl(2);
+  tl.advance(1.0, SpanKind::kCompute);
+  tl.advance(1.0, SpanKind::kIdle);
+  EXPECT_EQ(tl.spans().size(), 1u);
+  EXPECT_THROW(tl.advance(0.5, SpanKind::kIdle), Error);
+  EXPECT_THROW(tl.skip_to(0.5), Error);
+}
+
+TEST(MessageSim, SingleMessageMatchesClosedForm) {
+  NetworkModel net;
+  const std::vector<real_t> bw = {100.0, 100.0};
+  std::vector<Transfer> ts = {Transfer{0, 1, 1 << 20, 2.0, 0}};
+  simulate_transfers(ts, bw, net);
+  // Alone on the wire, the fluid model reduces to transfer_time.
+  EXPECT_NEAR(ts[0].finish_time, 2.0 + net.transfer_time(1 << 20, 100, 100),
+              1e-12);
+}
+
+TEST(MessageSim, ZeroByteTransferFinishesAtPostTime) {
+  NetworkModel net;
+  const std::vector<real_t> bw = {100.0, 100.0};
+  std::vector<Transfer> ts = {Transfer{0, 1, 0, 3.5, 0}};
+  simulate_transfers(ts, bw, net);
+  EXPECT_DOUBLE_EQ(ts[0].finish_time, 3.5);
+}
+
+TEST(MessageSim, ConcurrentSendsShareTheSourceNic) {
+  NetworkModel net;
+  net.latency_s = 0;
+  net.efficiency = 1.0;
+  const std::vector<real_t> bw = {100.0, 100.0, 100.0, 100.0};
+  const std::int64_t bytes = 1250000;  // 10^7 bits: 0.1 s alone
+  // Rank 0 fans out to ranks 1 and 2 simultaneously: both halve rank 0's
+  // bandwidth for their whole lifetime and finish together at 0.2 s.
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0},
+                              Transfer{0, 2, bytes, 0, 0}};
+  simulate_transfers(ts, bw, net);
+  EXPECT_NEAR(ts[0].finish_time, 0.2, 1e-9);
+  EXPECT_NEAR(ts[1].finish_time, 0.2, 1e-9);
+
+  // Disjoint endpoint pairs do not contend: 0→1 and 2→3 each run at
+  // full speed.
+  std::vector<Transfer> free = {Transfer{0, 1, bytes, 0, 0},
+                                Transfer{2, 3, bytes, 0, 0}};
+  simulate_transfers(free, bw, net);
+  EXPECT_NEAR(free[0].finish_time, 0.1, 1e-9);
+  EXPECT_NEAR(free[1].finish_time, 0.1, 1e-9);
+}
+
+TEST(MessageSim, NicsAreFullDuplex) {
+  NetworkModel net;
+  net.latency_s = 0;
+  net.efficiency = 1.0;
+  const std::vector<real_t> bw = {100.0, 100.0};
+  const std::int64_t bytes = 1250000;  // 0.1 s alone
+  // A symmetric exchange: 0→1 and 1→0 at once.  Each node sends on its tx
+  // lane and receives on its rx lane, so neither message slows the other —
+  // both finish at the single-message time, not double it.
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0},
+                              Transfer{1, 0, bytes, 0, 0}};
+  simulate_transfers(ts, bw, net);
+  EXPECT_NEAR(ts[0].finish_time, 0.1, 1e-9);
+  EXPECT_NEAR(ts[1].finish_time, 0.1, 1e-9);
+}
+
+TEST(MessageSim, StaggeredPostsReleaseBandwidth) {
+  NetworkModel net;
+  net.latency_s = 0;
+  net.efficiency = 1.0;
+  const std::vector<real_t> bw = {100.0, 100.0, 100.0};
+  const std::int64_t bytes = 1250000;  // 0.1 s alone
+  // Second transfer posts when the first is half done: they share for
+  // 0.05 s + 0.05 s (first finishes at 0.15 having moved 0.05+0.05+0.05),
+  // then the second runs alone.
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0},
+                              Transfer{0, 2, bytes, 0.05, 0}};
+  simulate_transfers(ts, bw, net);
+  EXPECT_GT(ts[0].finish_time, 0.1);   // slowed by the newcomer
+  EXPECT_LT(ts[0].finish_time, 0.2);   // but not halved for its whole life
+  EXPECT_GT(ts[1].finish_time, ts[0].finish_time);
+  // Total bits moved by rank 0 = 2 × 10^7 at ≤ 10^8 bit/s: at least 0.2 s
+  // of wall-clock from the first post.
+  EXPECT_GE(ts[1].finish_time, 0.2 - 1e-9);
+}
+
+TEST(MessageSim, LatencyDelaysNetworkEntryOncePerMessage) {
+  NetworkModel net;
+  net.latency_s = 0.01;
+  net.efficiency = 1.0;
+  const std::vector<real_t> bw = {100.0, 100.0};
+  const std::int64_t bytes = 1250000;
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0}};
+  simulate_transfers(ts, bw, net);
+  EXPECT_NEAR(ts[0].finish_time, 0.01 + 0.1, 1e-9);
+}
+
+PartitionResult two_adjacent_boxes() {
+  PartitionResult r;
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 0});
+  r.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(4, 4, 4), 0), 1});
+  r.assigned_work = {64, 64};
+  r.target_work = {64, 64};
+  return r;
+}
+
+TEST(PairwiseComm, FlowsMatchAggregatePerRank) {
+  const PartitionResult r = two_adjacent_boxes();
+  const auto flows = pairwise_comm_bytes(r, /*ghost=*/1, /*ncomp=*/2);
+  ASSERT_EQ(flows.size(), 2u);  // 0→1 and 1→0
+  for (rank_t k = 0; k < 2; ++k) {
+    std::int64_t incident = 0;
+    for (const RankFlow& f : flows)
+      if (f.src == k || f.dst == k) incident += f.bytes;
+    EXPECT_EQ(incident, rank_comm_bytes(r, k, 1, 2));
+  }
+}
+
+TEST(MigrationFlows, MatchAggregatePerRank) {
+  Cluster cluster = Cluster::homogeneous(2);
+  VirtualExecutor exec(cluster, ExecutorConfig{});
+  const PartitionResult prev = two_adjacent_boxes();
+  PartitionResult next = prev;
+  std::swap(next.assignments[0].owner, next.assignments[1].owner);
+  const auto flows = exec.migration_flows(prev, next);
+  ASSERT_EQ(flows.size(), 2u);
+  for (rank_t k = 0; k < 2; ++k) {
+    std::int64_t incident = 0;
+    for (const RankFlow& f : flows)
+      if (f.src == k || f.dst == k) incident += f.bytes;
+    EXPECT_EQ(incident, exec.migration_bytes(prev, next, k));
+  }
+  // Initial scatter: everything leaves rank 0.
+  const auto scatter = exec.migration_flows(PartitionResult{}, next);
+  for (const RankFlow& f : scatter) EXPECT_EQ(f.src, 0);
+}
+
+}  // namespace
+}  // namespace ssamr::sim

@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""End-to-end check of the discrete-event execution model and its
+Chrome-trace export.
+
+Runs one experiment driver at a small trial count with
+SSAMR_EXEC_MODEL=event and SSAMR_TRACE_JSON pointing at a scratch file,
+then validates the exported trace:
+
+  * the file is valid JSON in the trace-event "JSON object format"
+    (a traceEvents array plus otherData);
+  * every "X" event has finite, non-negative ts/dur and a pid/tid;
+  * thread-name metadata covers every rank lane plus the monitor lane;
+  * per-lane events are non-overlapping in time (each lane is a single
+    virtual timeline);
+  * the run spans a positive duration.
+
+The same scenario is also run under the default BSP model so the check
+fails loudly if either model stops running end-to-end.
+
+Usage:
+  trace_check.py --driver build/bench/exp_fig7_table1 [--iters 10]
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_driver(driver, iters, results_dir, model, trace_path=None):
+    env = dict(os.environ)
+    env["SSAMR_EXP_ITERS"] = str(iters)
+    env["SSAMR_RESULTS_DIR"] = results_dir
+    env["SSAMR_EXEC_MODEL"] = model
+    if trace_path is not None:
+        env["SSAMR_TRACE_JSON"] = trace_path
+    else:
+        env.pop("SSAMR_TRACE_JSON", None)
+    proc = subprocess.run(
+        [driver], env=env, stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout)
+        raise SystemExit(
+            f"driver failed under model '{model}' "
+            f"(exit {proc.returncode})")
+    return proc.stdout
+
+
+def check_trace(path):
+    errors = []
+    with open(path) as f:
+        doc = json.load(f)  # raises on malformed JSON
+
+    if "traceEvents" not in doc:
+        raise SystemExit("trace has no traceEvents array")
+    events = doc["traceEvents"]
+    other = doc.get("otherData", {})
+    if other.get("model") != "event":
+        errors.append(f"otherData.model = {other.get('model')!r}, "
+                      "expected 'event'")
+    ranks = other.get("ranks", 0)
+    if not isinstance(ranks, int) or ranks <= 0:
+        errors.append(f"otherData.ranks = {ranks!r}, expected positive int")
+
+    named_lanes = set()
+    lanes = {}
+    for e in events:
+        if e.get("ph") == "M":
+            if e.get("name") == "thread_name":
+                named_lanes.add(e.get("tid"))
+            continue
+        if e.get("ph") != "X":
+            errors.append(f"unexpected event phase {e.get('ph')!r}")
+            continue
+        ts, dur = e.get("ts"), e.get("dur")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"bad ts {ts!r} in {e.get('name')}")
+            continue
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"bad dur {dur!r} in {e.get('name')}")
+            continue
+        if "pid" not in e or "tid" not in e:
+            errors.append(f"event without pid/tid: {e.get('name')}")
+            continue
+        lanes.setdefault(e["tid"], []).append((ts, ts + dur))
+
+    for k in range(ranks):
+        if k not in named_lanes:
+            errors.append(f"rank lane {k} has no thread_name metadata")
+    if ranks not in named_lanes:
+        errors.append("monitor lane has no thread_name metadata")
+
+    if not lanes:
+        errors.append("no complete ('X') events in the trace")
+    span_end = 0.0
+    for tid, intervals in lanes.items():
+        intervals.sort()
+        span_end = max(span_end, intervals[-1][1])
+        for (a0, a1), (b0, b1) in zip(intervals, intervals[1:]):
+            if b0 < a1 - 1e-6:  # µs slack for float printing
+                errors.append(
+                    f"lane {tid}: overlapping events "
+                    f"[{a0}, {a1}] and [{b0}, {b1}]")
+                break
+    if span_end <= 0:
+        errors.append("trace spans no time")
+    return errors
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--driver", required=True)
+    ap.add_argument("--iters", type=int, default=10)
+    args = ap.parse_args()
+
+    with tempfile.TemporaryDirectory(prefix="ssamr-trace-") as tmp:
+        trace_path = os.path.join(tmp, "trace.json")
+        # Both execution models must run the scenario end to end.
+        run_driver(args.driver, args.iters, tmp, "bsp")
+        out = run_driver(args.driver, args.iters, tmp, "event",
+                         trace_path)
+        if "execution model: event" not in out:
+            raise SystemExit("driver did not report the event model")
+        if not os.path.exists(trace_path):
+            raise SystemExit("driver did not write SSAMR_TRACE_JSON")
+        errors = check_trace(trace_path)
+
+    if errors:
+        sys.stderr.write("trace check FAILED:\n")
+        for e in errors:
+            sys.stderr.write(f"  {e}\n")
+        return 1
+    print(f"trace check OK ({args.driver}, {args.iters} iterations)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -419,6 +419,29 @@ AuditReport Validator::validate_monitor_config(const MonitorConfig& cfg) const {
                  cfg.noise.memory_sigma);
   require_nonneg(r, "monitor.noise", "noise.bandwidth_sigma",
                  cfg.noise.bandwidth_sigma);
+  if (!(cfg.probe_deadline_s >= cfg.probe_cost_s))
+    r.add(Severity::Error, "monitor.probe_deadline", "",
+          "probe_deadline_s = " + std::to_string(cfg.probe_deadline_s) +
+              " must be >= probe_cost_s (a timeout cannot cost less than "
+              "a successful probe)");
+  if (cfg.probe_max_retries < 0)
+    r.add(Severity::Error, "monitor.probe_max_retries", "",
+          "probe_max_retries = " + std::to_string(cfg.probe_max_retries) +
+              " must be >= 0");
+  require_nonneg(r, "monitor.backoff", "backoff_base_s", cfg.backoff_base_s);
+  if (!(cfg.backoff_factor >= 1))
+    r.add(Severity::Error, "monitor.backoff", "",
+          "backoff_factor = " + std::to_string(cfg.backoff_factor) +
+              " must be >= 1 (backoff never shrinks)");
+  if (cfg.quarantine_after < 1)
+    r.add(Severity::Error, "monitor.quarantine_after", "",
+          "quarantine_after = " + std::to_string(cfg.quarantine_after) +
+              " must be >= 1");
+  if (!(cfg.staleness.decay_tau_s > 0))
+    r.add(Severity::Error, "monitor.staleness", "",
+          "staleness.decay_tau_s = " +
+              std::to_string(cfg.staleness.decay_tau_s) +
+              " must be positive");
   return r;
 }
 

@@ -30,6 +30,10 @@ std::vector<real_t> CapacityCalculator::relative_capacities(
   const auto n = estimates.size();
   real_t cpu_total = 0, mem_total = 0, bw_total = 0;
   for (const auto& e : estimates) {
+    SSAMR_REQUIRE(std::isfinite(e.cpu_available) &&
+                      std::isfinite(e.memory_free_mb) &&
+                      std::isfinite(e.bandwidth_mbps),
+                  "resource estimates must be finite");
     SSAMR_REQUIRE(e.cpu_available >= 0 && e.memory_free_mb >= 0 &&
                       e.bandwidth_mbps >= 0,
                   "resource estimates must be non-negative");
@@ -51,8 +55,9 @@ std::vector<real_t> CapacityCalculator::relative_capacities(
              weights_.bandwidth * b_hat;
     sum += cap[k];
   }
-  if (sum <= 0) {
-    // Degenerate input (all resources zero): fall back to uniform.
+  if (!(sum > 0)) {
+    // Degenerate input (all resources zero — e.g. every node quarantined):
+    // fall back to uniform.
     for (auto& c : cap) c = 1.0 / static_cast<real_t>(n);
     return cap;
   }

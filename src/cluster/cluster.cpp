@@ -42,10 +42,31 @@ const LoadScript& Cluster::load_script(rank_t rank) const {
   return loads_[static_cast<std::size_t>(rank)];
 }
 
+void Cluster::set_fault_plan(FaultPlan plan) {
+  fault_plan_ = std::make_shared<const FaultPlan>(std::move(plan));
+}
+
+bool Cluster::node_down(rank_t rank, real_t t) const {
+  check_rank(rank);
+  return fault_plan_ != nullptr && fault_plan_->node_down(rank, t);
+}
+
+real_t Cluster::resume_time(rank_t rank, real_t t) const {
+  check_rank(rank);
+  return fault_plan_ == nullptr ? t : fault_plan_->resume_time(rank, t);
+}
+
 NodeState Cluster::state_at(rank_t rank, real_t t) const {
   check_rank(rank);
   const NodeSpec& spec = nodes_[static_cast<std::size_t>(rank)];
   const LoadScript& load = loads_[static_cast<std::size_t>(rank)];
+  if (fault_plan_ != nullptr && fault_plan_->node_down(rank, t)) {
+    NodeState down;
+    down.cpu_available = 0;
+    down.memory_free_mb = 0;
+    down.bandwidth_mbps = NetworkModel::kMinBandwidthMbps;
+    return down;
+  }
   NodeState s;
   s.cpu_available = load.cpu_available_at(t);
   s.memory_free_mb =

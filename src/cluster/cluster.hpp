@@ -8,8 +8,10 @@
 /// the machine — CPU availability, free memory, deliverable bandwidth —
 /// is defined here, deterministically.
 
+#include <memory>
 #include <vector>
 
+#include "cluster/fault_plan.hpp"
 #include "cluster/load_generator.hpp"
 #include "cluster/network.hpp"
 #include "cluster/node.hpp"
@@ -38,7 +40,28 @@ class Cluster {
 
   const LoadScript& load_script(rank_t rank) const;
 
-  /// True resource state of a node at virtual time t.
+  /// Attach a fault plan (probe faults, stale windows, crash episodes).
+  /// With no plan attached — the default — the cluster is fault-free and
+  /// behaves bit-identically to a cluster built before fault injection
+  /// existed.
+  void set_fault_plan(FaultPlan plan);
+
+  /// The attached fault plan, or nullptr when the cluster is fault-free.
+  const FaultPlan* fault_plan() const { return fault_plan_.get(); }
+
+  /// True while a crash episode of the fault plan covers (rank, t).
+  bool node_down(rank_t rank, real_t t) const;
+
+  /// The virtual time at which the node is next up: t itself when the node
+  /// is up (always, without a fault plan), else the rejoin time of the
+  /// covering crash episode(s).  Execution models price work on a crashed
+  /// node as a pause until this time, not as progress at the availability
+  /// floor.
+  real_t resume_time(rank_t rank, real_t t) const;
+
+  /// True resource state of a node at virtual time t.  During a crash
+  /// episode the node is down: no CPU, no free memory, and only the
+  /// bandwidth floor (in-flight messages stall rather than vanish).
   NodeState state_at(rank_t rank, real_t t) const;
 
   /// Effective application compute rate (work units/second) of a node at
@@ -64,6 +87,8 @@ class Cluster {
   std::vector<NodeSpec> nodes_;
   std::vector<LoadScript> loads_;
   NetworkModel network_;
+  /// Heap-held so copies of a fault-free cluster stay cheap; null = none.
+  std::shared_ptr<const FaultPlan> fault_plan_;
 };
 
 }  // namespace ssamr

@@ -72,23 +72,42 @@ AdaptiveForecaster::AdaptiveForecaster(
 
 std::size_t AdaptiveForecaster::best_index(
     const std::vector<real_t>& history) const {
-  if (history.size() < 2) return 0;
+  const std::size_t n = history.size();
+  if (n < 2) return 0;
+
+  // Score only the trailing kScoreWindow predictions (plus kContext leading
+  // measurements so windowed members see full windows and the running mean
+  // scores a bounded, regime-local mean).  Scoring the whole history made
+  // every forecast O(members · n²): each probe replays every member over
+  // every prefix, and the prefix itself grows with the run.  For histories
+  // of at most kScoreWindow + 1 measurements the scored predictions, their
+  // accumulation order, and therefore the selected member are identical to
+  // the unbounded selector.
+  constexpr std::size_t kScoreWindow = 32;
+  constexpr std::size_t kContext = 16;
+  std::size_t first = 1;  // index of the first scored prediction
+  std::size_t base = 0;   // start of the context the members see
+  if (n - 1 > kScoreWindow) {
+    first = n - 1 - kScoreWindow;
+    base = first > kContext ? first - kContext : 0;
+  }
+
+  sse_.assign(members_.size(), 0);
+  scratch_.assign(history.begin() + static_cast<std::ptrdiff_t>(base),
+                  history.begin() + static_cast<std::ptrdiff_t>(first));
+  for (std::size_t i = first; i < n; ++i) {
+    for (std::size_t m = 0; m < members_.size(); ++m) {
+      const real_t err = members_[m]->forecast(scratch_) - history[i];
+      sse_[m] += err * err;
+    }
+    scratch_.push_back(history[i]);
+  }
+
   real_t best_mse = std::numeric_limits<real_t>::infinity();
   std::size_t best = 0;
+  const real_t count = static_cast<real_t>(n - first);
   for (std::size_t m = 0; m < members_.size(); ++m) {
-    real_t sse = 0;
-    std::size_t count = 0;
-    std::vector<real_t> prefix;
-    prefix.reserve(history.size());
-    prefix.push_back(history.front());
-    for (std::size_t i = 1; i < history.size(); ++i) {
-      const real_t pred = members_[m]->forecast(prefix);
-      const real_t err = pred - history[i];
-      sse += err * err;
-      ++count;
-      prefix.push_back(history[i]);
-    }
-    const real_t mse = sse / static_cast<real_t>(count);
+    const real_t mse = sse_[m] / count;
     if (mse < best_mse) {
       best_mse = mse;
       best = m;

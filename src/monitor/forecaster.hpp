@@ -66,8 +66,10 @@ class SlidingMedianForecaster final : public Forecaster {
 };
 
 /// NWS's adaptive selector: runs every member predictor postcastingly over
-/// the history (predict value i from values [0, i)), accumulates each
-/// member's MSE, and forecasts with the current best member.
+/// a bounded trailing window of the history (predict value i from the
+/// values before it), accumulates each member's MSE, and forecasts with
+/// the current best member.  On histories short enough to fit the window
+/// the selection matches the unbounded selector exactly.
 class AdaptiveForecaster final : public Forecaster {
  public:
   /// Build with the standard family (last, mean, sliding mean/median of 5
@@ -86,6 +88,11 @@ class AdaptiveForecaster final : public Forecaster {
  private:
   std::size_t best_index(const std::vector<real_t>& history) const;
   std::vector<std::unique_ptr<Forecaster>> members_;
+  /// Scoring scratch reused across calls (the selector is called for every
+  /// probe of every resource; reallocating per call showed up in profiles).
+  /// Not thread-safe — each monitor owns its forecaster.
+  mutable std::vector<real_t> scratch_;
+  mutable std::vector<real_t> sse_;
 };
 
 }  // namespace ssamr

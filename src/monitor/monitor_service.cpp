@@ -1,9 +1,38 @@
 #include "monitor/monitor_service.hpp"
 
+#include <cmath>
+
 #include "audit/audit.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
+
+const char* probe_status_name(ProbeStatus s) {
+  switch (s) {
+    case ProbeStatus::kOk: return "ok";
+    case ProbeStatus::kStale: return "stale";
+    case ProbeStatus::kTimeout: return "timeout";
+    case ProbeStatus::kFailed: return "failed";
+  }
+  return "?";
+}
+
+ResourceEstimate StalenessPolicy::degrade(
+    const ResourceEstimate& last_good, real_t age_s,
+    const ResourceEstimate& cluster_mean) const {
+  // Exponential decay toward the population mean: a reading of age zero is
+  // trusted fully; one many tau old says little more than "the node looked
+  // like an average node once".
+  const real_t w = std::exp(-std::max(age_s, real_t{0}) / decay_tau_s);
+  ResourceEstimate e;
+  e.cpu_available =
+      w * last_good.cpu_available + (1.0 - w) * cluster_mean.cpu_available;
+  e.memory_free_mb =
+      w * last_good.memory_free_mb + (1.0 - w) * cluster_mean.memory_free_mb;
+  e.bandwidth_mbps =
+      w * last_good.bandwidth_mbps + (1.0 - w) * cluster_mean.bandwidth_mbps;
+  return e;
+}
 
 ResourceMonitor::ResourceMonitor(const Cluster& cluster, MonitorConfig cfg)
     : cluster_(cluster),
@@ -11,17 +40,29 @@ ResourceMonitor::ResourceMonitor(const Cluster& cluster, MonitorConfig cfg)
       sensor_(cluster, cfg.noise, cfg.seed),
       cpu_hist_(static_cast<std::size_t>(cluster.size())),
       mem_hist_(static_cast<std::size_t>(cluster.size())),
-      bw_hist_(static_cast<std::size_t>(cluster.size())) {
+      bw_hist_(static_cast<std::size_t>(cluster.size())),
+      last_good_(static_cast<std::size_t>(cluster.size())),
+      last_good_time_(static_cast<std::size_t>(cluster.size()), 0),
+      has_good_(static_cast<std::size_t>(cluster.size()), 0),
+      fail_streak_(static_cast<std::size_t>(cluster.size()), 0),
+      quarantined_(static_cast<std::size_t>(cluster.size()), 0),
+      attempt_counter_(static_cast<std::size_t>(cluster.size()), 0) {
   const audit::AuditReport report =
       audit::Validator{}.validate_monitor_config(cfg);
   SSAMR_REQUIRE(report.ok(), report.summary());
 }
 
-ResourceEstimate ResourceMonitor::probe(rank_t rank, real_t t) {
-  const Measurement m = sensor_.measure(rank, t);
-  auto& cpu = cpu_hist_[static_cast<std::size_t>(rank)];
-  auto& mem = mem_hist_[static_cast<std::size_t>(rank)];
-  auto& bw = bw_hist_[static_cast<std::size_t>(rank)];
+std::size_t ResourceMonitor::index_of(rank_t rank) const {
+  SSAMR_REQUIRE(rank >= 0 && rank < cluster_.size(), "rank out of range");
+  return static_cast<std::size_t>(rank);
+}
+
+ResourceEstimate ResourceMonitor::fresh_probe(rank_t rank, real_t t_obs) {
+  const std::size_t i = static_cast<std::size_t>(rank);
+  const Measurement m = sensor_.measure(rank, t_obs);
+  auto& cpu = cpu_hist_[i];
+  auto& mem = mem_hist_[i];
+  auto& bw = bw_hist_[i];
   cpu.push_back(m.cpu_available);
   mem.push_back(m.memory_free_mb);
   bw.push_back(m.bandwidth_mbps);
@@ -37,15 +78,147 @@ ResourceEstimate ResourceMonitor::probe(rank_t rank, real_t t) {
     e.memory_free_mb = m.memory_free_mb;
     e.bandwidth_mbps = m.bandwidth_mbps;
   }
+  last_good_[i] = e;
+  last_good_time_[i] = t_obs;
+  has_good_[i] = 1;
   return e;
 }
 
+ResourceEstimate ResourceMonitor::probe(rank_t rank, real_t t) {
+  (void)index_of(rank);
+  return fresh_probe(rank, t);
+}
+
+ResourceEstimate ResourceMonitor::known_good_mean() const {
+  ResourceEstimate mean;
+  mean.cpu_available = 0;
+  int count = 0;
+  for (std::size_t i = 0; i < has_good_.size(); ++i) {
+    if (has_good_[i] == 0 || quarantined_[i] != 0) continue;
+    mean.cpu_available += last_good_[i].cpu_available;
+    mean.memory_free_mb += last_good_[i].memory_free_mb;
+    mean.bandwidth_mbps += last_good_[i].bandwidth_mbps;
+    ++count;
+  }
+  if (count == 0) return ResourceEstimate{0, 0, 0};
+  mean.cpu_available /= count;
+  mean.memory_free_mb /= count;
+  mean.bandwidth_mbps /= count;
+  return mean;
+}
+
+ProbeOutcome ResourceMonitor::probe_outcome(rank_t rank, real_t t) {
+  const std::size_t i = index_of(rank);
+  const FaultPlan* plan = cluster_.fault_plan();
+
+  ProbeOutcome out;
+  if (plan == nullptr || plan->benign()) {
+    out.estimate = fresh_probe(rank, t);
+    out.status = ProbeStatus::kOk;
+    out.attempts = 1;
+    out.elapsed_s = cfg_.probe_cost_s;
+    fail_streak_[i] = 0;
+    return out;
+  }
+
+  // A quarantined node gets one attempt per sweep (no retry budget): the
+  // monitor keeps listening for recovery but stops paying for backoff.
+  const int max_attempts =
+      quarantined_[i] != 0 ? 1 : 1 + cfg_.probe_max_retries;
+  ProbeFault last_fault = ProbeFault::kNone;
+  real_t cost = 0;
+  int attempts = 0;
+  bool answered = false;
+  bool stale = false;
+  for (int a = 0; a < max_attempts; ++a) {
+    ++attempts;
+    const ProbeFault f = plan->probe_fault(rank, t, attempt_counter_[i]++);
+    if (f == ProbeFault::kNone || f == ProbeFault::kStale) {
+      cost += cfg_.probe_cost_s;
+      answered = true;
+      stale = (f == ProbeFault::kStale);
+      break;
+    }
+    last_fault = f;
+    // A timeout costs the full deadline; a fast failure costs one probe.
+    cost += f == ProbeFault::kTimeout ? cfg_.probe_deadline_s
+                                      : cfg_.probe_cost_s;
+    if (a + 1 < max_attempts)
+      cost += cfg_.backoff_base_s * std::pow(cfg_.backoff_factor, a);
+  }
+
+  out.attempts = attempts;
+  out.elapsed_s = cost;
+  if (answered) {
+    // A stale answer is a real (old) reading: it enters the history and
+    // counts as contact for quarantine purposes.
+    const real_t t_obs = stale ? plan->observable_time(rank, t) : t;
+    out.estimate = fresh_probe(rank, t_obs);
+    out.status = stale ? ProbeStatus::kStale : ProbeStatus::kOk;
+    fail_streak_[i] = 0;
+    quarantined_[i] = 0;
+    return out;
+  }
+
+  out.status = last_fault == ProbeFault::kTimeout ? ProbeStatus::kTimeout
+                                                  : ProbeStatus::kFailed;
+  ++fail_streak_[i];
+  if (fail_streak_[i] >= cfg_.quarantine_after) quarantined_[i] = 1;
+  if (quarantined_[i] != 0) {
+    // Quarantined: report zero capacity so normalization routes no work
+    // here until the node answers again.
+    out.estimate = ResourceEstimate{0, 0, 0};
+  } else if (has_good_[i] != 0) {
+    out.estimate = cfg_.staleness.degrade(
+        last_good_[i], t - last_good_time_[i], known_good_mean());
+  } else {
+    // Never reached the node at all: assume nothing (zero capacity) rather
+    // than inventing an average node that may not exist.
+    out.estimate = ResourceEstimate{0, 0, 0};
+  }
+  return out;
+}
+
 SweepResult ResourceMonitor::probe_all(real_t t) {
+  const std::size_t n = static_cast<std::size_t>(cluster_.size());
   SweepResult out;
-  out.estimates.reserve(static_cast<std::size_t>(cluster_.size()));
-  for (rank_t r = 0; r < cluster_.size(); ++r)
-    out.estimates.push_back(probe(r, t));
-  out.overhead_s = sweep_cost();
+  out.estimates.reserve(n);
+  out.statuses.reserve(n);
+
+  const FaultPlan* plan = cluster_.fault_plan();
+  if (plan == nullptr || plan->benign()) {
+    // Fault-free fast path, bit-identical to the pre-fault monitor: one
+    // measurement per node and the flat sweep price.
+    for (rank_t r = 0; r < cluster_.size(); ++r) {
+      out.estimates.push_back(probe(r, t));
+      out.statuses.push_back(ProbeStatus::kOk);
+    }
+    out.overhead_s = sweep_cost();
+    out.ok = cluster_.size();
+    SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));
+    return out;
+  }
+
+  const std::vector<char> was_quarantined = quarantined_;
+  for (rank_t r = 0; r < cluster_.size(); ++r) {
+    const ProbeOutcome o = probe_outcome(r, t);
+    out.estimates.push_back(o.estimate);
+    out.statuses.push_back(o.status);
+    out.overhead_s += o.elapsed_s;
+    switch (o.status) {
+      case ProbeStatus::kOk: ++out.ok; break;
+      case ProbeStatus::kStale: ++out.stale; break;
+      case ProbeStatus::kTimeout: ++out.timeouts; break;
+      case ProbeStatus::kFailed: ++out.failures; break;
+    }
+  }
+  for (rank_t r = 0; r < cluster_.size(); ++r) {
+    const std::size_t i = static_cast<std::size_t>(r);
+    if (was_quarantined[i] == 0 && quarantined_[i] != 0)
+      out.quarantined.push_back(r);
+    else if (was_quarantined[i] != 0 && quarantined_[i] == 0)
+      out.readmitted.push_back(r);
+  }
   // The probed truth must itself be consistent: availabilities in [0, 1],
   // free memory and bandwidth within each node's spec.
   SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));
@@ -56,9 +229,16 @@ real_t ResourceMonitor::sweep_cost() const {
   return cfg_.probe_cost_s * static_cast<real_t>(cluster_.size());
 }
 
+bool ResourceMonitor::quarantined(rank_t rank) const {
+  return quarantined_[index_of(rank)] != 0;
+}
+
+int ResourceMonitor::fail_streak(rank_t rank) const {
+  return fail_streak_[index_of(rank)];
+}
+
 const std::vector<real_t>& ResourceMonitor::cpu_history(rank_t rank) const {
-  SSAMR_REQUIRE(rank >= 0 && rank < cluster_.size(), "rank out of range");
-  return cpu_hist_[static_cast<std::size_t>(rank)];
+  return cpu_hist_[index_of(rank)];
 }
 
 }  // namespace ssamr

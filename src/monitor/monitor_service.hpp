@@ -9,7 +9,20 @@
 /// overhead of probing NWS on a node, retrieving its system state, and
 /// computing its relative capacity" at about 0.5 seconds — the service
 /// accounts that cost so the runtime can charge it to execution time.
+///
+/// Probes can fail.  When the cluster carries a FaultPlan
+/// (cluster/fault_plan.hpp), a probe may time out (costing the full
+/// per-probe deadline), fail fast, or answer with stale readings.  The
+/// monitor retries with bounded exponential backoff; when every attempt
+/// fails it falls back to the last-known-good reading decayed toward the
+/// cluster mean (StalenessPolicy), and nodes that fail
+/// `quarantine_after` consecutive sweeps are quarantined — reported at
+/// zero capacity and probed with a single attempt (no retry budget) until
+/// a probe succeeds again, at which point they are re-admitted.  Without
+/// a fault plan every probe succeeds on the first attempt and the sweep
+/// accounting is bit-identical to the pre-fault monitor.
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -27,11 +40,65 @@ struct ResourceEstimate {
   real_t bandwidth_mbps = 0;
 };
 
-/// One full probe sweep: the per-node estimates plus what the sweep cost.
+/// How one probe (after retries) ended.
+enum class ProbeStatus : std::uint8_t {
+  kOk,       ///< a fresh measurement was obtained
+  kStale,    ///< the node answered with readings from an earlier time
+  kTimeout,  ///< every attempt timed out; estimate is a decayed fallback
+  kFailed,   ///< every attempt failed fast; estimate is a decayed fallback
+};
+
+/// Human-readable name of a probe status ("ok", "stale", ...).
+const char* probe_status_name(ProbeStatus s);
+
+/// Fallback policy for nodes the monitor cannot reach: report the
+/// last-known-good reading, decayed exponentially toward the cluster mean
+/// as it ages (an unreachable node's state is unknown, so the best
+/// unbiased guess drifts to the population average).
+struct StalenessPolicy {
+  /// e-folding time of the decay, in virtual seconds.
+  real_t decay_tau_s = 60.0;
+
+  /// Blend `last_good` toward `cluster_mean` for a reading `age_s` old.
+  ResourceEstimate degrade(const ResourceEstimate& last_good, real_t age_s,
+                           const ResourceEstimate& cluster_mean) const;
+};
+
+/// One probe of one node: status, the estimate to use, and what it cost.
+struct ProbeOutcome {
+  ProbeStatus status = ProbeStatus::kOk;
+  ResourceEstimate estimate;
+  /// Probe attempts issued (1 = the first try answered).
+  int attempts = 1;
+  /// Virtual-time cost of the probe including timeouts, retries and
+  /// backoff waits.  Equals MonitorConfig::probe_cost_s when the first
+  /// attempt succeeds.
+  real_t elapsed_s = 0;
+};
+
+/// One full probe sweep: the per-node estimates plus what the sweep cost
+/// and how healthy it was.
 struct SweepResult {
   std::vector<ResourceEstimate> estimates;
-  /// Virtual-time cost of the sweep (probe_cost_s × nodes).
+  /// Per-node probe status, parallel to `estimates`.
+  std::vector<ProbeStatus> statuses;
+  /// Virtual-time cost of the sweep (probe_cost_s × nodes when fault-free;
+  /// larger when probes timed out, retried or backed off).
   real_t overhead_s = 0;
+  /// Probe-health tallies of this sweep.
+  int ok = 0;
+  int stale = 0;
+  int timeouts = 0;
+  int failures = 0;
+  /// Nodes newly quarantined / re-admitted by this sweep.
+  std::vector<rank_t> quarantined;
+  std::vector<rank_t> readmitted;
+
+  /// True when this sweep changed any node's quarantine state — the
+  /// runtime forces a repartition on such events.
+  bool health_event() const {
+    return !quarantined.empty() || !readmitted.empty();
+  }
 };
 
 /// Monitor configuration.
@@ -39,6 +106,21 @@ struct MonitorConfig {
   SensorNoise noise;
   /// Seconds charged per node probed (paper: ≈ 0.5 s per node).
   real_t probe_cost_s = 0.5;
+  /// Seconds after which an unanswered probe counts as timed out (each
+  /// timed-out attempt costs this much virtual time).
+  real_t probe_deadline_s = 2.0;
+  /// Retries after a failed or timed-out attempt (bounded; quarantined
+  /// nodes get a single attempt regardless).
+  int probe_max_retries = 2;
+  /// Wait before the first retry; each further retry multiplies it by
+  /// backoff_factor (exponential backoff).
+  real_t backoff_base_s = 0.25;
+  real_t backoff_factor = 2.0;
+  /// Consecutive failed sweeps after which a node is quarantined
+  /// (reported at zero capacity until a probe succeeds again).
+  int quarantine_after = 2;
+  /// Fallback decay for unreachable nodes.
+  StalenessPolicy staleness;
   /// CPU fraction the monitor steals on monitored nodes (NWS: < 3 %).
   real_t intrusion_cpu = 0.02;
   /// Memory footprint of the monitor per node in MB (NWS: ≈ 3300 KB).
@@ -54,27 +136,44 @@ class ResourceMonitor {
  public:
   ResourceMonitor(const Cluster& cluster, MonitorConfig cfg);
 
-  /// Probe one node at virtual time t: take a measurement, extend the
-  /// history, and return the forecasted estimate.
+  /// Probe one node at virtual time t: take a measurement (retrying on
+  /// faults), extend the history, and return the forecasted estimate.
   ResourceEstimate probe(rank_t rank, real_t t);
 
-  /// Probe every node and report the sweep's virtual-time cost alongside
-  /// the estimates.
+  /// As probe(), but report the full outcome (status, attempts, cost).
+  ProbeOutcome probe_outcome(rank_t rank, real_t t);
+
+  /// Probe every node and report the sweep's virtual-time cost, health
+  /// tallies and quarantine transitions alongside the estimates.
   SweepResult probe_all(real_t t);
 
-  /// Virtual-time cost of probing the whole cluster once.
+  /// Virtual-time cost of probing the whole cluster once, fault-free.
   real_t sweep_cost() const;
 
   /// CPU fraction stolen by the monitor on every node.
   real_t intrusion_cpu() const { return cfg_.intrusion_cpu; }
 
-  /// Number of probes issued so far (all nodes).
+  /// Number of probes issued so far (all nodes, successful or not).
   std::size_t probe_count() const { return probe_count_; }
+
+  /// True while `rank` is quarantined (capacity reported as zero).
+  bool quarantined(rank_t rank) const;
+
+  /// Consecutive failed probes of `rank` (0 after any success).
+  int fail_streak(rank_t rank) const;
 
   /// Measurement history of one node's CPU availability (test access).
   const std::vector<real_t>& cpu_history(rank_t rank) const;
 
  private:
+  /// Take a fresh measurement of `rank` as of virtual time t_obs, extend
+  /// the history, and record the result as last-known-good.
+  ResourceEstimate fresh_probe(rank_t rank, real_t t_obs);
+  /// Mean of the last-known-good estimates over non-quarantined nodes
+  /// (the decay target of the staleness fallback).
+  ResourceEstimate known_good_mean() const;
+  std::size_t index_of(rank_t rank) const;
+
   const Cluster& cluster_;
   MonitorConfig cfg_;
   Sensor sensor_;
@@ -82,6 +181,13 @@ class ResourceMonitor {
   std::vector<std::vector<real_t>> cpu_hist_;
   std::vector<std::vector<real_t>> mem_hist_;
   std::vector<std::vector<real_t>> bw_hist_;
+  /// Fault-tolerance state, one slot per node.
+  std::vector<ResourceEstimate> last_good_;
+  std::vector<real_t> last_good_time_;
+  std::vector<char> has_good_;
+  std::vector<int> fail_streak_;
+  std::vector<char> quarantined_;
+  std::vector<std::uint64_t> attempt_counter_;
   std::size_t probe_count_ = 0;
 };
 

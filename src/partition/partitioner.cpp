@@ -41,9 +41,14 @@ coord_t planes_for_target(const Box& b, int axis, real_t target_work,
   const coord_t n = b.extent()[axis];
   if (n < 2 * min_size) return 0;
   const real_t pw = plane_work(b, axis, work);
-  coord_t planes = static_cast<coord_t>(std::floor(target_work / pw));
-  planes = std::clamp(planes, min_size, n - min_size);
-  return planes;
+  if (!(pw > 0)) return 0;
+  // Clamp in floating point BEFORE converting: target_work / pw can exceed
+  // the range of coord_t (huge targets, tiny per-plane work), and casting
+  // an out-of-range double to an integer is undefined behaviour.
+  const real_t clamped =
+      std::clamp(std::floor(target_work / pw), static_cast<real_t>(min_size),
+                 static_cast<real_t>(n - min_size));
+  return static_cast<coord_t>(clamped);
 }
 
 }  // namespace

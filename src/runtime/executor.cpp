@@ -36,9 +36,15 @@ std::vector<real_t> VirtualExecutor::compute_times(const PartitionResult& r,
   ThreadPool::global().parallel_for(n, [&](std::size_t k) {
     const auto rank = static_cast<rank_t>(k);
     const real_t mem = memory_demand_mb(r, rank);
-    real_t rate = cluster_.effective_rate(rank, t, mem);
+    // A transiently crashed node pauses: work assigned to it waits out the
+    // episode and resumes at rejoin rate, rather than "progressing" at the
+    // availability floor (which would price one iteration at ~1000× its
+    // real cost).  Without a fault plan resume == t and nothing changes.
+    const real_t resume = cluster_.resume_time(rank, t);
+    real_t rate = cluster_.effective_rate(rank, resume, mem);
     rate *= (1.0 - cfg_.monitor_intrusion_cpu);
     out[k] = r.assigned_work[k] / std::max(rate, real_t{1e-9});
+    if (r.assigned_work[k] > 0) out[k] += resume - t;
   });
   return out;
 }
@@ -53,7 +59,10 @@ std::vector<real_t> VirtualExecutor::comm_times(const PartitionResult& r,
     const auto rank = static_cast<rank_t>(k);
     const std::int64_t bytes =
         rank_comm_bytes(r, rank, cfg_.ghost, cfg_.ncomp);
-    const NodeState s = cluster_.state_at(rank, t);
+    // Price traffic at the node's rejoin-time bandwidth (the compute side
+    // already charges the crash pause; a down node's bandwidth floor would
+    // double-charge it as absurd transfer times).
+    const NodeState s = cluster_.state_at(rank, cluster_.resume_time(rank, t));
     out[k] = cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
   });
   return out;
@@ -161,7 +170,8 @@ real_t VirtualExecutor::migration_time(const PartitionResult& previous,
       [&](std::size_t k) {
         const auto rank = static_cast<rank_t>(k);
         const std::int64_t bytes = migration_bytes(previous, next, rank);
-        const NodeState s = cluster_.state_at(rank, t);
+        const NodeState s =
+            cluster_.state_at(rank, cluster_.resume_time(rank, t));
         return cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
       },
       [](real_t a, real_t b) { return std::max(a, b); });

@@ -67,9 +67,16 @@ RunTrace AdaptiveRuntime::run() {
       stage_sense(trace, t, iter, /*initial=*/false);
 
     // Regrid + repartition every regrid_interval iterations (including
-    // iteration 0: the initial distribution).
-    if (iter % cfg_.regrid_interval == 0)
+    // iteration 0: the initial distribution) — and immediately when a
+    // sensing sweep quarantined or re-admitted a node, even off the
+    // cadence: running on a dead node's stale distribution until the next
+    // scheduled regrid wastes every iteration in between.
+    const bool scheduled = iter % cfg_.regrid_interval == 0;
+    if (scheduled || force_repartition_) {
+      if (!scheduled) ++trace.health.forced_repartitions;
+      force_repartition_ = false;
       stage_repartition(trace, t, iter, regrid_index, current);
+    }
 
     stage_advance(trace, t, iter, current);
   }
@@ -85,6 +92,12 @@ RunTrace AdaptiveRuntime::run() {
 void AdaptiveRuntime::stage_sense(RunTrace& trace, real_t& t, int iteration,
                                   bool initial) {
   const SweepResult sweep = monitor_.probe_all(t);
+  trace.health.ok += sweep.ok;
+  trace.health.stale += sweep.stale;
+  trace.health.timeouts += sweep.timeouts;
+  trace.health.failures += sweep.failures;
+  trace.health.quarantines += static_cast<int>(sweep.quarantined.size());
+  trace.health.readmissions += static_cast<int>(sweep.readmitted.size());
   const std::vector<real_t> fresh =
       capacity_.relative_capacities(sweep.estimates);
   if (initial) {
@@ -98,8 +111,15 @@ void AdaptiveRuntime::stage_sense(RunTrace& trace, real_t& t, int iteration,
   } else {
     t += model_->sense(t, sweep.overhead_s, iteration);
     trace.sense_time += sweep.overhead_s;
-    stage_adopt_capacities(fresh);
+    if (sweep.health_event()) {
+      // A node just dropped to zero or came back: hysteresis must not
+      // swallow that, and the next iteration must repartition.
+      capacities_ = fresh;
+    } else {
+      stage_adopt_capacities(fresh);
+    }
   }
+  if (sweep.health_event()) force_repartition_ = true;
   trace.senses.push_back({iteration, t, capacities_});
 }
 

@@ -151,6 +151,9 @@ class AdaptiveRuntime {
   Hdda registry_;
   /// Capacities the partitioner currently uses (updated by sensing).
   std::vector<real_t> capacities_;
+  /// Set when a sweep quarantined or re-admitted a node: the next
+  /// iteration repartitions even off the regrid cadence.
+  bool force_repartition_ = false;
 };
 
 }  // namespace ssamr

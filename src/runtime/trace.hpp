@@ -77,6 +77,22 @@ struct RankUsage {
   bool operator==(const RankUsage&) const = default;
 };
 
+/// Probe-health counters accumulated over a run's sensing sweeps
+/// (monitor_service.hpp).  All zero on a fault-free run except `ok`.
+struct ProbeHealth {
+  int ok = 0;         ///< probes answered fresh
+  int stale = 0;      ///< probes answered with stale readings
+  int timeouts = 0;   ///< probes that exhausted retries timing out
+  int failures = 0;   ///< probes that exhausted retries failing fast
+  int quarantines = 0;    ///< quarantine events (nodes dropped to zero)
+  int readmissions = 0;   ///< recovery events (nodes re-admitted)
+  /// Repartitions forced by quarantine/readmission events outside the
+  /// regular regrid cadence.
+  int forced_repartitions = 0;
+
+  bool operator==(const ProbeHealth&) const = default;
+};
+
 /// Complete record of one run.
 struct RunTrace {
   std::vector<RegridRecord> regrids;
@@ -98,6 +114,8 @@ struct RunTrace {
   std::vector<RankUsage> rank_usage;
   /// Per-rank timeline spans (Chrome-trace exportable).
   std::vector<TraceSpan> spans;
+  /// Probe-health tallies across all sensing sweeps of the run.
+  ProbeHealth health;
 
   /// Mean of the per-regrid max imbalance.
   real_t mean_max_imbalance_pct() const;

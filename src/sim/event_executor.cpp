@@ -24,8 +24,14 @@ real_t EventExecutor::rank_time(rank_t rank) const {
 std::vector<real_t> EventExecutor::bandwidths_at(real_t t) const {
   const auto n = static_cast<std::size_t>(cluster_.size());
   std::vector<real_t> bw(n, 0);
-  for (std::size_t k = 0; k < n; ++k)
-    bw[k] = cluster_.state_at(static_cast<rank_t>(k), t).bandwidth_mbps;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Crashed nodes are priced at their rejoin-time bandwidth: the compute
+    // lane charges the crash pause, so pricing transfers at the down-state
+    // bandwidth floor would double-charge the outage.
+    const auto rank = static_cast<rank_t>(k);
+    bw[k] = cluster_.state_at(rank, cluster_.resume_time(rank, t))
+                .bandwidth_mbps;
+  }
   return bw;
 }
 
@@ -37,12 +43,16 @@ real_t EventExecutor::horizon() const {
 }
 
 real_t EventExecutor::sense(real_t t, real_t sweep_s, int iteration) {
-  // The sweep occupies the monitor lane only: sensing overlaps execution,
-  // so no rank clock moves and the global charge is zero.
+  // The sweep occupies the monitor lane only: sensing overlaps execution.
+  // The driver is charged only when the monitor is still busy with the
+  // previous sweep — it blocks until its request can start, so degraded
+  // sweeps (timeouts, retries, backoff) surface as sensing lag instead of
+  // silently queueing forever on the monitor lane.
   RankTimeline& monitor = lanes_.back();
+  const real_t wait = std::max(real_t{0}, monitor.now() - t);
   monitor.skip_to(std::max(monitor.now(), t));
   monitor.advance(monitor.now() + sweep_s, SpanKind::kSense, iteration);
-  return 0;
+  return wait;
 }
 
 real_t EventExecutor::regrid(real_t t, std::size_t boxes, int iteration) {

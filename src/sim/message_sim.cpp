@@ -42,21 +42,26 @@ void simulate_transfers(std::vector<Transfer>& transfers,
     starts.push(tr.post_time + net.latency_s, i);
   }
 
-  std::vector<char> active(transfers.size(), 0);
+  // Indices of in-flight transfers, kept sorted ascending so every scan
+  // visits transfers in the same order as the historical all-transfers
+  // sweep: identical FP accumulation and min-ties, so finish times are
+  // bit-identical — but each event step now costs O(active), not O(total).
+  std::vector<std::size_t> active_list;
+  active_list.reserve(transfers.size());
   // Full-duplex NICs: sends share the tx lane, receives the rx lane.
   std::vector<int> tx_degree(n, 0);
   std::vector<int> rx_degree(n, 0);
-  std::size_t active_count = 0;
+  std::vector<real_t> rate(transfers.size(), 0);
   real_t now = 0;
   constexpr real_t kInf = std::numeric_limits<real_t>::infinity();
 
-  while (active_count > 0 || !starts.empty()) {
-    if (active_count == 0) now = std::max(now, starts.next_time());
+  while (!active_list.empty() || !starts.empty()) {
+    if (active_list.empty()) now = std::max(now, starts.next_time());
     // Admit every transfer whose entry time has come.
     while (!starts.empty() && starts.next_time() <= now) {
       const std::size_t i = starts.pop().payload;
-      active[i] = 1;
-      ++active_count;
+      active_list.insert(
+          std::lower_bound(active_list.begin(), active_list.end(), i), i);
       ++tx_degree[static_cast<std::size_t>(transfers[i].src)];
       ++rx_degree[static_cast<std::size_t>(transfers[i].dst)];
     }
@@ -64,9 +69,7 @@ void simulate_transfers(std::vector<Transfer>& transfers,
     // among its active transfers; a transfer moves at the slower share.
     real_t dt_finish = kInf;
     std::size_t first_done = transfers.size();
-    std::vector<real_t> rate(transfers.size(), 0);
-    for (std::size_t i = 0; i < transfers.size(); ++i) {
-      if (!active[i]) continue;
+    for (const std::size_t i : active_list) {
       const auto s = static_cast<std::size_t>(transfers[i].src);
       const auto d = static_cast<std::size_t>(transfers[i].dst);
       rate[i] = net.efficiency *
@@ -79,22 +82,23 @@ void simulate_transfers(std::vector<Transfer>& transfers,
     }
     const real_t dt_start = starts.empty() ? kInf : starts.next_time() - now;
     const real_t dt = std::min(dt_finish, dt_start);
-    for (std::size_t i = 0; i < transfers.size(); ++i)
-      if (active[i]) remaining[i] -= rate[i] * dt;
+    for (const std::size_t i : active_list) remaining[i] -= rate[i] * dt;
     now += dt;
     if (dt_finish <= dt_start) {
       // Retire everything drained this step (the exact minimum always is,
-      // shielding the loop from round-off stalls).
-      for (std::size_t i = 0; i < transfers.size(); ++i) {
-        if (!active[i]) continue;
+      // shielding the loop from round-off stalls).  Stable compaction keeps
+      // the survivors in ascending order.
+      std::size_t keep = 0;
+      for (const std::size_t i : active_list) {
         if (i == first_done || remaining[i] <= kDrainedBytes) {
-          active[i] = 0;
-          --active_count;
           --tx_degree[static_cast<std::size_t>(transfers[i].src)];
           --rx_degree[static_cast<std::size_t>(transfers[i].dst)];
           transfers[i].finish_time = now;
+        } else {
+          active_list[keep++] = i;
         }
       }
+      active_list.resize(keep);
     }
   }
 }

@@ -4,6 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
 
 #include "monitor/monitor_service.hpp"
 #include "util/error.hpp"
@@ -76,6 +79,51 @@ TEST(Forecaster, AdaptivePrefersSmoothingOnNoise) {
   for (int i = 0; i < 30; ++i) hist.push_back(i % 2 ? 0.8 : 0.2);
   EXPECT_NE(f.best_member(hist), "last");
   EXPECT_NEAR(f.forecast(hist), 0.5, 0.11);
+}
+
+TEST(Forecaster, BoundedSelectorMatchesUnboundedOnShortHistories) {
+  // The selector scores only a bounded trailing window; for histories that
+  // fit the window it must pick exactly the member the historical unbounded
+  // selector (every member postcast over every prefix) would pick.
+  const auto unbounded_best = [](const std::vector<real_t>& hist) {
+    std::vector<std::unique_ptr<Forecaster>> fam;  // default family order
+    fam.push_back(std::make_unique<LastValueForecaster>());
+    fam.push_back(std::make_unique<RunningMeanForecaster>());
+    fam.push_back(std::make_unique<SlidingMeanForecaster>(5));
+    fam.push_back(std::make_unique<SlidingMeanForecaster>(10));
+    fam.push_back(std::make_unique<SlidingMedianForecaster>(5));
+    fam.push_back(std::make_unique<SlidingMedianForecaster>(10));
+    std::size_t best = 0;
+    real_t best_sse = std::numeric_limits<real_t>::infinity();
+    for (std::size_t m = 0; m < fam.size(); ++m) {
+      real_t sse = 0;
+      for (std::size_t i = 1; i < hist.size(); ++i) {
+        const std::vector<real_t> prefix(hist.begin(),
+                                         hist.begin() +
+                                             static_cast<std::ptrdiff_t>(i));
+        const real_t err = fam[m]->forecast(prefix) - hist[i];
+        sse += err * err;
+      }
+      if (sse < best_sse) {
+        best_sse = sse;
+        best = m;
+      }
+    }
+    return fam[best]->name();
+  };
+
+  AdaptiveForecaster f;
+  std::vector<real_t> hist;
+  std::uint64_t s = 99;
+  // Deterministic pseudo-random series, grown one sample at a time up to
+  // the score-window size + 1 (the bit-identity boundary).
+  for (int i = 0; i < 33; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    hist.push_back(static_cast<real_t>(s >> 40) / 16777216.0);
+    if (hist.size() < 2) continue;
+    EXPECT_EQ(f.best_member(hist), unbounded_best(hist))
+        << "history length " << hist.size();
+  }
 }
 
 TEST(Forecaster, AdaptiveCustomFamilyValidated) {

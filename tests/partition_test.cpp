@@ -70,6 +70,38 @@ TEST(SplitForWork, MinSizeClampsBothSides) {
   EXPECT_EQ(hi->second.extent().x, 4);
 }
 
+TEST(SplitForWork, HugeTargetOverTinyPlaneWorkClampsWithoutOverflow) {
+  // Regression: target_work / plane_work can reach infinity (or any value
+  // beyond coord_t's range) when the per-plane work is denormal-small, and
+  // casting such a double to an integer is undefined behaviour (UBSan:
+  // float-cast-overflow).  The quotient must be clamped in floating point
+  // before the cast — post-fix this returns the largest admissible cut.
+  const Box b = Box::from_extent(IntVec(0, 0, 0), IntVec(64, 4, 4));
+  PartitionConstraints c;
+  c.min_box_size = 2;
+  const WorkModel tiny{2, 1e-300};
+  const auto pieces = split_for_work(b, 1.0e300, tiny, c);
+  ASSERT_TRUE(pieces.has_value());
+  EXPECT_EQ(pieces->first.extent().x, 62);
+  EXPECT_EQ(pieces->second.extent().x, 2);
+  // Same overflow through the multi-axis scorer.
+  c.longest_axis_only = false;
+  const auto multi = split_for_work(b, 1.0e300, tiny, c);
+  ASSERT_TRUE(multi.has_value());
+}
+
+TEST(SplitForWork, ZeroPlaneWorkRefusesInsteadOfDividingByZero) {
+  // cost_per_cell = 0 makes every plane free: target / 0 is inf (or NaN
+  // for a zero target) and there is no meaningful cut — the split must
+  // refuse, not cast a non-finite quotient.
+  const Box b = Box::from_extent(IntVec(0, 0, 0), IntVec(64, 4, 4));
+  PartitionConstraints c;
+  c.min_box_size = 2;
+  const WorkModel zero{2, 0.0};
+  EXPECT_FALSE(split_for_work(b, 100.0, zero, c).has_value());
+  EXPECT_FALSE(split_for_work(b, 0.0, zero, c).has_value());
+}
+
 TEST(SplitForWork, RefusesWhenBoxTooSmall) {
   const Box b = Box::from_extent(IntVec(0, 0, 0), IntVec(6, 6, 6));
   PartitionConstraints c;
@@ -100,6 +132,52 @@ TEST(AssignSequence, LastProcessorAbsorbsRemainder) {
   const auto r = assign_sequence(boxes, {0.0, 0.0}, {0, 1}, kWork, c);
   EXPECT_DOUBLE_EQ(r.assigned_work[1], 3 * 64.0);
   EXPECT_DOUBLE_EQ(r.assigned_work[0], 0.0);
+}
+
+struct UnsplittableCase {
+  const char* label;
+  std::vector<real_t> targets;
+  std::vector<real_t> expected_work;
+};
+
+TEST(AssignSequence, UnsplittableBoxPolicyTable) {
+  // Three 4³ boxes (64 work each) that min_box_size = 4 makes unsplittable:
+  // the walk must decide take-vs-defer by the half-fits rule and let the
+  // last processor absorb whatever is left.
+  const std::vector<Box> boxes{
+      Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4)),
+      Box::from_extent(IntVec(8, 0, 0), IntVec(4, 4, 4)),
+      Box::from_extent(IntVec(16, 0, 0), IntVec(4, 4, 4))};
+  PartitionConstraints c;
+  c.min_box_size = 4;
+
+  const std::vector<UnsplittableCase> cases{
+      // remaining 40 ≥ 64/2: the first rank takes the oversized box.
+      {"takes_when_at_least_half_fits", {40.0, 152.0}, {64.0, 128.0}},
+      // remaining exactly half: the boundary counts as a take.
+      {"takes_at_exactly_half", {32.0, 160.0}, {64.0, 128.0}},
+      // remaining 24 < 32: the box is deferred to the next rank.
+      {"defers_when_less_than_half_fits", {24.0, 168.0}, {0.0, 192.0}},
+      // every target undersized: the last rank still absorbs everything.
+      {"last_rank_absorbs_regardless_of_target", {16.0, 16.0}, {0.0, 192.0}},
+      // a zero target is skipped without consuming a box.
+      {"zero_target_skipped", {0.0, 192.0}, {0.0, 192.0}},
+      // middle rank defers, the pieces land on its neighbours.
+      {"mid_rank_defers_to_last", {40.0, 24.0, 128.0}, {64.0, 0.0, 128.0}},
+  };
+
+  for (const UnsplittableCase& tc : cases) {
+    SCOPED_TRACE(tc.label);
+    std::vector<rank_t> order(tc.targets.size());
+    std::iota(order.begin(), order.end(), 0);
+    const PartitionResult r =
+        assign_sequence(boxes, tc.targets, order, kWork, c);
+    EXPECT_EQ(r.splits, 0);
+    EXPECT_EQ(r.assignments.size(), boxes.size());
+    ASSERT_EQ(r.assigned_work.size(), tc.expected_work.size());
+    for (std::size_t k = 0; k < tc.expected_work.size(); ++k)
+      EXPECT_DOUBLE_EQ(r.assigned_work[k], tc.expected_work[k]);
+  }
 }
 
 TEST(AssignSequence, ValidatesArity) {

@@ -3,6 +3,8 @@
 // directed traffic decompositions it consumes.
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -156,6 +158,114 @@ TEST(MessageSim, LatencyDelaysNetworkEntryOncePerMessage) {
   std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0}};
   simulate_transfers(ts, bw, net);
   EXPECT_NEAR(ts[0].finish_time, 0.01 + 0.1, 1e-9);
+}
+
+/// The historical O(T²) fluid loop: every event step scans ALL transfers,
+/// skipping inactive ones.  The production simulator keeps an active-index
+/// list instead; since that list stays sorted ascending, both visit
+/// in-flight transfers in the same order and must produce bit-identical
+/// finish times.
+void reference_simulate(std::vector<Transfer>& transfers,
+                        const std::vector<real_t>& deliverable_mbps,
+                        const NetworkModel& net) {
+  const auto n = deliverable_mbps.size();
+  std::vector<real_t> cap(n, 0);
+  for (std::size_t k = 0; k < n; ++k)
+    cap[k] = std::max(NetworkModel::kMinBandwidthMbps, deliverable_mbps[k]) *
+             1.0e6 / 8.0;
+
+  EventQueue<std::size_t> starts;
+  std::vector<real_t> remaining(transfers.size(), 0);
+  std::vector<char> active(transfers.size(), 0);
+  for (std::size_t i = 0; i < transfers.size(); ++i) {
+    Transfer& tr = transfers[i];
+    if (tr.bytes == 0 || tr.src == tr.dst) {
+      tr.finish_time = tr.post_time;
+      continue;
+    }
+    remaining[i] = static_cast<real_t>(tr.bytes);
+    starts.push(tr.post_time + net.latency_s, i);
+  }
+
+  std::vector<int> tx_degree(n, 0);
+  std::vector<int> rx_degree(n, 0);
+  std::vector<real_t> rate(transfers.size(), 0);
+  real_t now = 0;
+  std::size_t n_active = 0;
+  constexpr real_t kInf = std::numeric_limits<real_t>::infinity();
+
+  while (n_active > 0 || !starts.empty()) {
+    if (n_active == 0) now = std::max(now, starts.next_time());
+    while (!starts.empty() && starts.next_time() <= now) {
+      const std::size_t i = starts.pop().payload;
+      active[i] = 1;
+      ++n_active;
+      ++tx_degree[static_cast<std::size_t>(transfers[i].src)];
+      ++rx_degree[static_cast<std::size_t>(transfers[i].dst)];
+    }
+    real_t dt_finish = kInf;
+    std::size_t first_done = transfers.size();
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+      if (active[i] == 0) continue;
+      const auto s = static_cast<std::size_t>(transfers[i].src);
+      const auto d = static_cast<std::size_t>(transfers[i].dst);
+      rate[i] = net.efficiency *
+                std::min(cap[s] / tx_degree[s], cap[d] / rx_degree[d]);
+      const real_t dt = remaining[i] / rate[i];
+      if (dt < dt_finish) {
+        dt_finish = dt;
+        first_done = i;
+      }
+    }
+    const real_t dt_start = starts.empty() ? kInf : starts.next_time() - now;
+    const real_t dt = std::min(dt_finish, dt_start);
+    for (std::size_t i = 0; i < transfers.size(); ++i)
+      if (active[i] != 0) remaining[i] -= rate[i] * dt;
+    now += dt;
+    if (dt_finish <= dt_start) {
+      for (std::size_t i = 0; i < transfers.size(); ++i) {
+        if (active[i] == 0) continue;
+        if (i == first_done || remaining[i] <= 1e-6) {
+          active[i] = 0;
+          --n_active;
+          --tx_degree[static_cast<std::size_t>(transfers[i].src)];
+          --rx_degree[static_cast<std::size_t>(transfers[i].dst)];
+          transfers[i].finish_time = now;
+        }
+      }
+    }
+  }
+}
+
+TEST(MessageSim, ActiveListMatchesFullScanReferenceBitExactly) {
+  NetworkModel net;  // default latency and efficiency: realistic case
+  const int nodes = 6;
+  const std::vector<real_t> bw = {100.0, 80.0, 120.0, 60.0, 100.0, 90.0};
+  // A deterministic pseudo-random mix: fan-outs, fan-ins, self/zero-byte
+  // messages, staggered posts — enough churn that the active set turns
+  // over many times.
+  std::vector<Transfer> ts;
+  std::uint64_t s = 12345;
+  const auto next = [&s] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+  };
+  for (int i = 0; i < 200; ++i) {
+    Transfer t;
+    t.src = static_cast<rank_t>(next() % nodes);
+    t.dst = static_cast<rank_t>(next() % nodes);
+    t.bytes = (next() % 5 == 0)
+                  ? 0
+                  : static_cast<std::int64_t>(1 + next() % 2000000);
+    t.post_time = static_cast<real_t>(next() % 1000) * 0.01;
+    ts.push_back(t);
+  }
+  std::vector<Transfer> fast = ts;
+  std::vector<Transfer> slow = ts;
+  simulate_transfers(fast, bw, net);
+  reference_simulate(slow, bw, net);
+  for (std::size_t i = 0; i < ts.size(); ++i)
+    EXPECT_EQ(fast[i].finish_time, slow[i].finish_time) << "transfer " << i;
 }
 
 PartitionResult two_adjacent_boxes() {

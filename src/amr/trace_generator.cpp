@@ -71,13 +71,22 @@ BoxList SyntheticAmrTrace::boxes_at_epoch(int epoch) const {
               pos * nx +
               amp * (std::sin(2.0 * kPi * cfg_.waves_y * yfrac) +
                      0.5 * std::cos(2.0 * kPi * cfg_.waves_z * zfrac));
-          const coord_t ilo = static_cast<coord_t>(
-              std::floor(xs - halfw));
+          // Clamp to the parent box IN FLOATING POINT before converting:
+          // with extreme amplitudes/band widths the band edges can exceed
+          // the range of coord_t, and casting an out-of-range double to an
+          // integer is undefined behaviour (the planes_for_target class of
+          // bug).  A band entirely outside the box is skipped instead of
+          // clamped so the clamp cannot invent flags.
+          const real_t band_lo = std::floor(xs - halfw);
+          const real_t band_hi = std::ceil(xs + halfw);
+          const real_t box_lo = static_cast<real_t>(pb.lo().x);
+          const real_t box_hi = static_cast<real_t>(pb.hi().x);
+          if (band_lo > box_hi || band_hi < box_lo) continue;
+          const coord_t ilo =
+              static_cast<coord_t>(std::clamp(band_lo, box_lo, box_hi));
           const coord_t ihi =
-              static_cast<coord_t>(std::ceil(xs + halfw));
-          for (coord_t i = std::max(ilo, pb.lo().x);
-               i <= std::min(ihi, pb.hi().x); ++i)
-            flags.emplace_back(i, j, k);
+              static_cast<coord_t>(std::clamp(band_hi, box_lo, box_hi));
+          for (coord_t i = ilo; i <= ihi; ++i) flags.emplace_back(i, j, k);
         }
       }
     }

@@ -7,6 +7,26 @@
 
 namespace ssamr {
 
+void HealthLedger::record_sweep(const SweepResult& sweep) {
+  MutexLock lock(mutex_);
+  totals_.ok += sweep.ok;
+  totals_.stale += sweep.stale;
+  totals_.timeouts += sweep.timeouts;
+  totals_.failures += sweep.failures;
+  totals_.quarantines += static_cast<int>(sweep.quarantined.size());
+  totals_.readmissions += static_cast<int>(sweep.readmitted.size());
+}
+
+void HealthLedger::record_forced_repartition() {
+  MutexLock lock(mutex_);
+  ++totals_.forced_repartitions;
+}
+
+ProbeHealth HealthLedger::snapshot() const {
+  MutexLock lock(mutex_);
+  return totals_;
+}
+
 const char* probe_status_name(ProbeStatus s) {
   switch (s) {
     case ProbeStatus::kOk: return "ok";
@@ -196,6 +216,7 @@ SweepResult ResourceMonitor::probe_all(real_t t) {
     out.overhead_s = sweep_cost();
     out.ok = cluster_.size();
     SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));
+    health_.record_sweep(out);
     return out;
   }
 
@@ -222,6 +243,7 @@ SweepResult ResourceMonitor::probe_all(real_t t) {
   // The probed truth must itself be consistent: availabilities in [0, 1],
   // free memory and bandwidth within each node's spec.
   SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));
+  health_.record_sweep(out);
   return out;
 }
 

@@ -28,6 +28,7 @@
 
 #include "cluster/cluster.hpp"
 #include "monitor/forecaster.hpp"
+#include "monitor/probe_health.hpp"
 #include "monitor/sensor.hpp"
 #include "util/types.hpp"
 
@@ -144,8 +145,15 @@ class ResourceMonitor {
   ProbeOutcome probe_outcome(rank_t rank, real_t t);
 
   /// Probe every node and report the sweep's virtual-time cost, health
-  /// tallies and quarantine transitions alongside the estimates.
+  /// tallies and quarantine transitions alongside the estimates.  Each
+  /// sweep's tallies are also folded into the health ledger.
   SweepResult probe_all(real_t t);
+
+  /// Running probe-health totals across all sweeps of this monitor's
+  /// lifetime — the shared state between the monitor (writing on the
+  /// sensing lane) and the runtime (reading when a trace is finalized).
+  HealthLedger& health() { return health_; }
+  const HealthLedger& health() const { return health_; }
 
   /// Virtual-time cost of probing the whole cluster once, fault-free.
   real_t sweep_cost() const;
@@ -189,6 +197,7 @@ class ResourceMonitor {
   std::vector<char> quarantined_;
   std::vector<std::uint64_t> attempt_counter_;
   std::size_t probe_count_ = 0;
+  HealthLedger health_;
 };
 
 }  // namespace ssamr

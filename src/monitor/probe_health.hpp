@@ -1,0 +1,54 @@
+#pragma once
+/// \file probe_health.hpp
+/// Probe-health counters and the thread-safe ledger that accumulates them.
+///
+/// The counters are produced by the monitor's sensing sweeps
+/// (monitor_service.hpp) and consumed by the runtime when it finalizes a
+/// RunTrace — two subsystems that run on different lanes under the event
+/// executor (the monitor lane overlaps rank compute).  The ledger is the
+/// one piece of health state they share, so it is a capability-annotated
+/// critical section: every access to the totals goes through the Mutex,
+/// and a Clang `-Wthread-safety` build proves no path around it.
+
+#include "util/thread_safety.hpp"
+
+namespace ssamr {
+
+struct SweepResult;
+
+/// Probe-health counters accumulated over a run's sensing sweeps.
+/// All zero on a fault-free run except `ok`.
+struct ProbeHealth {
+  int ok = 0;         ///< probes answered fresh
+  int stale = 0;      ///< probes answered with stale readings
+  int timeouts = 0;   ///< probes that exhausted retries timing out
+  int failures = 0;   ///< probes that exhausted retries failing fast
+  int quarantines = 0;    ///< quarantine events (nodes dropped to zero)
+  int readmissions = 0;   ///< recovery events (nodes re-admitted)
+  /// Repartitions forced by quarantine/readmission events outside the
+  /// regular regrid cadence.
+  int forced_repartitions = 0;
+
+  bool operator==(const ProbeHealth&) const = default;
+};
+
+/// Mutex-guarded accumulator of ProbeHealth shared between the monitor
+/// (writer: one record_sweep per probe sweep) and the runtime (writer of
+/// forced-repartition events, reader of the final snapshot).
+class HealthLedger {
+ public:
+  /// Fold one sweep's tallies and quarantine transitions into the totals.
+  void record_sweep(const SweepResult& sweep);
+
+  /// Count a repartition forced off-cadence by a health event.
+  void record_forced_repartition();
+
+  /// Consistent copy of the accumulated counters.
+  ProbeHealth snapshot() const;
+
+ private:
+  mutable Mutex mutex_;
+  ProbeHealth totals_ SSAMR_GUARDED_BY(mutex_);
+};
+
+}  // namespace ssamr

@@ -73,7 +73,7 @@ RunTrace AdaptiveRuntime::run() {
     // scheduled regrid wastes every iteration in between.
     const bool scheduled = iter % cfg_.regrid_interval == 0;
     if (scheduled || force_repartition_) {
-      if (!scheduled) ++trace.health.forced_repartitions;
+      if (!scheduled) monitor_.health().record_forced_repartition();
       force_repartition_ = false;
       stage_repartition(trace, t, iter, regrid_index, current);
     }
@@ -83,6 +83,9 @@ RunTrace AdaptiveRuntime::run() {
 
   model_->finish(trace, t);
   trace.total_time = t;
+  // The health totals accumulated on the sensing lane (HealthLedger,
+  // monitor/probe_health.hpp) become part of the finalized trace.
+  trace.health = monitor_.health().snapshot();
   SSAMR_INFO << partitioner_.name() << ": " << trace.iterations
              << " iterations in " << trace.total_time << " virtual s ("
              << trace.model << " model)";
@@ -91,13 +94,9 @@ RunTrace AdaptiveRuntime::run() {
 
 void AdaptiveRuntime::stage_sense(RunTrace& trace, real_t& t, int iteration,
                                   bool initial) {
+  // probe_all folds the sweep's tallies into the monitor's HealthLedger;
+  // run() snapshots the ledger into the trace once the run is over.
   const SweepResult sweep = monitor_.probe_all(t);
-  trace.health.ok += sweep.ok;
-  trace.health.stale += sweep.stale;
-  trace.health.timeouts += sweep.timeouts;
-  trace.health.failures += sweep.failures;
-  trace.health.quarantines += static_cast<int>(sweep.quarantined.size());
-  trace.health.readmissions += static_cast<int>(sweep.readmitted.size());
   const std::vector<real_t> fresh =
       capacity_.relative_capacities(sweep.estimates);
   if (initial) {

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "monitor/probe_health.hpp"
 #include "util/types.hpp"
 
 namespace ssamr {
@@ -77,21 +78,8 @@ struct RankUsage {
   bool operator==(const RankUsage&) const = default;
 };
 
-/// Probe-health counters accumulated over a run's sensing sweeps
-/// (monitor_service.hpp).  All zero on a fault-free run except `ok`.
-struct ProbeHealth {
-  int ok = 0;         ///< probes answered fresh
-  int stale = 0;      ///< probes answered with stale readings
-  int timeouts = 0;   ///< probes that exhausted retries timing out
-  int failures = 0;   ///< probes that exhausted retries failing fast
-  int quarantines = 0;    ///< quarantine events (nodes dropped to zero)
-  int readmissions = 0;   ///< recovery events (nodes re-admitted)
-  /// Repartitions forced by quarantine/readmission events outside the
-  /// regular regrid cadence.
-  int forced_repartitions = 0;
-
-  bool operator==(const ProbeHealth&) const = default;
-};
+// ProbeHealth lives in monitor/probe_health.hpp next to the HealthLedger
+// that accumulates it; RunTrace::health carries the final snapshot.
 
 /// Complete record of one run.
 struct RunTrace {

@@ -53,7 +53,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     stop_.store(true, std::memory_order_release);
   }
   sleep_cv_.notify_all();
@@ -67,7 +67,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::notify_one() {
   // Notify under the mutex so it pairs with the sleeper's predicate check,
   // closing the decide-to-sleep / task-arrives window.
-  std::lock_guard<std::mutex> lock(sleep_mutex_);
+  MutexLock lock(sleep_mutex_);
   sleep_cv_.notify_one();
 }
 
@@ -78,8 +78,9 @@ void ThreadPool::submit(std::function<void()> task) {
   }
   const std::size_t qi = (tl_pool == this) ? tl_queue : 0;
   {
-    std::lock_guard<std::mutex> lock(queues_[qi]->mutex);
-    queues_[qi]->tasks.push_back(std::move(task));
+    Deque& dq = *queues_[qi];
+    MutexLock lock(dq.mutex);
+    dq.tasks.push_back(std::move(task));
   }
   pending_.fetch_add(1, std::memory_order_release);
   notify_one();
@@ -88,7 +89,7 @@ void ThreadPool::submit(std::function<void()> task) {
 bool ThreadPool::try_pop(std::size_t queue_index, std::function<void()>& out,
                          bool back) {
   Deque& dq = *queues_[queue_index];
-  std::lock_guard<std::mutex> lock(dq.mutex);
+  MutexLock lock(dq.mutex);
   if (dq.tasks.empty()) return false;
   if (back) {
     out = std::move(dq.tasks.back());
@@ -123,7 +124,7 @@ void ThreadPool::worker_main(std::size_t index) {
   tl_queue = index + 1;
   for (;;) {
     if (run_one_task()) continue;
-    std::unique_lock<std::mutex> lock(sleep_mutex_);
+    MutexLock lock(sleep_mutex_);
     sleep_cv_.wait(lock, [this] {
       return stop_.load(std::memory_order_acquire) ||
              pending_.load(std::memory_order_acquire) > 0;
@@ -141,9 +142,9 @@ void ThreadPool::run_parallel(
     std::atomic<std::size_t> done{0};
     std::atomic<int> live_helpers{0};
     std::atomic<bool> abort{false};
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::exception_ptr error;
+    Mutex mutex;
+    CondVar cv;
+    std::exception_ptr error SSAMR_GUARDED_BY(mutex);
   };
   Shared shared;
 
@@ -156,13 +157,13 @@ void ThreadPool::run_parallel(
         try {
           body(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(shared.mutex);
+          MutexLock lock(shared.mutex);
           if (!shared.error) shared.error = std::current_exception();
           shared.abort.store(true, std::memory_order_relaxed);
         }
       }
       if (shared.done.fetch_add(1, std::memory_order_acq_rel) + 1 == n) {
-        std::lock_guard<std::mutex> lock(shared.mutex);
+        MutexLock lock(shared.mutex);
         shared.cv.notify_all();
       }
     }
@@ -196,11 +197,18 @@ void ThreadPool::run_parallel(
     // Help with whatever is queued (possibly our own helpers, possibly
     // unrelated tasks) rather than blocking a thread.
     if (run_one_task()) continue;
-    std::unique_lock<std::mutex> lock(shared.mutex);
+    MutexLock lock(shared.mutex);
     shared.cv.wait_for(lock, std::chrono::milliseconds(1),
                        [&finished] { return finished(); });
   }
-  if (shared.error) std::rethrow_exception(shared.error);
+  // Everyone is done, but the analysis (rightly) insists error is read
+  // under its guard; the lock is uncontended here.
+  std::exception_ptr error;
+  {
+    MutexLock lock(shared.mutex);
+    error = shared.error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 ThreadPoolOverride::ThreadPoolOverride(int threads)

@@ -27,18 +27,19 @@
 /// evaluation) compose without deadlock.
 
 #include <atomic>
-#include <condition_variable>
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "util/thread_safety.hpp"
 
 namespace ssamr {
 
@@ -136,8 +137,8 @@ class ThreadPool {
 
  private:
   struct Deque {
-    std::mutex mutex;
-    std::deque<std::function<void()>> tasks;
+    Mutex mutex;
+    std::deque<std::function<void()>> tasks SSAMR_GUARDED_BY(mutex);
   };
 
   void worker_main(std::size_t index);
@@ -150,8 +151,11 @@ class ThreadPool {
   // queues_[0] is the injection queue; queues_[i + 1] belongs to worker i.
   std::vector<std::unique_ptr<Deque>> queues_;
   std::vector<std::thread> workers_;
-  std::mutex sleep_mutex_;
-  std::condition_variable sleep_cv_;
+  // Not a guard for any field (pending_/stop_ are atomics): it closes the
+  // decide-to-sleep / task-arrives race between notify_one() and the
+  // sleepers' predicate re-check in worker_main().
+  Mutex sleep_mutex_;
+  CondVar sleep_cv_;
   std::atomic<std::size_t> pending_{0};
   std::atomic<bool> stop_{false};
 };

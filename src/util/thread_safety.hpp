@@ -1,0 +1,136 @@
+#pragma once
+/// \file thread_safety.hpp
+/// Clang thread-safety capability annotations and the annotated lock types
+/// every threaded subsystem must use.
+///
+/// The repo's core guarantee — bit-identical traces and goldens at any
+/// thread count — is enforced dynamically by the TSan job and the
+/// determinism suite, which only see the interleavings CI happens to run.
+/// This header makes the lock discipline *compile-time checked*: a Clang
+/// build with `-Wthread-safety -Wthread-safety-beta -Werror` (the
+/// `clang-safety` preset / CI clang job) proves that every access to a
+/// `SSAMR_GUARDED_BY` field holds the right mutex, on every path.  Under
+/// GCC the annotations expand to nothing and the types compile to the
+/// plain std primitives.
+///
+/// Rules (enforced by tools/ssamr_lint.py, rule `mutex-seam`):
+///  - This header is the ONLY place in src/ allowed to name std::mutex,
+///    std::lock_guard, std::unique_lock or std::condition_variable.
+///    Everything else uses Mutex / MutexLock / CondVar so the capability
+///    annotations cannot be bypassed.
+///  - Every field a mutex protects is declared with SSAMR_GUARDED_BY so
+///    the analysis has something to check.
+///  - SSAMR_NO_THREAD_SAFETY_ANALYSIS must not appear outside this header
+///    (the CI acceptance gate greps for escapes).
+///
+/// Lock ordering (see DESIGN.md "Concurrency-safety model"): every mutex
+/// in the codebase is a leaf — no code path acquires a second Mutex while
+/// holding one — so there is no ordering to get wrong.  Keep it that way;
+/// the work-stealing pool's try_pop visits sibling queues strictly one at
+/// a time.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#if defined(__clang__)
+#define SSAMR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SSAMR_THREAD_ANNOTATION(x)
+#endif
+
+/// A type that acts as a lock ("capability" in Clang's terminology).
+#define SSAMR_CAPABILITY(x) SSAMR_THREAD_ANNOTATION(capability(x))
+/// A RAII type that acquires on construction and releases on destruction.
+#define SSAMR_SCOPED_CAPABILITY SSAMR_THREAD_ANNOTATION(scoped_lockable)
+/// Field annotation: reads/writes require holding `x`.
+#define SSAMR_GUARDED_BY(x) SSAMR_THREAD_ANNOTATION(guarded_by(x))
+/// Pointer field annotation: the pointee is protected by `x`.
+#define SSAMR_PT_GUARDED_BY(x) SSAMR_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function annotation: the caller must hold the given capabilities.
+#define SSAMR_REQUIRES(...) \
+  SSAMR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function annotation: acquires the given capabilities (not released).
+#define SSAMR_ACQUIRE(...) \
+  SSAMR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function annotation: releases the given capabilities.
+#define SSAMR_RELEASE(...) \
+  SSAMR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function annotation: acquires on a given return value (try_lock).
+#define SSAMR_TRY_ACQUIRE(...) \
+  SSAMR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+/// Function annotation: must be called WITHOUT the given capabilities.
+#define SSAMR_EXCLUDES(...) SSAMR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch.  Allowed in this header only (CI greps for escapes).
+#define SSAMR_NO_THREAD_SAFETY_ANALYSIS \
+  SSAMR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ssamr {
+
+/// Annotated mutual-exclusion capability wrapping std::mutex.  Prefer the
+/// scoped MutexLock; call lock()/unlock() directly only where RAII cannot
+/// express the critical section.
+class SSAMR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SSAMR_ACQUIRE() { m_.lock(); }
+  void unlock() SSAMR_RELEASE() { m_.unlock(); }
+  bool try_lock() SSAMR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// Scoped lock of a Mutex (the annotated counterpart of std::lock_guard /
+/// std::unique_lock): acquires in the constructor, releases in the
+/// destructor, and tells the analysis which capability it holds.
+class SSAMR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SSAMR_ACQUIRE(mu) : lock_(mu.m_) {}
+  ~MutexLock() SSAMR_RELEASE() {}  // lock_ member releases the mutex
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable paired with Mutex/MutexLock.  The caller must hold
+/// the MutexLock it passes (the usual condition-variable contract); wait
+/// atomically releases and re-acquires it, which Clang's analysis cannot
+/// model — the scoped MutexLock keeps the capability bookkeeping correct
+/// across the wait.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Pred>
+  void wait(MutexLock& lock, Pred pred) {
+    cv_.wait(lock.lock_, std::move(pred));
+  }
+
+  template <class Rep, class Period, class Pred>
+  bool wait_for(MutexLock& lock,
+                const std::chrono::duration<Rep, Period>& dur, Pred pred) {
+    return cv_.wait_for(lock.lock_, dur, std::move(pred));
+  }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ssamr

@@ -1,0 +1,34 @@
+#pragma once
+/// \file wallclock.hpp
+/// The sanctioned wall-clock seam — the ONLY place in src/ allowed to
+/// touch std::chrono's clocks (enforced by tools/ssamr_lint.py, rule
+/// `clock`).
+///
+/// Everything the library computes runs on *virtual* time so that traces,
+/// goldens and the determinism suite are bit-identical across machines and
+/// thread counts.  Real wall-clock readings are inherently nondeterministic
+/// and must never feed RunTrace, PartitionResult or CSV output; they are
+/// for operator-facing diagnostics only (log timestamps, progress
+/// reporting).  Funneling every reading through this header keeps that
+/// boundary greppable and machine-checked.
+
+#include <chrono>
+
+namespace ssamr {
+
+/// Monotonic wall-clock seconds since an arbitrary epoch.  Diagnostics
+/// only — never record the result in any deterministic output.
+inline double wallclock_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monotonic seconds since the first call in this process (a stable zero
+/// point for log timestamps).
+inline double wallclock_since_start() {
+  static const double start = wallclock_seconds();
+  return wallclock_seconds() - start;
+}
+
+}  // namespace ssamr

@@ -107,7 +107,9 @@ void check_envelope(const RunTrace& t) {
     EXPECT_LE(s.rank, t.num_ranks);  // == num_ranks: monitor lane
     // Rank spans end by the run end; the monitor lane may outlast it
     // (overlapped sweeps keep probing while ranks already finished).
-    if (s.rank < t.num_ranks) EXPECT_LE(s.t1, t.total_time + 1e-9);
+    if (s.rank < t.num_ranks) {
+      EXPECT_LE(s.t1, t.total_time + 1e-9);
+    }
   }
 }
 

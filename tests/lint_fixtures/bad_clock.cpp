@@ -1,0 +1,15 @@
+// Fixture for the `clock` rule: wall-clock reads outside the sanctioned
+// seam (util/wallclock.hpp) leak real time into a library that must run
+// entirely on virtual time.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include <chrono>
+
+namespace ssamr_fixture {
+
+double now_seconds() {
+  const auto t = std::chrono::steady_clock::now();  // expect: clock
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace ssamr_fixture

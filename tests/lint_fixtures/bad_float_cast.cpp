@@ -1,0 +1,16 @@
+// Fixture for the `float-cast` rule: casting an out-of-range floating
+// value to an integer type is undefined behaviour (the planes_for_target
+// bug class).  Casts must clamp in floating point first, or sit next to a
+// range guard.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include <cstdint>
+
+namespace ssamr_fixture {
+
+std::int32_t planes_for_target(double target_work, double plane_work) {
+  const double ratio = target_work / plane_work;
+  return static_cast<std::int32_t>(ratio);  // expect: float-cast
+}
+
+}  // namespace ssamr_fixture

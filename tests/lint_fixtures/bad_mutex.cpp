@@ -1,0 +1,23 @@
+// Fixture for the `mutex-seam` rule: raw standard lock primitives (and
+// thread-safety-analysis escapes) outside util/thread_safety.hpp bypass the
+// capability annotations, so -Wthread-safety cannot see the locking.
+// Not compiled into the library — parsed by tools/ssamr_lint.py, which
+// treats fixtures as if they lived under src/.
+
+#include <condition_variable>
+#include <mutex>
+
+namespace ssamr_fixture {
+
+std::mutex g_m;                 // expect: mutex-seam
+std::condition_variable g_cv;   // expect: mutex-seam
+
+int locked_get(int& shared) {
+  std::lock_guard<std::mutex> lock(g_m);  // expect: mutex-seam
+  return shared;
+}
+
+// Escaping the analysis is as bad as bypassing the wrappers.
+void escape_hatch() __attribute__((no_thread_safety_analysis));  // expect: mutex-seam
+
+}  // namespace ssamr_fixture

@@ -1,0 +1,16 @@
+// Fixture for the `rand` rule: nondeterministic randomness breaks the
+// bit-identical trace contract.  Deterministic code seeds util/rng.hpp.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include <cstdlib>
+#include <random>
+
+namespace ssamr_fixture {
+
+int noisy_choice(int n) {
+  std::random_device rd;                    // expect: rand
+  const int salt = std::rand();             // expect: rand
+  return (static_cast<int>(rd()) + salt) % n;
+}
+
+}  // namespace ssamr_fixture

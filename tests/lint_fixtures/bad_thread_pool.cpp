@@ -1,0 +1,20 @@
+// Fixture for the `pool-ctor` rule: library code must share the process
+// pool (ThreadPool::global()); constructing private pools outside util/
+// and tests/ breaks SSAMR_THREADS accounting and risks nested-parallelism
+// deadlock.  Tests use ThreadPoolOverride instead.
+// Not compiled into the library — parsed by tools/ssamr_lint.py, which
+// treats fixtures as if they lived under src/ (so the tests/ exemption
+// does not apply here).
+
+#include "util/thread_pool.hpp"
+
+namespace ssamr_fixture {
+
+double busy_sum(std::size_t n) {
+  ssamr::ThreadPool pool(4);  // expect: pool-ctor
+  double acc = 0;
+  pool.parallel_for(n, [&](std::size_t) {});
+  return acc;
+}
+
+}  // namespace ssamr_fixture

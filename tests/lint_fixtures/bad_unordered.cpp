@@ -1,0 +1,21 @@
+// Fixture for the `unordered-iter` rule: iterating a hash container in a
+// function that feeds RunTrace/PartitionResult/CSV makes the output depend
+// on hash order, which varies across libstdc++ versions and seeds.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include <unordered_map>
+
+#include "runtime/trace.hpp"
+
+namespace ssamr_fixture {
+
+void fold_work_into_trace(
+    ssamr::RunTrace& trace,
+    const std::unordered_map<int, double>& work_by_rank) {
+  for (const auto& [rank, work] : work_by_rank) {  // expect: unordered-iter
+    trace.compute_time += work;
+    (void)rank;
+  }
+}
+
+}  // namespace ssamr_fixture

@@ -1,0 +1,45 @@
+// Negative fixture: idiomatic ssamr code that every lint rule must stay
+// silent on.  Covers the sanctioned counterpart of each violation in the
+// bad_*.cpp fixtures: annotated locks, a clamped float->int cast, ordered
+// iteration feeding a trace, and the shared global thread pool.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "runtime/trace.hpp"
+#include "util/thread_pool.hpp"
+#include "util/thread_safety.hpp"
+
+namespace ssamr_fixture {
+
+struct GuardedCounter {
+  ssamr::Mutex mutex;
+  int value SSAMR_GUARDED_BY(mutex) = 0;
+};
+
+int bump(GuardedCounter& c) {
+  ssamr::MutexLock lock(c.mutex);
+  return ++c.value;
+}
+
+std::int32_t planes_for_target(double target_work, double plane_work) {
+  const double clamped =
+      std::clamp(target_work / plane_work, 0.0, 1024.0);
+  return static_cast<std::int32_t>(clamped);
+}
+
+void fold_work_into_trace(ssamr::RunTrace& trace,
+                          const std::map<int, double>& work_by_rank) {
+  for (const auto& [rank, work] : work_by_rank) {
+    trace.compute_time += work;
+    (void)rank;
+  }
+}
+
+void run_shared(std::size_t n) {
+  ssamr::ThreadPool::global().parallel_for(n, [](std::size_t) {});
+}
+
+}  // namespace ssamr_fixture

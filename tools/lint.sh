@@ -5,10 +5,12 @@
 #   tools/lint.sh            # lint every src/ translation unit
 #   tools/lint.sh FILES...   # lint only the given files (CI: changed files)
 #
-# Two layers:
+# Three layers:
 #   1. grep-based bans that hold regardless of available tooling;
 #   2. clang-tidy over the compile database (skipped with a notice when
-#      clang-tidy is not installed — the CI lint job always has it).
+#      clang-tidy is not installed — the CI lint job always has it);
+#   3. tools/ssamr_lint.py, the project-specific concurrency/determinism
+#      linter (libclang AST in CI, textual fallback elsewhere).
 #
 # Exits non-zero on any violation.
 
@@ -18,20 +20,22 @@ cd "$(dirname "$0")/.."
 fail=0
 
 # ---- 1. grep gates ---------------------------------------------------------
-# Raw assert()/abort() are forbidden in src/: library invariants go through
-# SSAMR_REQUIRE / SSAMR_ASSERT (util/error.hpp) so violations throw
-# ssamr::Error — observable by callers and the test suite — instead of
-# killing the process.  static_assert and the SSAMR_* macros do not match.
-if grep -rnE '(^|[^A-Za-z0-9_.])(assert|abort)[[:space:]]*\(' src \
+# Raw assert()/abort() are forbidden in src/, tests/ and bench/: library
+# invariants go through SSAMR_REQUIRE / SSAMR_ASSERT (util/error.hpp) so
+# violations throw ssamr::Error — observable by callers and the test suite —
+# instead of killing the process; tests use the gtest ASSERT_*/EXPECT_*
+# macros.  static_assert and the SSAMR_*/gtest macros do not match.
+if grep -rnE '(^|[^A-Za-z0-9_.])(assert|abort)[[:space:]]*\(' src tests bench \
       --include='*.cpp' --include='*.hpp'; then
-  echo "error: raw assert()/abort() in src/ — use SSAMR_REQUIRE / SSAMR_ASSERT (util/error.hpp)" >&2
+  echo "error: raw assert()/abort() — use SSAMR_REQUIRE / SSAMR_ASSERT (util/error.hpp) or gtest macros" >&2
   fail=1
 fi
 
-# Process-terminating calls hide failures from the virtual-time harness.
-if grep -rnE '(^|[^A-Za-z0-9_.])(std::exit|std::_Exit|std::quick_exit|_exit)[[:space:]]*\(' src \
+# Process-terminating calls hide failures from the virtual-time harness (and
+# from ctest, which would report a vanished process rather than a failure).
+if grep -rnE '(^|[^A-Za-z0-9_.])(std::exit|std::_Exit|std::quick_exit|_exit)[[:space:]]*\(' src tests bench \
       --include='*.cpp' --include='*.hpp'; then
-  echo "error: process-terminating call in src/ — throw ssamr::Error instead" >&2
+  echo "error: process-terminating call — throw ssamr::Error instead" >&2
   fail=1
 fi
 
@@ -60,6 +64,20 @@ if command -v clang-tidy >/dev/null 2>&1; then
   fi
 else
   echo "note: clang-tidy not found — skipping static analysis (grep gates still enforced)"
+fi
+
+# ---- 3. project-specific AST linter ----------------------------------------
+# Concurrency/determinism rules that grep cannot express: the std::mutex
+# seam, wall-clock and randomness bans, unguarded float->int casts,
+# unordered-container iteration into deterministic output, stray ThreadPool
+# construction.  Uses libclang when python3-clang is installed (CI), a
+# textual fallback otherwise; the fixture ctest pins both to the same
+# verdicts.
+if command -v python3 >/dev/null 2>&1; then
+  python3 tools/ssamr_lint.py --check-fixtures tests/lint_fixtures || fail=1
+  python3 tools/ssamr_lint.py -p build || fail=1
+else
+  echo "note: python3 not found — skipping ssamr_lint.py"
 fi
 
 exit "${fail}"

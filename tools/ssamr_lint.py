@@ -1,0 +1,700 @@
+#!/usr/bin/env python3
+"""ssamr_lint.py — project-specific AST linter for the ssamr library.
+
+Enforces the concurrency/determinism invariants that the grep gates in
+tools/lint.sh cannot express.  Two backends:
+
+  * libclang (preferred, used by the CI clang job): walks the compile
+    database and the real AST, so type-dependent rules (float->int casts,
+    unordered-container iteration) are judged on actual types.
+  * textual (fallback, zero dependencies): a comment/string-stripped token
+    scan with local type heuristics.  Used wherever python3-clang or
+    libclang is not installed; the fixture suite (tests/lint_fixtures)
+    pins both backends to the same verdicts.
+
+Rules (suppress a line with `// ssamr-lint: allow(<rule>)` on the line or
+the line above):
+
+  mutex-seam      std::mutex / std::lock_guard / std::unique_lock /
+                  std::condition_variable (and friends), or a
+                  no_thread_safety_analysis escape, outside
+                  src/util/thread_safety.hpp.  Everything must go through
+                  the annotated Mutex/MutexLock/CondVar so Clang's
+                  -Wthread-safety analysis cannot be bypassed.
+  rand            Nondeterministic randomness: std::rand, srand,
+                  std::random_device.  Use util/rng.hpp (seeded splitmix64)
+                  so traces stay bit-identical.
+  clock           Wall-clock reads (system_clock / steady_clock /
+                  high_resolution_clock / clock_gettime / gettimeofday)
+                  outside the sanctioned seam src/util/wallclock.hpp.
+                  Everything the library computes runs on virtual time.
+  unordered-iter  Iteration over std::unordered_map/set in a function that
+                  feeds RunTrace, PartitionResult or CSV output: hash
+                  order is not deterministic across libstdc++ versions.
+  float-cast      float->int static_cast without an adjacent clamp/guard
+                  (std::clamp/min/max or SSAMR_REQUIRE/SSAMR_ASSERT within
+                  the five preceding lines, or a clamp inside the operand).
+                  Casting an out-of-range double to an integer is UB — the
+                  planes_for_target bug class.
+  pool-ctor       ThreadPool construction outside src/util/ and tests/:
+                  the library must share ThreadPool::global() (tests use
+                  ThreadPoolOverride), or nested parallelism deadlocks
+                  and thread counts stop honoring SSAMR_THREADS.
+
+Usage:
+  tools/ssamr_lint.py [-p BUILDDIR] [--backend auto|libclang|textual] [FILES...]
+      Lint FILES, or (with no FILES) every src/ translation unit in the
+      compile database plus every src/ header.
+  tools/ssamr_lint.py --check-fixtures DIR
+      Self-test: each fixture in DIR declares its expected findings with
+      `// expect: <rule>` comments; assert the rule set fires exactly
+      there and nowhere else.  Exits non-zero on any mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+THREAD_SAFETY_SEAM = "util/thread_safety.hpp"
+WALLCLOCK_SEAM = "util/wallclock.hpp"
+
+RULES = {
+    "mutex-seam": "raw std lock primitive outside util/thread_safety.hpp",
+    "rand": "nondeterministic randomness (use util/rng.hpp)",
+    "clock": "wall-clock read outside util/wallclock.hpp",
+    "unordered-iter":
+        "unordered-container iteration feeding deterministic output",
+    "float-cast": "float->int static_cast without adjacent clamp/guard",
+    "pool-ctor": "ThreadPool construction outside util/ and tests/",
+}
+
+SUPPRESS_RE = re.compile(r"ssamr-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z-]+(?:\s*,\s*[a-z-]+)*)")
+
+MUTEX_TOKENS = {
+    "mutex", "timed_mutex", "recursive_mutex", "recursive_timed_mutex",
+    "shared_mutex", "shared_timed_mutex", "lock_guard", "unique_lock",
+    "scoped_lock", "shared_lock", "condition_variable",
+    "condition_variable_any",
+}
+CLOCK_TOKENS = {
+    "system_clock", "steady_clock", "high_resolution_clock",
+    "clock_gettime", "gettimeofday",
+}
+INT_DEST_RE = re.compile(
+    r"\b(?:std::)?(?:u?int(?:8|16|32|64)?_t|int|long(?:\s+long)?"
+    r"|short|unsigned(?:\s+(?:int|long|short|char))?|size_t|ptrdiff_t"
+    r"|coord_t|key_t|level_t|rank_t|char)\b"
+)
+GUARD_RE = re.compile(
+    r"std::clamp|std::min|std::max|SSAMR_REQUIRE|SSAMR_ASSERT")
+FLOAT_MARK_RE = re.compile(
+    r"\b(?:real_t|double|float)\b"
+    r"|\bstd::(?:floor|ceil|round|lround|llround|rint|nearbyint|trunc"
+    r"|sqrt|exp|log|pow|fmod|hypot|fabs)\b"
+    r"|(?<![\w.])(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?")
+FLOAT_DECL_FMT = r"\b(?:real_t|double|float)\b(?:\s+const\b)?[&*\s]+{name}\b"
+SIZEOF_RE = re.compile(r"\bsizeof\s*\([^()]*\)")
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:map|set|multimap|multiset)\s*<[^;{}]*?>\s*"
+    r"(?:const\s*)?[&*]?\s*(\w+)")
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*(?:\([^()]*\)[^;()]*)*)\)")
+OUTPUT_MARK_RE = re.compile(r"\bRunTrace\b|\bPartitionResult\b|\bCsvWriter\b")
+POOL_CTOR_RE = re.compile(
+    r"\bThreadPool\b\s*(?:\w+\s*)?[({]"
+    r"|\bmake_(?:unique|shared)\s*<\s*ThreadPool\s*>")
+GUARD_WINDOW = 5  # lines above a cast searched for a clamp/guard
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (str(self.path), self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# --------------------------------------------------------------------------
+# Shared text utilities
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments, string and char literals, preserving line
+    structure so line numbers survive."""
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | 'line' | 'block' | '"' | "'"
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state is None:
+            if c == "/" and nxt == "/":
+                state = "line"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block"
+                out.append("  ")
+                i += 2
+                continue
+            if c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        elif state == "block":
+            if c == "*" and nxt == "/":
+                state = None
+                out.append("  ")
+                i += 2
+                continue
+            out.append(c if c == "\n" else " ")
+        else:  # inside a string/char literal
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == state:
+                state = None
+                out.append(c)
+            elif c == "\n":  # unterminated (raw string etc.) — bail per line
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def suppressed_lines(raw_lines):
+    """Map line number -> set of suppressed rules ('*' = all), honoring the
+    same-line and line-above forms."""
+    supp = {}
+    for idx, line in enumerate(raw_lines, start=1):
+        m = SUPPRESS_RE.search(line)
+        if not m:
+            continue
+        rules = {r.strip() for r in m.group(1).split(",")}
+        supp.setdefault(idx, set()).update(rules)
+        supp.setdefault(idx + 1, set()).update(rules)
+    return supp
+
+
+def rel_to_repo(path: Path) -> str:
+    try:
+        return str(path.resolve().relative_to(REPO))
+    except ValueError:
+        return str(path)
+
+
+class FileContext:
+    """Everything the rules need to know about one file."""
+
+    def __init__(self, path: Path, pretend_rel: str | None = None):
+        self.path = path
+        self.rel = pretend_rel if pretend_rel is not None else rel_to_repo(path)
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.raw_lines = self.raw.splitlines()
+        self.stripped = strip_comments_and_strings(self.raw)
+        self.lines = self.stripped.splitlines()
+        self.suppress = suppressed_lines(self.raw_lines)
+
+    def in_src(self):
+        return self.rel.startswith("src/")
+
+    def is_seam(self, seam):
+        return self.rel == f"src/{seam}"
+
+    def pool_ctor_allowed(self):
+        return (self.rel.startswith("src/util/")
+                or (self.rel.startswith("tests/")
+                    and "lint_fixtures" not in self.rel))
+
+    def suppressed(self, line, rule):
+        rules = self.suppress.get(line, ())
+        return rule in rules or "*" in rules
+
+
+def function_spans(ctx: FileContext):
+    """Approximate (start_line, end_line, text) spans of function bodies,
+    header included.  Used by unordered-iter to judge whether the enclosing
+    function feeds deterministic output."""
+    spans = []
+    text = ctx.stripped
+    stmt_start = 0  # offset where the current statement/declarator began
+    depth_stack = []  # (start_offset, is_function)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c in ";}" and not depth_stack:
+            stmt_start = i + 1
+        elif c == "{":
+            header = text[stmt_start:i]
+            first_word = re.match(r"\s*([A-Za-z_]\w*)", header)
+            kw = first_word.group(1) if first_word else ""
+            is_fn = ("(" in header and ")" in header
+                     and kw not in ("if", "for", "while", "switch", "catch",
+                                    "do", "else"))
+            depth_stack.append((stmt_start if is_fn else i, is_fn))
+            stmt_start = i + 1
+        elif c == "}":
+            if depth_stack:
+                start, is_fn = depth_stack.pop()
+                if is_fn and not any(fn for _, fn in depth_stack):
+                    start_line = text.count("\n", 0, start) + 1
+                    end_line = text.count("\n", 0, i) + 1
+                    spans.append((start_line, end_line, text[start:i + 1]))
+            stmt_start = i + 1
+        i += 1
+    return spans
+
+
+def operand_of_cast(text: str, open_paren: int) -> str:
+    """The parenthesized operand starting at text[open_paren] == '('."""
+    depth = 0
+    for j in range(open_paren, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return text[open_paren + 1:j]
+    return text[open_paren + 1:]
+
+
+def has_adjacent_guard(ctx: FileContext, line: int, operand: str) -> bool:
+    if GUARD_RE.search(operand):
+        return True
+    lo = max(0, line - 1 - GUARD_WINDOW)
+    window = "\n".join(ctx.lines[lo:line])
+    return bool(GUARD_RE.search(window))
+
+
+def operand_is_floating_textual(ctx: FileContext, operand: str, line: int,
+                                spans) -> bool:
+    # sizeof(real_t) is a size_t, not a float — drop it before testing.
+    operand = SIZEOF_RE.sub("", operand)
+    if FLOAT_MARK_RE.search(operand):
+        return True
+    # Resolve identifier types only inside the enclosing function (header
+    # included) so a same-named variable in another scope cannot leak in.
+    # File-scope casts fall back to a short preceding window.
+    scope = None
+    for start, end, text in spans:
+        if start <= line <= end:
+            scope = text
+            break
+    if scope is None:
+        scope = "\n".join(ctx.lines[max(0, line - 11):line])
+    for name in set(re.findall(r"\b[A-Za-z_]\w*\b", operand)):
+        if name in ("std", "static_cast", "const", "auto"):
+            continue
+        if re.search(FLOAT_DECL_FMT.format(name=re.escape(name)), scope):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rules shared by both backends (pure text, comment/string stripped)
+
+
+def check_token_rules(ctx: FileContext, findings):
+    if not ctx.in_src():
+        return
+    for idx, line in enumerate(ctx.lines, start=1):
+        if not ctx.is_seam(THREAD_SAFETY_SEAM):
+            for tok in re.findall(r"std\s*::\s*([a-z_]+)", line):
+                if tok in MUTEX_TOKENS:
+                    findings.append(Finding(
+                        ctx.rel, idx, "mutex-seam",
+                        f"std::{tok} outside util/thread_safety.hpp — use "
+                        "the annotated Mutex/MutexLock/CondVar"))
+                    break
+            if re.search(r"no_thread_safety_analysis"
+                         r"|SSAMR_NO_THREAD_SAFETY_ANALYSIS", line):
+                findings.append(Finding(
+                    ctx.rel, idx, "mutex-seam",
+                    "thread-safety-analysis escape outside "
+                    "util/thread_safety.hpp"))
+        if re.search(r"\b(?:std\s*::\s*)?s?rand\s*\(", line) or \
+                re.search(r"\brandom_device\b", line):
+            findings.append(Finding(
+                ctx.rel, idx, "rand",
+                "nondeterministic randomness — seed util/rng.hpp instead"))
+        if not ctx.is_seam(WALLCLOCK_SEAM):
+            for tok in CLOCK_TOKENS:
+                if re.search(rf"\b{tok}\b", line):
+                    findings.append(Finding(
+                        ctx.rel, idx, "clock",
+                        f"{tok} outside util/wallclock.hpp — the library "
+                        "runs on virtual time"))
+                    break
+        if not ctx.pool_ctor_allowed() and POOL_CTOR_RE.search(line):
+            findings.append(Finding(
+                ctx.rel, idx, "pool-ctor",
+                "ThreadPool constructed outside util//tests — use "
+                "ThreadPool::global() (tests: ThreadPoolOverride)"))
+
+
+# --------------------------------------------------------------------------
+# Textual backend for the type-dependent rules
+
+
+def check_float_cast_textual(ctx: FileContext, findings):
+    if not ctx.in_src():
+        return
+    spans = function_spans(ctx)
+    for m in re.finditer(r"static_cast\s*<([^<>]+)>\s*\(", ctx.stripped):
+        dest = m.group(1).strip()
+        if not INT_DEST_RE.fullmatch(dest):
+            continue
+        operand = operand_of_cast(ctx.stripped, m.end() - 1)
+        line = ctx.stripped.count("\n", 0, m.start()) + 1
+        if not operand_is_floating_textual(ctx, operand, line, spans):
+            continue
+        if has_adjacent_guard(ctx, line, operand):
+            continue
+        findings.append(Finding(
+            ctx.rel, line, "float-cast",
+            f"float->int static_cast<{dest}> without an adjacent "
+            "clamp/guard (UB when out of range)"))
+
+
+def check_unordered_iter_textual(ctx: FileContext, findings):
+    if not ctx.in_src() or "unordered_" not in ctx.stripped:
+        return
+    unordered_names = set(UNORDERED_DECL_RE.findall(ctx.stripped))
+    spans = function_spans(ctx)
+    for m in RANGE_FOR_RE.finditer(ctx.stripped):
+        header = m.group(1)
+        if ":" not in header:
+            continue
+        range_expr = header.rsplit(":", 1)[1]
+        names = set(re.findall(r"\b[A-Za-z_]\w*\b", range_expr))
+        if "unordered_" not in range_expr and not (names & unordered_names):
+            continue
+        line = ctx.stripped.count("\n", 0, m.start()) + 1
+        for start, end, text in spans:
+            if start <= line <= end and OUTPUT_MARK_RE.search(text):
+                findings.append(Finding(
+                    ctx.rel, line, "unordered-iter",
+                    "iteration over an unordered container in a function "
+                    "feeding RunTrace/PartitionResult/CSV — hash order is "
+                    "not deterministic"))
+                break
+
+
+def lint_file_textual(ctx: FileContext, findings):
+    check_token_rules(ctx, findings)
+    check_float_cast_textual(ctx, findings)
+    check_unordered_iter_textual(ctx, findings)
+
+
+# --------------------------------------------------------------------------
+# libclang backend: token rules reuse the text layer (identical verdicts);
+# the type-dependent rules use the real AST.
+
+
+def load_cindex():
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    override = os.environ.get("SSAMR_LINT_LIBCLANG")
+    if override:
+        cindex.Config.set_library_file(override)
+    try:
+        cindex.Index.create()
+    except Exception:
+        for candidate in sorted(Path("/usr/lib").rglob("libclang-*.so*"),
+                                reverse=True):
+            try:
+                cindex.Config.set_library_file(str(candidate))
+                cindex.Index.create()
+                break
+            except Exception:
+                cindex.Config.loaded = False
+        else:
+            return None
+    return cindex
+
+
+FLOATING_KINDS = None
+INTEGRAL_KINDS = None
+
+
+def init_type_kinds(cindex):
+    global FLOATING_KINDS, INTEGRAL_KINDS
+    tk = cindex.TypeKind
+    FLOATING_KINDS = {tk.FLOAT, tk.DOUBLE, tk.LONGDOUBLE}
+    INTEGRAL_KINDS = {
+        tk.CHAR_U, tk.UCHAR, tk.USHORT, tk.UINT, tk.ULONG, tk.ULONGLONG,
+        tk.CHAR_S, tk.SCHAR, tk.SHORT, tk.INT, tk.LONG, tk.LONGLONG,
+    }
+
+
+def expr_children(cindex, cursor):
+    return [c for c in cursor.get_children()
+            if c.kind.is_expression() or c.kind.is_statement()]
+
+
+def enclosing_function_feeds_output(ctx, fn_cursor):
+    if fn_cursor is None:
+        return False
+    extent = fn_cursor.extent
+    text = "\n".join(
+        ctx.lines[extent.start.line - 1:extent.end.line])
+    return bool(OUTPUT_MARK_RE.search(text))
+
+
+def check_ast_rules(cindex, ctx_by_path, cursor, fn_cursor, findings):
+    ck = cindex.CursorKind
+    if cursor.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD, ck.CONSTRUCTOR,
+                       ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE, ck.LAMBDA_EXPR):
+        if cursor.is_definition() or cursor.kind == ck.LAMBDA_EXPR:
+            fn_cursor = cursor
+    loc_file = cursor.location.file
+    ctx = ctx_by_path.get(str(Path(loc_file.name).resolve())) if loc_file \
+        else None
+    if ctx is not None:
+        if cursor.kind == ck.CXX_STATIC_CAST_EXPR:
+            dest = cursor.type.get_canonical()
+            operands = expr_children(cindex, cursor)
+            src_type = None
+            if operands:
+                src_type = operands[-1].type.get_canonical()
+            if (src_type is not None and src_type.kind in FLOATING_KINDS
+                    and dest.kind in INTEGRAL_KINDS):
+                line = cursor.extent.start.line
+                end = min(cursor.extent.end.line, len(ctx.lines))
+                operand_text = "\n".join(ctx.lines[line - 1:end])
+                if not has_adjacent_guard(ctx, line, operand_text):
+                    findings.append(Finding(
+                        ctx.rel, line, "float-cast",
+                        f"float->int static_cast<{cursor.type.spelling}> "
+                        "without an adjacent clamp/guard (UB when out of "
+                        "range)"))
+        elif cursor.kind == ck.CXX_FOR_RANGE_STMT:
+            range_types = [c.type.spelling for c in cursor.get_children()]
+            if any("unordered_map" in t or "unordered_set" in t
+                   or "unordered_multi" in t for t in range_types):
+                if enclosing_function_feeds_output(ctx, fn_cursor):
+                    findings.append(Finding(
+                        ctx.rel, cursor.extent.start.line, "unordered-iter",
+                        "iteration over an unordered container in a "
+                        "function feeding RunTrace/PartitionResult/CSV — "
+                        "hash order is not deterministic"))
+    for child in cursor.get_children():
+        check_ast_rules(cindex, ctx_by_path, child, fn_cursor, findings)
+
+
+def lint_libclang(cindex, tus, ctx_by_path, findings):
+    """tus: list of (main_file_path, compile_args)."""
+    init_type_kinds(cindex)
+    index = cindex.Index.create()
+    for ctx in ctx_by_path.values():
+        check_token_rules(ctx, findings)
+    seen_tu_errors = []
+    for path, args in tus:
+        try:
+            tu = index.parse(str(path), args=args)
+        except cindex.TranslationUnitLoadError as e:
+            seen_tu_errors.append(f"{path}: {e}")
+            continue
+        check_ast_rules(cindex, ctx_by_path, tu.cursor, None, findings)
+    for err in seen_tu_errors:
+        print(f"warning: libclang failed to parse {err}", file=sys.stderr)
+
+
+# --------------------------------------------------------------------------
+# Drivers
+
+
+def compile_db_args(build_dir: Path):
+    """Map resolved src file -> compile args (without -c/-o/the file)."""
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.is_file():
+        return {}
+    out = {}
+    for entry in json.loads(db_path.read_text()):
+        f = Path(entry["directory"], entry["file"]).resolve()
+        args = entry.get("arguments")
+        if args is None:
+            args = entry.get("command", "").split()
+        keep, skip_next = [], True  # first token is the compiler
+        for a in args:
+            if skip_next:
+                skip_next = False
+                continue
+            if a in ("-c", "-o"):
+                skip_next = a == "-o"
+                continue
+            if Path(a).resolve() == f if not a.startswith("-") else False:
+                continue
+            keep.append(a)
+        out[f] = keep
+    return out
+
+
+def default_args():
+    return ["-xc++", f"-std=c++20", "-I", str(SRC)]
+
+
+def collect_findings(files, backend, build_dir, pretend=None):
+    """files: list of Paths.  pretend: map Path -> pretend repo-relative
+    path (fixture mode).  Returns (findings, backend_used)."""
+    ctx_by_path = {}
+    for f in files:
+        rp = pretend.get(f) if pretend else None
+        ctx_by_path[str(f.resolve())] = FileContext(f, pretend_rel=rp)
+
+    findings = []
+    cindex = load_cindex() if backend in ("auto", "libclang") else None
+    if backend == "libclang" and cindex is None:
+        print("error: --backend=libclang requested but python clang "
+              "bindings / libclang are unavailable", file=sys.stderr)
+        sys.exit(2)
+
+    if cindex is not None:
+        db = compile_db_args(build_dir) if build_dir else {}
+        tus = []
+        for f in files:
+            rf = f.resolve()
+            if rf.suffix in (".cpp", ".cc", ".cxx"):
+                tus.append((rf, db.get(rf, default_args())))
+        headers_only = [f for f in files
+                        if f.resolve().suffix in (".hpp", ".h")]
+        # Headers not reached through any listed TU still get token rules
+        # (already applied); AST rules need a TU, so parse headers directly.
+        for h in headers_only:
+            tus.append((h.resolve(), default_args()))
+        lint_libclang(cindex, tus, ctx_by_path, findings)
+        used = "libclang"
+    else:
+        for ctx in ctx_by_path.values():
+            lint_file_textual(ctx, findings)
+        used = "textual"
+
+    kept, seen = [], set()
+    for fd in findings:
+        ctx = next((c for c in ctx_by_path.values() if c.rel == fd.path),
+                   None)
+        if ctx is not None and ctx.suppressed(fd.line, fd.rule):
+            continue
+        if fd.key() in seen:
+            continue
+        seen.add(fd.key())
+        kept.append(fd)
+    kept.sort(key=Finding.key)
+    return kept, used
+
+
+def default_file_set(build_dir):
+    files = sorted(SRC.rglob("*.cpp")) + sorted(SRC.rglob("*.hpp"))
+    return [f for f in files if f.is_file()]
+
+
+def run_lint(args):
+    files = [Path(f) for f in args.files] if args.files \
+        else default_file_set(args.build)
+    findings, used = collect_findings(files, args.backend, args.build)
+    for fd in findings:
+        print(fd)
+    n = len(findings)
+    print(f"ssamr_lint ({used} backend): {len(files)} files, "
+          f"{n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+    return 1 if findings else 0
+
+
+def run_check_fixtures(args):
+    fixture_dir = Path(args.check_fixtures)
+    fixtures = sorted(fixture_dir.glob("*.cpp")) + \
+        sorted(fixture_dir.glob("*.hpp"))
+    if not fixtures:
+        print(f"error: no fixtures in {fixture_dir}", file=sys.stderr)
+        return 2
+
+    expected = set()
+    pretend = {}
+    for f in fixtures:
+        pretend[f] = f"src/lint_fixtures/{f.name}"
+        for idx, line in enumerate(f.read_text().splitlines(), start=1):
+            m = EXPECT_RE.search(line)
+            if m:
+                for rule in (r.strip() for r in m.group(1).split(",")):
+                    if rule not in RULES:
+                        print(f"error: {f.name}:{idx} expects unknown rule "
+                              f"'{rule}'", file=sys.stderr)
+                        return 2
+                    expected.add((pretend[f], idx, rule))
+
+    findings, used = collect_findings(fixtures, args.backend, args.build,
+                                      pretend=pretend)
+    actual = {fd.key() for fd in findings}
+    missing = expected - actual
+    unexpected = actual - expected
+    for path, line, rule in sorted(missing):
+        print(f"FIXTURE MISMATCH: expected [{rule}] at {path}:{line} "
+              "— did not fire")
+    for path, line, rule in sorted(unexpected):
+        print(f"FIXTURE MISMATCH: unexpected [{rule}] at {path}:{line}")
+    fired_rules = {rule for _, _, rule in expected}
+    silent = set(RULES) - fired_rules
+    if silent:
+        print(f"FIXTURE GAP: no fixture exercises rule(s): "
+              f"{', '.join(sorted(silent))}")
+    ok = not missing and not unexpected and not silent
+    status = "ok" if ok else "FAILED"
+    print(f"ssamr_lint fixtures ({used} backend): {len(fixtures)} files, "
+          f"{len(expected)} expected findings — {status}")
+    return 0 if ok else 1
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="*", help="files to lint "
+                    "(default: all of src/ via the compile database)")
+    ap.add_argument("-p", "--build", type=Path, default=REPO / "build",
+                    help="build dir holding compile_commands.json")
+    ap.add_argument("--backend", choices=("auto", "libclang", "textual"),
+                    default="auto")
+    ap.add_argument("--check-fixtures", metavar="DIR",
+                    help="self-test against a fixture directory")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, desc in RULES.items():
+            print(f"{rule:16s} {desc}")
+        return 0
+    if args.check_fixtures:
+        return run_check_fixtures(args)
+    return run_lint(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -74,7 +74,7 @@ FaultPlan plan_for_rate(real_t rate, int nodes, real_t horizon) {
   profile.stale_windows = env_int("SSAMR_FAULT_STALE_WINDOWS", 2);
   profile.crash_episodes = env_int("SSAMR_FAULT_CRASHES", 1);
   return FaultPlan::scripted(
-      nodes, horizon, profile,
+      nodes, Seconds{horizon}, profile,
       static_cast<std::uint64_t>(env_int("SSAMR_FAULT_SEED", 1724)));
 }
 
@@ -126,18 +126,18 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < rates.size(); ++i) {
     const ProbeHealth& h = het[i].health;
     const real_t gain =
-        def[i].total_time > 0
+        def[i].total_time > Seconds{0}
             ? 100.0 * (def[i].total_time - het[i].total_time) /
                   def[i].total_time
             : 0.0;
-    t.add_row({fmt(rates[i], 2), fmt(het[i].total_time, 1),
-               fmt(def[i].total_time, 1), fmt(gain, 1),
+    t.add_row({fmt(rates[i], 2), fmt(het[i].total_time.value(), 1),
+               fmt(def[i].total_time.value(), 1), fmt(gain, 1),
                std::to_string(h.stale), std::to_string(h.timeouts),
                std::to_string(h.failures), std::to_string(h.quarantines),
                std::to_string(h.readmissions),
                std::to_string(h.forced_repartitions)});
-    csv.add_row({fmt(rates[i], 2), fmt(het[i].total_time, 2),
-                 fmt(def[i].total_time, 2), fmt(gain, 2),
+    csv.add_row({fmt(rates[i], 2), fmt(het[i].total_time.value(), 2),
+                 fmt(def[i].total_time.value(), 2), fmt(gain, 2),
                  std::to_string(h.stale), std::to_string(h.timeouts),
                  std::to_string(h.failures), std::to_string(h.quarantines),
                  std::to_string(h.readmissions),

@@ -58,10 +58,12 @@ int main() {
   for (std::size_t i = 0; i < thetas.size(); ++i) {
     const real_t theta = thetas[i];
     const RunTrace& trace = traces[i];
-    t.add_row({fmt(theta, 2), fmt(trace.total_time, 1),
-               fmt(trace.migrate_time, 1), fmt(trace.compute_time, 1)});
-    csv.add_row({fmt(theta, 2), fmt(trace.total_time, 2),
-                 fmt(trace.migrate_time, 2), fmt(trace.compute_time, 2)});
+    t.add_row({fmt(theta, 2), fmt(trace.total_time.value(), 1),
+               fmt(trace.migrate_time.value(), 1),
+               fmt(trace.compute_time.value(), 1)});
+    csv.add_row({fmt(theta, 2), fmt(trace.total_time.value(), 2),
+                 fmt(trace.migrate_time.value(), 2),
+                 fmt(trace.compute_time.value(), 2)});
   }
   std::cout << t.str() << '\n';
   std::cout << "Expected shape: an interior optimum — small thresholds "

@@ -67,7 +67,7 @@ int main() {
     TraceWorkloadSource source(exp::paper_trace_config());
     AdaptiveRuntime runtime(cluster, source, *scheme,
                             exp::paper_runtime_config(100, 0));
-    const real_t time = runtime.run().total_time;
+    const real_t time = runtime.run().total_time.value();
     exec_times.push_back(time);
 
     t.add_row({scheme->name(), fmt(imb, 2) + "%", std::to_string(comm),

@@ -32,8 +32,8 @@ std::vector<Profile> make_profiles() {
     e.ncomp = 5;
     e.ghost = 1;
     e.time_levels = 1;
-    e.app_base_memory_mb = 8.0;
-    e.comm_overlap = 0.9;
+    e.app_base_memory_mb = MegaBytes{8.0};
+    e.comm_overlap = Fraction{0.9};
     out.push_back({"cpu-bound", "cpu-weighted", e});
   }
   {
@@ -41,8 +41,8 @@ std::vector<Profile> make_profiles() {
     e.ncomp = 5;
     e.ghost = 1;
     e.time_levels = 4;
-    e.app_base_memory_mb = 40.0;
-    e.comm_overlap = 0.9;
+    e.app_base_memory_mb = MegaBytes{40.0};
+    e.comm_overlap = Fraction{0.9};
     out.push_back({"memory-intensive", "memory-weighted", e});
   }
   {
@@ -50,8 +50,8 @@ std::vector<Profile> make_profiles() {
     e.ncomp = 10;
     e.ghost = 3;
     e.time_levels = 1;
-    e.app_base_memory_mb = 8.0;
-    e.comm_overlap = 0.0;
+    e.app_base_memory_mb = MegaBytes{8.0};
+    e.comm_overlap = Fraction{0.0};
     out.push_back({"comm-heavy", "comm-weighted", e});
   }
   return out;
@@ -62,11 +62,11 @@ Cluster skewed_cluster() {
   Cluster cluster = exp::paper_cluster(4);
   auto steady = [](real_t level, real_t memory, real_t traffic) {
     LoadRamp r;
-    r.start_time = -1.0;
+    r.start_time = Seconds{-1.0};
     r.rate = 1.0e9;
     r.target_level = level;
-    r.memory_mb = memory;
-    r.traffic_mbps = traffic;
+    r.memory_mb = MegaBytes{memory};
+    r.traffic_mbps = MbitsPerSec{traffic};
     return r;
   };
   cluster.add_load(0, steady(1.2, 10.0, 0.0));   // CPU-starved
@@ -84,7 +84,7 @@ real_t run_profile(const Profile& profile, CapacityWeights weights) {
   cfg.weights = weights;
   cfg.executor = profile.executor;
   AdaptiveRuntime runtime(cluster, source, het, cfg);
-  return runtime.run().total_time;
+  return runtime.run().total_time.value();
 }
 
 }  // namespace

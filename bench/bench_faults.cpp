@@ -25,18 +25,19 @@ FaultPlan faulty_plan(int nodes) {
   profile.probe_drop_rate = 0.1;
   profile.stale_windows = 2;
   profile.crash_episodes = 1;
-  return FaultPlan::scripted(nodes, /*horizon=*/1000.0, profile, 1724);
+  return FaultPlan::scripted(nodes, /*horizon=*/Seconds{1000.0}, profile,
+                             1724);
 }
 
 void BM_ProbeSweepNoFaults(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Cluster cluster = bench_cluster(n);
   ResourceMonitor monitor(cluster, MonitorConfig{});
-  real_t t = 0;
+  Seconds t{0};
   for (auto _ : state) {
     SweepResult sweep = monitor.probe_all(t);
     benchmark::DoNotOptimize(sweep.estimates.data());
-    t += 10.0;
+    t += Seconds{10.0};
   }
 }
 BENCHMARK(BM_ProbeSweepNoFaults)->Arg(4)->Arg(32);
@@ -46,11 +47,11 @@ void BM_ProbeSweepFaulty(benchmark::State& state) {
   Cluster cluster = bench_cluster(n);
   cluster.set_fault_plan(faulty_plan(n));
   ResourceMonitor monitor(cluster, MonitorConfig{});
-  real_t t = 0;
+  Seconds t{0};
   for (auto _ : state) {
     SweepResult sweep = monitor.probe_all(t);
     benchmark::DoNotOptimize(sweep.estimates.data());
-    t += 10.0;
+    t += Seconds{10.0};
   }
 }
 BENCHMARK(BM_ProbeSweepFaulty)->Arg(4)->Arg(32);
@@ -71,13 +72,13 @@ BENCHMARK(BM_ForecasterLongHistory)->Arg(64)->Arg(1024);
 void BM_FaultPlanQuery(benchmark::State& state) {
   const FaultPlan plan = faulty_plan(32);
   std::uint64_t attempt = 0;
-  real_t t = 0;
+  Seconds t{0};
   for (auto _ : state) {
     const ProbeFault f =
         plan.probe_fault(static_cast<rank_t>(attempt % 32), t, attempt);
     benchmark::DoNotOptimize(f);
     ++attempt;
-    t += 0.5;
+    t += Seconds{0.5};
   }
 }
 BENCHMARK(BM_FaultPlanQuery);

@@ -50,12 +50,13 @@ int main(int argc, char** argv) {
     const int p = procs[i];
     const exp::Comparison& cmp = cmps[static_cast<std::size_t>(i)];
     fig7.add_row({std::to_string(p),
-                  fmt(cmp.system_sensitive.total_time, 1),
-                  fmt(cmp.grace_default.total_time, 1)});
+                  fmt(cmp.system_sensitive.total_time.value(), 1),
+                  fmt(cmp.grace_default.total_time.value(), 1)});
     table1.add_row({std::to_string(p), fmt_pct(cmp.improvement()),
                     fmt(paper_improvement[i], 0) + "%"});
-    csv.add_row({std::to_string(p), fmt(cmp.system_sensitive.total_time, 3),
-                 fmt(cmp.grace_default.total_time, 3),
+    csv.add_row({std::to_string(p),
+                 fmt(cmp.system_sensitive.total_time.value(), 3),
+                 fmt(cmp.grace_default.total_time.value(), 3),
                  fmt(cmp.improvement() * 100, 2)});
   }
 

@@ -56,11 +56,11 @@ int main(int argc, char** argv) {
     const RunTrace& dyn = trials[static_cast<std::size_t>(i)].dyn;
     const RunTrace& stat = trials[static_cast<std::size_t>(i)].stat;
     const real_t ratio = dyn.total_time / stat.total_time;
-    t.add_row({std::to_string(p), fmt(dyn.total_time, 1),
-               fmt(stat.total_time, 1), fmt(ratio, 2),
+    t.add_row({std::to_string(p), fmt(dyn.total_time.value(), 1),
+               fmt(stat.total_time.value(), 1), fmt(ratio, 2),
                fmt(paper_dyn[i] / paper_stat[i], 2)});
-    csv.add_row({std::to_string(p), fmt(dyn.total_time, 2),
-                 fmt(stat.total_time, 2), fmt(ratio, 4)});
+    csv.add_row({std::to_string(p), fmt(dyn.total_time.value(), 2),
+                 fmt(stat.total_time.value(), 2), fmt(ratio, 4)});
   }
   std::cout << t.str() << '\n';
   std::cout << "Expected shape: dynamic runtime sensing significantly "

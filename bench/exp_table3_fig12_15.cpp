@@ -52,10 +52,11 @@ int main(int argc, char** argv) {
     const int f = freqs[i];
     const RunTrace& trace = traces[static_cast<std::size_t>(i)];
     t.add_row({std::to_string(f) + " iterations",
-               fmt(trace.total_time, 0), std::to_string(paper_times[i])});
-    csv.add_row({std::to_string(f), fmt(trace.total_time, 2)});
-    if (trace.total_time < best_time) {
-      best_time = trace.total_time;
+               fmt(trace.total_time.value(), 0),
+               std::to_string(paper_times[i])});
+    csv.add_row({std::to_string(f), fmt(trace.total_time.value(), 2)});
+    if (trace.total_time.value() < best_time) {
+      best_time = trace.total_time.value();
       best_freq = f;
     }
 

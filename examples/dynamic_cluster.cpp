@@ -32,19 +32,19 @@ int main() {
   auto make_cluster = [] {
     Cluster cluster = exp::paper_cluster(4);
     LoadRamp a;
-    a.start_time = 30.0;
-    a.stop_time = 160.0;
+    a.start_time = Seconds{30.0};
+    a.stop_time = Seconds{160.0};
     a.rate = 0.1;
     a.target_level = 3.0;
-    a.memory_mb = 160.0;
-    a.traffic_mbps = 50.0;
+    a.memory_mb = MegaBytes{160.0};
+    a.traffic_mbps = MbitsPerSec{50.0};
     cluster.add_load(0, a);
     LoadRamp b;
-    b.start_time = 150.0;
+    b.start_time = Seconds{150.0};
     b.rate = 0.05;
     b.target_level = 1.5;
-    b.memory_mb = 90.0;
-    b.traffic_mbps = 30.0;
+    b.memory_mb = MegaBytes{90.0};
+    b.traffic_mbps = MbitsPerSec{30.0};
     cluster.add_load(1, b);
     return cluster;
   };
@@ -57,7 +57,7 @@ int main() {
   std::cout << "capacity samplings over the dynamic run:\n";
   Table st({"iteration", "virtual t", "C0", "C1", "C2", "C3"});
   for (const SenseRecord& s : dynamic.senses)
-    st.add_row({std::to_string(s.iteration), fmt(s.vtime, 0),
+    st.add_row({std::to_string(s.iteration), fmt(s.vtime.value(), 0),
                 fmt_pct(s.capacities[0], 0), fmt_pct(s.capacities[1], 0),
                 fmt_pct(s.capacities[2], 0), fmt_pct(s.capacities[3], 0)});
   std::cout << st.str() << '\n';
@@ -76,11 +76,11 @@ int main() {
   std::cout << wt.str() << '\n';
 
   std::cout << "execution time with dynamic sensing: "
-            << fmt(dynamic.total_time, 1) << " s\n"
+            << fmt(dynamic.total_time.value(), 1) << " s\n"
             << "execution time sensing only once:    "
-            << fmt(once.total_time, 1) << " s\n"
-            << "dynamic sensing saves " << fmt_pct(1.0 - dynamic.total_time /
-                                                             once.total_time)
+            << fmt(once.total_time.value(), 1) << " s\n"
+            << "dynamic sensing saves "
+            << fmt_pct(1.0 - dynamic.total_time / once.total_time)
             << '\n';
   return 0;
 }

@@ -22,16 +22,17 @@ int main() {
   MonitorConfig mon;
   mon.seed = 7;
   ResourceMonitor monitor(cluster, mon);
-  const auto estimates = monitor.probe_all(/*t=*/0.0).estimates;
+  const auto estimates = monitor.probe_all(/*t=*/Seconds{0.0}).estimates;
   CapacityCalculator calc(CapacityWeights::equal());
   const auto capacities = calc.relative_capacities(estimates);
 
   std::cout << "relative capacities (Eq. 1, equal weights):\n";
   for (std::size_t k = 0; k < capacities.size(); ++k)
     std::cout << "  processor " << k << ": " << fmt_pct(capacities[k])
-              << "  (cpu " << fmt(estimates[k].cpu_available, 2) << ", mem "
-              << fmt(estimates[k].memory_free_mb, 0) << " MB, bw "
-              << fmt(estimates[k].bandwidth_mbps, 0) << " Mbit/s)\n";
+              << "  (cpu " << fmt(estimates[k].cpu_available.value(), 2)
+              << ", mem " << fmt(estimates[k].memory_free_mb.value(), 0)
+              << " MB, bw " << fmt(estimates[k].bandwidth_mbps.value(), 0)
+              << " Mbit/s)\n";
 
   // 3. An SAMR hierarchy (synthetic RM-style trace, paper scale).
   TraceWorkloadSource source(exp::paper_trace_config());
@@ -62,8 +63,10 @@ int main() {
       /*dynamic_loads=*/false);
   std::cout << "100-iteration run, sensing every 20 iterations:\n"
             << "  ACEHeterogeneous: "
-            << fmt(cmp.system_sensitive.total_time, 1) << " s (virtual)\n"
-            << "  ACEComposite:     " << fmt(cmp.grace_default.total_time, 1)
+            << fmt(cmp.system_sensitive.total_time.value(), 1)
+            << " s (virtual)\n"
+            << "  ACEComposite:     "
+            << fmt(cmp.grace_default.total_time.value(), 1)
             << " s (virtual)\n"
             << "  improvement:      " << fmt_pct(cmp.improvement()) << '\n';
   return 0;

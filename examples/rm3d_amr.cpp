@@ -64,7 +64,7 @@ int main() {
     real_t mx = 0;
     for (real_t i : r.imbalance_pct) mx = std::max(mx, i);
     t.add_row({std::to_string(r.regrid_index),
-               std::to_string(r.num_boxes), fmt(r.total_work, 0),
+               std::to_string(r.num_boxes), fmt(r.total_work.value(), 0),
                fmt(r.assigned_work[0], 0), fmt(r.assigned_work[1], 0),
                fmt(r.assigned_work[2], 0), fmt(r.assigned_work[3], 0),
                fmt(mx, 1) + "%"});
@@ -75,12 +75,12 @@ int main() {
             << fmt(integrator.time(), 4) << ", "
             << hierarchy.num_levels() << " levels, "
             << hierarchy.total_cells() << " cells\n";
-  std::cout << "virtual execution time: " << fmt(trace.total_time, 1)
-            << " s  (compute " << fmt(trace.compute_time, 1) << ", comm "
-            << fmt(trace.comm_time, 1) << ", sense "
-            << fmt(trace.sense_time, 1) << ", regrid "
-            << fmt(trace.regrid_time, 1) << ", migrate "
-            << fmt(trace.migrate_time, 1) << ")\n";
+  std::cout << "virtual execution time: " << fmt(trace.total_time.value(), 1)
+            << " s  (compute " << fmt(trace.compute_time.value(), 1)
+            << ", comm " << fmt(trace.comm_time.value(), 1) << ", sense "
+            << fmt(trace.sense_time.value(), 1) << ", regrid "
+            << fmt(trace.regrid_time.value(), 1) << ", migrate "
+            << fmt(trace.migrate_time.value(), 1) << ")\n";
 
   // Quick physics sanity: the shock has set the gas moving in +x.
   real_t momx = 0;

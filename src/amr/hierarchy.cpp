@@ -1,6 +1,7 @@
 #include "amr/hierarchy.hpp"
 
-#include "audit/audit.hpp"
+#include "amr/hierarchy_audit.hpp"
+#include "util/audit.hpp"
 #include "geom/box_algebra.hpp"
 #include "util/error.hpp"
 
@@ -69,7 +70,7 @@ void GridHierarchy::set_level_boxes(level_t l, const BoxList& boxes) {
 
   // Re-audit the whole structure after the mutation: nesting, disjointness
   // and ghost-storage consistency across every surviving level.
-  SSAMR_AUDIT(audit::Validator{}.validate_hierarchy(*this));
+  SSAMR_AUDIT(audit::validate_hierarchy(*this));
 }
 
 BoxList GridHierarchy::composite_box_list() const {

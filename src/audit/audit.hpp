@@ -1,43 +1,13 @@
 #pragma once
 /// \file audit.hpp
-/// The SSAMR_AUDIT hook: enforce an AuditReport at a call site.
+/// Aggregation header for the invariant-audit family.
 ///
-/// SSAMR_AUDIT(expr) evaluates `expr` (an expression yielding an
-/// audit::AuditReport, typically a Validator call), throws ssamr::Error when
-/// the report contains Error-severity violations, and logs a debug summary
-/// when it only contains warnings.  The hook is compiled in for Debug
-/// builds and for audit builds (cmake -DSSAMR_AUDIT=ON, which defines
-/// SSAMR_ENABLE_AUDIT); in optimized NDEBUG builds without the option it
-/// compiles to nothing, so hot paths pay nothing.
-///
-/// The validators themselves (validator.hpp) are always compiled and can be
-/// called explicitly from tests and drivers regardless of the build mode.
+/// Historically this header carried the SSAMR_AUDIT hook; the hook now
+/// lives in util/audit.hpp (the bottom layer) so every subsystem can
+/// enforce its own audits without an upward edge into this layer.  Upper
+/// layers (runtime, tests, drivers) keep including this one name for the
+/// hook plus the whole Validator facade.
 
-#include "audit/report.hpp"
-#include "audit/validator.hpp"
-
-#if !defined(SSAMR_AUDIT_ENABLED)
-#if defined(SSAMR_ENABLE_AUDIT) || !defined(NDEBUG)
-#define SSAMR_AUDIT_ENABLED 1
-#else
-#define SSAMR_AUDIT_ENABLED 0
-#endif
-#endif
-
-namespace ssamr::audit {
-namespace detail {
-/// Throw ssamr::Error on report errors; log warnings at Debug level.
-void enforce(const AuditReport& report, const char* file, int line);
-}  // namespace detail
-
-/// True when SSAMR_AUDIT hooks are active in this translation unit's build.
-constexpr bool hooks_enabled() { return SSAMR_AUDIT_ENABLED != 0; }
-
-}  // namespace ssamr::audit
-
-#if SSAMR_AUDIT_ENABLED
-#define SSAMR_AUDIT(report_expr) \
-  ::ssamr::audit::detail::enforce((report_expr), __FILE__, __LINE__)
-#else
-#define SSAMR_AUDIT(report_expr) ((void)0)
-#endif
+#include "audit/validator.hpp"    // IWYU pragma: export
+#include "util/audit.hpp"         // IWYU pragma: export
+#include "util/audit_report.hpp"  // IWYU pragma: export

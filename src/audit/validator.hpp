@@ -7,95 +7,97 @@
 /// globally: relative capacities must satisfy Σ C_k = 1 (Eq. 1), assigned
 /// work must track L_k = C_k · L, box splitting must respect the minimum
 /// box size and the aspect-ratio bound along the longest axis, and the grid
-/// hierarchy must stay properly nested, disjoint and ratio-aligned.  The
-/// Validator re-derives each invariant from the data alone and reports every
-/// violation in a structured AuditReport instead of throwing, so corrupted
-/// states can be inspected whole.
+/// hierarchy must stay properly nested, disjoint and ratio-aligned.
 ///
-/// Use the SSAMR_AUDIT hook (audit.hpp) to enforce a report at a call site
-/// in Debug/audit builds, or call the validators explicitly from tests and
-/// drivers.
+/// The checks themselves live next to the data they audit — see
+/// amr/hierarchy_audit.hpp, capacity/capacity_audit.hpp,
+/// cluster/cluster_audit.hpp, monitor/monitor_audit.hpp,
+/// partition/partition_audit.hpp and sim/executor_audit.hpp — so that each
+/// subsystem can hook SSAMR_AUDIT (util/audit.hpp) without an upward edge
+/// into this aggregation layer.  The Validator here is the historical
+/// facade over the whole family: one object carrying the shared
+/// AuditConfig, convenient for tests and drivers that audit everything.
 
 #include <string>
 #include <vector>
 
 #include "amr/hierarchy.hpp"
-#include "audit/report.hpp"
+#include "amr/hierarchy_audit.hpp"
+#include "amr/workload.hpp"
 #include "capacity/capacity.hpp"
+#include "capacity/capacity_audit.hpp"
 #include "cluster/cluster.hpp"
+#include "cluster/cluster_audit.hpp"
+#include "cluster/node.hpp"
 #include "geom/box_list.hpp"
+#include "monitor/monitor_audit.hpp"
 #include "monitor/monitor_service.hpp"
+#include "partition/partition_audit.hpp"
 #include "partition/partitioner.hpp"
-#include "runtime/executor.hpp"
+#include "sim/executor.hpp"
+#include "sim/executor_audit.hpp"
+#include "util/audit.hpp"
+#include "util/audit_report.hpp"
 #include "util/types.hpp"
 
 namespace ssamr::audit {
 
-/// Tolerances of the audit checks.
-struct AuditConfig {
-  /// Allowed deviation of Σ C_k from 1 and of any C_k outside [0, 1].
-  real_t capacity_tolerance = 1e-6;
-  /// Relative tolerance of exact bookkeeping identities (work sums).
-  real_t work_rel_tolerance = 1e-6;
-  /// Per-rank deviation of assigned from target work beyond which a
-  /// load-tracking warning is issued, as a fraction of the mean target.
-  real_t load_rel_tolerance = 0.5;
-  /// Multiplicative slack on the aspect-ratio bound (numerical headroom).
-  real_t aspect_slack = 1.0 + 1e-9;
-};
-
-/// Re-derives structural invariants and reports violations.
+/// Re-derives structural invariants and reports violations.  Facade over
+/// the per-subsystem validate_* free functions.
 class Validator {
  public:
   explicit Validator(AuditConfig cfg = {}) : cfg_(cfg) {}
 
   const AuditConfig& config() const { return cfg_; }
 
-  /// Audit the grid hierarchy: per-level box/level agreement, domain
-  /// bounds, disjointness, proper nesting (l >= 2), refinement-ratio
-  /// alignment and minimum box size (warnings), and ghost-region/storage
-  /// consistency of every patch against the hierarchy configuration.
-  AuditReport validate_hierarchy(const GridHierarchy& h) const;
+  /// See amr/hierarchy_audit.hpp.
+  AuditReport validate_hierarchy(const GridHierarchy& h) const {
+    return audit::validate_hierarchy(h, cfg_);
+  }
 
-  /// Audit one partitioning pass against its input: full coverage of every
-  /// input box by same-level pieces, no overlap among pieces, owners in
-  /// range, minimum box size and aspect-ratio bound for split pieces, work
-  /// bookkeeping identities, and capacity-proportional load tracking
-  /// (W_k vs L_k and L_k vs C_k · L, warnings).
+  /// See partition/partition_audit.hpp.
   AuditReport validate_partition(const BoxList& input,
                                  const PartitionResult& result,
                                  const std::vector<real_t>& capacities,
                                  const WorkModel& work,
                                  const PartitionConstraints& constraints =
-                                     PartitionConstraints{}) const;
+                                     PartitionConstraints{}) const {
+    return audit::validate_partition(input, result, capacities, work,
+                                     constraints, cfg_);
+  }
 
-  /// Audit a relative-capacity vector: non-empty, every C_k finite and in
-  /// [0, 1], and Σ C_k = 1 within tolerance (Eq. 1).
-  AuditReport validate_capacities(const std::vector<real_t>& capacities) const;
+  /// See capacity/capacity_audit.hpp.
+  AuditReport validate_capacities(
+      const std::vector<real_t>& capacities) const {
+    return audit::validate_capacities(capacities, cfg_);
+  }
 
-  /// As above, plus the Eq. 1 weight constraints (non-negative, sum 1).
+  /// See capacity/capacity_audit.hpp.
   AuditReport validate_capacities(const std::vector<real_t>& capacities,
-                                  const CapacityWeights& weights) const;
+                                  const CapacityWeights& weights) const {
+    return audit::validate_capacities(capacities, weights, cfg_);
+  }
 
-  /// Audit one node's spec and instantaneous state: positive peak rate,
-  /// availability in [0, 1], free memory within [0, spec memory],
-  /// deliverable bandwidth positive and within the link capacity.
+  /// See cluster/cluster_audit.hpp.
   AuditReport validate_node_state(const NodeSpec& spec, const NodeState& state,
-                                  const std::string& location) const;
+                                  const std::string& location) const {
+    return audit::validate_node_state(spec, state, location, cfg_);
+  }
 
-  /// Audit the whole cluster's true state at virtual time t.
-  AuditReport validate_cluster(const Cluster& cluster, real_t t) const;
+  /// See cluster/cluster_audit.hpp.
+  AuditReport validate_cluster(const Cluster& cluster, Seconds t) const {
+    return audit::validate_cluster(cluster, t, cfg_);
+  }
 
-  /// Audit the execution-model cost knobs: all costs and footprints
-  /// non-negative and finite, ncomp/bytes_per_value/time_levels >= 1,
-  /// ghost >= 0, monitor intrusion in [0,1), comm_overlap in [0,1].
-  /// VirtualExecutor enforces this report at construction.
-  AuditReport validate_executor_config(const ExecutorConfig& cfg) const;
+  /// See sim/executor_audit.hpp.
+  AuditReport validate_executor_config(const ExecutorConfig& cfg) const {
+    return audit::validate_executor_config(cfg, cfg_);
+  }
 
-  /// Audit the resource-monitor knobs: probe cost, memory footprint and
-  /// noise sigmas non-negative and finite, CPU intrusion in [0,1).
-  /// ResourceMonitor enforces this report at construction.
-  AuditReport validate_monitor_config(const MonitorConfig& cfg) const;
+  /// See monitor/monitor_audit.hpp.
+  AuditReport validate_monitor_config(const MonitorConfig& cfg) const {
+    return audit::validate_monitor_config(cfg, cfg_);
+  }
 
  private:
   AuditConfig cfg_;

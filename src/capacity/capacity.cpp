@@ -2,7 +2,8 @@
 
 #include <cmath>
 
-#include "audit/audit.hpp"
+#include "capacity/capacity_audit.hpp"
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -30,27 +31,28 @@ std::vector<real_t> CapacityCalculator::relative_capacities(
   const auto n = estimates.size();
   real_t cpu_total = 0, mem_total = 0, bw_total = 0;
   for (const auto& e : estimates) {
-    SSAMR_REQUIRE(std::isfinite(e.cpu_available) &&
-                      std::isfinite(e.memory_free_mb) &&
-                      std::isfinite(e.bandwidth_mbps),
+    SSAMR_REQUIRE(std::isfinite(e.cpu_available.value()) &&
+                      std::isfinite(e.memory_free_mb.value()) &&
+                      std::isfinite(e.bandwidth_mbps.value()),
                   "resource estimates must be finite");
-    SSAMR_REQUIRE(e.cpu_available >= 0 && e.memory_free_mb >= 0 &&
-                      e.bandwidth_mbps >= 0,
+    SSAMR_REQUIRE(e.cpu_available >= Fraction{0} &&
+                      e.memory_free_mb >= MegaBytes{0} &&
+                      e.bandwidth_mbps >= MbitsPerSec{0},
                   "resource estimates must be non-negative");
-    cpu_total += e.cpu_available;
-    mem_total += e.memory_free_mb;
-    bw_total += e.bandwidth_mbps;
+    cpu_total += e.cpu_available.value();
+    mem_total += e.memory_free_mb.value();
+    bw_total += e.bandwidth_mbps.value();
   }
 
   std::vector<real_t> cap(n, 0);
   real_t sum = 0;
   for (std::size_t k = 0; k < n; ++k) {
     const real_t p_hat =
-        cpu_total > 0 ? estimates[k].cpu_available / cpu_total : 0;
+        cpu_total > 0 ? estimates[k].cpu_available.value() / cpu_total : 0;
     const real_t m_hat =
-        mem_total > 0 ? estimates[k].memory_free_mb / mem_total : 0;
+        mem_total > 0 ? estimates[k].memory_free_mb.value() / mem_total : 0;
     const real_t b_hat =
-        bw_total > 0 ? estimates[k].bandwidth_mbps / bw_total : 0;
+        bw_total > 0 ? estimates[k].bandwidth_mbps.value() / bw_total : 0;
     cap[k] = weights_.cpu * p_hat + weights_.memory * m_hat +
              weights_.bandwidth * b_hat;
     sum += cap[k];
@@ -64,14 +66,14 @@ std::vector<real_t> CapacityCalculator::relative_capacities(
   // Renormalize: when a resource total is zero its column drops out, so the
   // weighted sum can fall short of 1.
   for (auto& c : cap) c /= sum;
-  SSAMR_AUDIT(audit::Validator{}.validate_capacities(cap, weights_));
+  SSAMR_AUDIT(audit::validate_capacities(cap, weights_));
   return cap;
 }
 
-std::vector<real_t> CapacityCalculator::work_allocation(
-    const std::vector<real_t>& capacities, real_t total_work) {
-  SSAMR_REQUIRE(total_work >= 0, "total work must be non-negative");
-  std::vector<real_t> out;
+std::vector<Work> CapacityCalculator::work_allocation(
+    const std::vector<real_t>& capacities, Work total_work) {
+  SSAMR_REQUIRE(total_work >= Work{0}, "total work must be non-negative");
+  std::vector<Work> out;
   out.reserve(capacities.size());
   for (real_t c : capacities) {
     SSAMR_REQUIRE(c >= 0, "capacities must be non-negative");

@@ -13,8 +13,9 @@
 
 #include <vector>
 
-#include "monitor/monitor_service.hpp"
+#include "capacity/resource_estimate.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -51,8 +52,8 @@ class CapacityCalculator {
       const std::vector<ResourceEstimate>& estimates) const;
 
   /// Work allocation L_k = C_k · L.
-  static std::vector<real_t> work_allocation(
-      const std::vector<real_t>& capacities, real_t total_work);
+  static std::vector<Work> work_allocation(
+      const std::vector<real_t>& capacities, Work total_work);
 
  private:
   CapacityWeights weights_;

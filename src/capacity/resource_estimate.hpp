@@ -1,0 +1,22 @@
+#pragma once
+/// \file resource_estimate.hpp
+/// What the monitor reports for one node — the input record of the
+/// capacity calculation (Eq. 1).
+///
+/// Lives in capacity/ (not monitor/) because it is the contract between
+/// the two layers: the capacity calculator consumes estimates, the monitor
+/// produces them, and the monitor sits above capacity in the layering DAG.
+
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace ssamr {
+
+/// What the monitor reports for one node.
+struct ResourceEstimate {
+  Fraction cpu_available{1.0};
+  MegaBytes memory_free_mb{0};
+  MbitsPerSec bandwidth_mbps{0};
+};
+
+}  // namespace ssamr

@@ -12,9 +12,11 @@ Cluster::Cluster(std::vector<NodeSpec> nodes, NetworkModel network)
       network_(network) {
   SSAMR_REQUIRE(!nodes_.empty(), "cluster needs at least one node");
   for (const NodeSpec& n : nodes_) {
-    SSAMR_REQUIRE(n.peak_rate > 0, "node peak rate must be positive");
-    SSAMR_REQUIRE(n.memory_mb > 0, "node memory must be positive");
-    SSAMR_REQUIRE(n.bandwidth_mbps > 0, "node bandwidth must be positive");
+    SSAMR_REQUIRE(n.peak_rate > WorkRate{0},
+                  "node peak rate must be positive");
+    SSAMR_REQUIRE(n.memory_mb > MegaBytes{0}, "node memory must be positive");
+    SSAMR_REQUIRE(n.bandwidth_mbps > MbitsPerSec{0},
+                  "node bandwidth must be positive");
   }
 }
 
@@ -46,45 +48,45 @@ void Cluster::set_fault_plan(FaultPlan plan) {
   fault_plan_ = std::make_shared<const FaultPlan>(std::move(plan));
 }
 
-bool Cluster::node_down(rank_t rank, real_t t) const {
+bool Cluster::node_down(rank_t rank, Seconds t) const {
   check_rank(rank);
   return fault_plan_ != nullptr && fault_plan_->node_down(rank, t);
 }
 
-real_t Cluster::resume_time(rank_t rank, real_t t) const {
+Seconds Cluster::resume_time(rank_t rank, Seconds t) const {
   check_rank(rank);
   return fault_plan_ == nullptr ? t : fault_plan_->resume_time(rank, t);
 }
 
-NodeState Cluster::state_at(rank_t rank, real_t t) const {
+NodeState Cluster::state_at(rank_t rank, Seconds t) const {
   check_rank(rank);
   const NodeSpec& spec = nodes_[static_cast<std::size_t>(rank)];
   const LoadScript& load = loads_[static_cast<std::size_t>(rank)];
   if (fault_plan_ != nullptr && fault_plan_->node_down(rank, t)) {
     NodeState down;
-    down.cpu_available = 0;
-    down.memory_free_mb = 0;
+    down.cpu_available = Fraction{0};
+    down.memory_free_mb = MegaBytes{0};
     down.bandwidth_mbps = NetworkModel::kMinBandwidthMbps;
     return down;
   }
   NodeState s;
   s.cpu_available = load.cpu_available_at(t);
   s.memory_free_mb =
-      std::max(real_t{0}, spec.memory_mb - load.memory_used_at(t));
+      std::max(MegaBytes{0}, spec.memory_mb - load.memory_used_at(t));
   s.bandwidth_mbps =
-      std::max(real_t{1}, spec.bandwidth_mbps - load.traffic_at(t));
+      std::max(MbitsPerSec{1}, spec.bandwidth_mbps - load.traffic_at(t));
   return s;
 }
 
-real_t Cluster::effective_rate(rank_t rank, real_t t,
-                               real_t memory_demand_mb) const {
+WorkRate Cluster::effective_rate(rank_t rank, Seconds t,
+                                 MegaBytes memory_demand_mb) const {
   const NodeState s = state_at(rank, t);
   const NodeSpec& spec = nodes_[static_cast<std::size_t>(rank)];
-  real_t rate = spec.peak_rate * s.cpu_available;
-  if (memory_demand_mb > s.memory_free_mb && memory_demand_mb > 0) {
+  WorkRate rate = spec.peak_rate * s.cpu_available;
+  if (memory_demand_mb > s.memory_free_mb && memory_demand_mb > MegaBytes{0}) {
     // Paging penalty: throughput degrades with the over-commit factor.
     const real_t overcommit =
-        memory_demand_mb / std::max(s.memory_free_mb, real_t{1});
+        memory_demand_mb / std::max(s.memory_free_mb, MegaBytes{1});
     rate /= (1.0 + 4.0 * (overcommit - 1.0));
   }
   return std::max(rate, spec.peak_rate * 1e-3);

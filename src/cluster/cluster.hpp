@@ -16,6 +16,7 @@
 #include "cluster/network.hpp"
 #include "cluster/node.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -50,26 +51,26 @@ class Cluster {
   const FaultPlan* fault_plan() const { return fault_plan_.get(); }
 
   /// True while a crash episode of the fault plan covers (rank, t).
-  bool node_down(rank_t rank, real_t t) const;
+  bool node_down(rank_t rank, Seconds t) const;
 
   /// The virtual time at which the node is next up: t itself when the node
   /// is up (always, without a fault plan), else the rejoin time of the
   /// covering crash episode(s).  Execution models price work on a crashed
   /// node as a pause until this time, not as progress at the availability
   /// floor.
-  real_t resume_time(rank_t rank, real_t t) const;
+  Seconds resume_time(rank_t rank, Seconds t) const;
 
   /// True resource state of a node at virtual time t.  During a crash
   /// episode the node is down: no CPU, no free memory, and only the
   /// bandwidth floor (in-flight messages stall rather than vanish).
-  NodeState state_at(rank_t rank, real_t t) const;
+  NodeState state_at(rank_t rank, Seconds t) const;
 
   /// Effective application compute rate (work units/second) of a node at
   /// time t: peak_rate · cpu_available, degraded when the application's
   /// memory need exceeds free memory (paging penalty).
   /// \param memory_demand_mb memory the application needs on this node
-  real_t effective_rate(rank_t rank, real_t t,
-                        real_t memory_demand_mb = 0) const;
+  WorkRate effective_rate(rank_t rank, Seconds t,
+                           MegaBytes memory_demand_mb = MegaBytes{0}) const;
 
   // ---- factory helpers used by experiments -------------------------------
 

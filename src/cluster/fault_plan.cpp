@@ -39,7 +39,7 @@ void FaultPlan::add(const FaultEpisode& e) {
   episodes_.push_back(e);
 }
 
-ProbeFault FaultPlan::probe_fault(rank_t rank, real_t t,
+ProbeFault FaultPlan::probe_fault(rank_t rank, Seconds t,
                                   std::uint64_t attempt) const {
   // Scripted episodes win over random draws; among overlapping episodes
   // the first added wins (crash and timeout both read as kTimeout).
@@ -63,7 +63,7 @@ ProbeFault FaultPlan::probe_fault(rank_t rank, real_t t,
   return ProbeFault::kNone;
 }
 
-bool FaultPlan::node_down(rank_t rank, real_t t) const {
+bool FaultPlan::node_down(rank_t rank, Seconds t) const {
   for (const FaultEpisode& e : episodes_)
     if (e.kind == FaultKind::kCrash && e.rank == rank && t >= e.t0 &&
         t < e.t1)
@@ -71,8 +71,8 @@ bool FaultPlan::node_down(rank_t rank, real_t t) const {
   return false;
 }
 
-real_t FaultPlan::resume_time(rank_t rank, real_t t) const {
-  real_t r = t;
+Seconds FaultPlan::resume_time(rank_t rank, Seconds t) const {
+  Seconds r = t;
   bool moved = true;
   while (moved) {
     moved = false;
@@ -86,7 +86,7 @@ real_t FaultPlan::resume_time(rank_t rank, real_t t) const {
   return r;
 }
 
-real_t FaultPlan::observable_time(rank_t rank, real_t t) const {
+Seconds FaultPlan::observable_time(rank_t rank, Seconds t) const {
   for (const FaultEpisode& e : episodes_)
     if (e.kind == FaultKind::kStaleWindow && e.rank == rank && t >= e.t0 &&
         t < e.t1)
@@ -94,11 +94,11 @@ real_t FaultPlan::observable_time(rank_t rank, real_t t) const {
   return t;
 }
 
-FaultPlan FaultPlan::scripted(int nodes, real_t horizon,
+FaultPlan FaultPlan::scripted(int nodes, Seconds horizon,
                               const FaultProfile& profile,
                               std::uint64_t seed) {
   SSAMR_REQUIRE(nodes >= 1, "fault plan needs at least one node");
-  SSAMR_REQUIRE(horizon > 0, "fault plan horizon must be positive");
+  SSAMR_REQUIRE(horizon > Seconds{0}, "fault plan horizon must be positive");
   SSAMR_REQUIRE(profile.probe_timeout_rate >= 0 &&
                     profile.probe_drop_rate >= 0 &&
                     profile.probe_timeout_rate + profile.probe_drop_rate <=
@@ -114,14 +114,16 @@ FaultPlan FaultPlan::scripted(int nodes, real_t horizon,
   plan.probe_drop_rate = profile.probe_drop_rate;
 
   Rng rng(seed);
-  const real_t span = profile.episode_fraction * horizon;
+  const Seconds span = profile.episode_fraction * horizon;
+  // The RNG is a raw-double seam: unwrap the start-time bound once, here.
+  const real_t max_start_s = std::max(horizon - span, Seconds{0}).value();
   auto scatter = [&](FaultKind kind, int count) {
     for (int i = 0; i < count; ++i) {
       FaultEpisode e;
       e.rank = static_cast<rank_t>(
           rng.uniform_int(0, static_cast<std::int64_t>(nodes) - 1));
       e.kind = kind;
-      e.t0 = rng.uniform(0.0, std::max(horizon - span, real_t{0}));
+      e.t0 = Seconds{rng.uniform(0.0, max_start_s)};
       e.t1 = e.t0 + span;
       plan.add(e);
     }

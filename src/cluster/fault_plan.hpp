@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -46,8 +47,8 @@ enum class FaultKind : std::uint8_t {
 struct FaultEpisode {
   rank_t rank = 0;
   FaultKind kind = FaultKind::kProbeTimeout;
-  real_t t0 = 0;       ///< window start (inclusive)
-  real_t t1 = 1.0e30;  ///< window end (exclusive)
+  Seconds t0{0};       ///< window start (inclusive)
+  Seconds t1{1.0e30};  ///< window end (exclusive)
 };
 
 /// Rates and episode counts for the scripted() factory.
@@ -89,25 +90,26 @@ class FaultPlan {
   /// counter) against node `rank` at virtual time t.  Scripted episodes
   /// win over random draws; crash episodes answer kTimeout (the node is
   /// unreachable).
-  ProbeFault probe_fault(rank_t rank, real_t t, std::uint64_t attempt) const;
+  ProbeFault probe_fault(rank_t rank, Seconds t,
+                         std::uint64_t attempt) const;
 
   /// True while a crash episode covers (rank, t): the node does no work
   /// and delivers no bandwidth.
-  bool node_down(rank_t rank, real_t t) const;
+  bool node_down(rank_t rank, Seconds t) const;
 
   /// The virtual time at which the node is next up: t itself when no crash
   /// episode covers (rank, t), else the end of the covering episode(s) —
   /// chained/overlapping episodes are followed through.
-  real_t resume_time(rank_t rank, real_t t) const;
+  Seconds resume_time(rank_t rank, Seconds t) const;
 
   /// The virtual time a probe answer at time t actually reflects: the
   /// start of the covering stale window, or t when none covers.
-  real_t observable_time(rank_t rank, real_t t) const;
+  Seconds observable_time(rank_t rank, Seconds t) const;
 
   /// Seeded random plan: per-attempt timeout/drop rates plus scripted
   /// stale windows and crash/rejoin episodes scattered over `nodes` nodes
   /// and the virtual-time horizon.  Equal inputs yield identical plans.
-  static FaultPlan scripted(int nodes, real_t horizon,
+  static FaultPlan scripted(int nodes, Seconds horizon,
                             const FaultProfile& profile, std::uint64_t seed);
 
  private:

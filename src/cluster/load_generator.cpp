@@ -6,21 +6,21 @@
 
 namespace ssamr {
 
-real_t LoadRamp::level_at(real_t t) const {
+real_t LoadRamp::level_at(Seconds t) const {
   if (t < start_time || t >= stop_time) return 0;
   if (rate <= 0) return target_level;
-  const real_t ramped = rate * (t - start_time);
+  const real_t ramped = rate * (t - start_time).value();
   return std::min(ramped, target_level);
 }
 
-real_t LoadScript::load_at(real_t t) const {
+real_t LoadScript::load_at(Seconds t) const {
   real_t sum = 0;
   for (const LoadRamp& r : ramps_) sum += r.level_at(t);
   return sum;
 }
 
-real_t LoadScript::memory_used_at(real_t t) const {
-  real_t sum = 0;
+MegaBytes LoadScript::memory_used_at(Seconds t) const {
+  MegaBytes sum{0};
   for (const LoadRamp& r : ramps_) {
     if (r.target_level <= 0) {
       if (r.level_at(t) == 0 && (t < r.start_time || t >= r.stop_time))
@@ -33,8 +33,8 @@ real_t LoadScript::memory_used_at(real_t t) const {
   return sum;
 }
 
-real_t LoadScript::traffic_at(real_t t) const {
-  real_t sum = 0;
+MbitsPerSec LoadScript::traffic_at(Seconds t) const {
+  MbitsPerSec sum{0};
   for (const LoadRamp& r : ramps_) {
     if (r.target_level <= 0) continue;
     sum += r.traffic_mbps * (r.level_at(t) / r.target_level);
@@ -42,8 +42,8 @@ real_t LoadScript::traffic_at(real_t t) const {
   return sum;
 }
 
-real_t LoadScript::cpu_available_at(real_t t) const {
-  return 1.0 / (1.0 + load_at(t));
+Fraction LoadScript::cpu_available_at(Seconds t) const {
+  return Fraction{1.0 / (1.0 + load_at(t))};
 }
 
 }  // namespace ssamr

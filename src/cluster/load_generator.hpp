@@ -16,28 +16,29 @@
 #include <vector>
 
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
 /// One synthetic load generator process.
 struct LoadRamp {
   /// Virtual time at which the generator starts.
-  real_t start_time = 0.0;
+  Seconds start_time{0.0};
   /// Virtual time at which the generator exits (inf = forever).
-  real_t stop_time = 1.0e30;
+  Seconds stop_time{1.0e30};
   /// Load increase per second until the target is reached.
   real_t rate = 0.1;
   /// Target load level (number of runnable background processes added).
   real_t target_level = 1.0;
   /// Memory the generator consumes in MB, proportional to its current load
   /// fraction of target.
-  real_t memory_mb = 0.0;
+  MegaBytes memory_mb{0.0};
   /// Network traffic the generator injects, in Mbit/s at full level.
-  real_t traffic_mbps = 0.0;
+  MbitsPerSec traffic_mbps{0.0};
 
   /// Current load level at virtual time t (0 outside the active window,
   /// ramping linearly to target inside).
-  real_t level_at(real_t t) const;
+  real_t level_at(Seconds t) const;
 };
 
 /// The composed load on one node.
@@ -49,17 +50,17 @@ class LoadScript {
   void add(const LoadRamp& ramp) { ramps_.push_back(ramp); }
 
   /// Total background load level at time t (sum over generators).
-  real_t load_at(real_t t) const;
+  real_t load_at(Seconds t) const;
 
   /// Memory consumed by generators at time t, in MB.
-  real_t memory_used_at(real_t t) const;
+  MegaBytes memory_used_at(Seconds t) const;
 
   /// Network traffic injected at time t, in Mbit/s.
-  real_t traffic_at(real_t t) const;
+  MbitsPerSec traffic_at(Seconds t) const;
 
   /// Fraction of CPU available to the application at time t under
   /// fair-share scheduling: 1 / (1 + load).
-  real_t cpu_available_at(real_t t) const;
+  Fraction cpu_available_at(Seconds t) const;
 
   bool empty() const { return ramps_.empty(); }
   std::size_t size() const { return ramps_.size(); }

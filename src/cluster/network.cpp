@@ -7,26 +7,27 @@
 namespace ssamr {
 
 namespace {
-constexpr real_t kMinBandwidthMbps = NetworkModel::kMinBandwidthMbps;
+constexpr MbitsPerSec kMinBandwidthMbps = NetworkModel::kMinBandwidthMbps;
 }
 
-real_t NetworkModel::transfer_time(std::int64_t bytes, real_t src_mbps,
-                                   real_t dst_mbps) const {
-  SSAMR_REQUIRE(bytes >= 0, "negative transfer size");
-  if (bytes == 0) return 0;
-  const real_t mbps = std::max(
+Seconds NetworkModel::transfer_time(Bytes bytes, MbitsPerSec src_mbps,
+                                    MbitsPerSec dst_mbps) const {
+  SSAMR_REQUIRE(bytes >= Bytes{0}, "negative transfer size");
+  if (bytes == Bytes{0}) return Seconds{0};
+  // Bytes / MbitsPerSec -> Seconds carries the historical scaling
+  // (bytes * 8.0, then / (mbps * 1.0e6)) inside units.hpp, so the result
+  // is bit-identical to the raw-double model.
+  const MbitsPerSec mbps = std::max(
       kMinBandwidthMbps, std::min(src_mbps, dst_mbps) * efficiency);
-  const real_t bits = static_cast<real_t>(bytes) * 8.0;
-  return latency_s + bits / (mbps * 1.0e6);
+  return latency_s + bytes / mbps;
 }
 
-real_t NetworkModel::exchange_time(std::int64_t bytes,
-                                   real_t self_mbps) const {
-  SSAMR_REQUIRE(bytes >= 0, "negative exchange size");
-  if (bytes == 0) return 0;
-  const real_t mbps = std::max(kMinBandwidthMbps, self_mbps * efficiency);
-  const real_t bits = static_cast<real_t>(bytes) * 8.0;
-  return latency_s + bits / (mbps * 1.0e6);
+Seconds NetworkModel::exchange_time(Bytes bytes,
+                                    MbitsPerSec self_mbps) const {
+  SSAMR_REQUIRE(bytes >= Bytes{0}, "negative exchange size");
+  if (bytes == Bytes{0}) return Seconds{0};
+  const MbitsPerSec mbps = std::max(kMinBandwidthMbps, self_mbps * efficiency);
+  return latency_s + bytes / mbps;
 }
 
 }  // namespace ssamr

@@ -10,6 +10,7 @@
 
 #include "cluster/node.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -17,23 +18,23 @@ namespace ssamr {
 struct NetworkModel {
   /// Floor on any deliverable bandwidth (keeps transfer times finite when
   /// background traffic saturates a link).
-  static constexpr real_t kMinBandwidthMbps = 0.1;
+  static constexpr MbitsPerSec kMinBandwidthMbps{0.1};
 
   /// One-way message latency in seconds (Fast Ethernet + TCP ≈ 100 µs).
-  real_t latency_s = 1.0e-4;
+  Seconds latency_s{1.0e-4};
   /// Protocol efficiency: fraction of nominal link bandwidth achievable by
   /// a single TCP stream.
-  real_t efficiency = 0.85;
+  Fraction efficiency{0.85};
 
   /// Seconds to move `bytes` between endpoints whose deliverable
   /// bandwidths are src_mbps and dst_mbps.  Zero bytes cost nothing.
-  real_t transfer_time(std::int64_t bytes, real_t src_mbps,
-                       real_t dst_mbps) const;
+  Seconds transfer_time(Bytes bytes, MbitsPerSec src_mbps,
+                        MbitsPerSec dst_mbps) const;
 
   /// Seconds for one rank to move `bytes` of ghost data given its own
   /// deliverable bandwidth (the aggregate of its exchanges; peers assumed
   /// no slower on average).
-  real_t exchange_time(std::int64_t bytes, real_t self_mbps) const;
+  Seconds exchange_time(Bytes bytes, MbitsPerSec self_mbps) const;
 };
 
 }  // namespace ssamr

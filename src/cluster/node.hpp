@@ -10,6 +10,7 @@
 #include <string>
 
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -18,21 +19,21 @@ struct NodeSpec {
   std::string name = "node";
   /// Work units the node retires per virtual second at 100 % CPU
   /// availability (1 work unit = one cell update of the work model).
-  real_t peak_rate = 1.0e6;
+  WorkRate peak_rate{1.0e6};
   /// Physical memory in MB.
-  real_t memory_mb = 512.0;
+  MegaBytes memory_mb{512.0};
   /// Link bandwidth in Mbit/s (paper: Fast Ethernet, 100 Mbit/s).
-  real_t bandwidth_mbps = 100.0;
+  MbitsPerSec bandwidth_mbps{100.0};
 };
 
 /// True resource availability of a node at one virtual time.
 struct NodeState {
   /// Fraction of CPU an application process can obtain (0..1].
-  real_t cpu_available = 1.0;
+  Fraction cpu_available{1.0};
   /// Free memory in MB.
-  real_t memory_free_mb = 512.0;
+  MegaBytes memory_free_mb{512.0};
   /// Currently deliverable link bandwidth in Mbit/s.
-  real_t bandwidth_mbps = 100.0;
+  MbitsPerSec bandwidth_mbps{100.0};
 };
 
 }  // namespace ssamr

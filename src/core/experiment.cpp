@@ -55,9 +55,9 @@ std::vector<real_t> reference_capacities4() {
 Cluster paper_cluster(int n) {
   NodeSpec spec;
   spec.name = "linux";
-  spec.peak_rate = 4.2e6;       // cell updates per second
-  spec.memory_mb = 256.0;
-  spec.bandwidth_mbps = 100.0;  // Fast Ethernet
+  spec.peak_rate = WorkRate{4.2e6};  // cell updates per second
+  spec.memory_mb = MegaBytes{256.0};
+  spec.bandwidth_mbps = MbitsPerSec{100.0};  // Fast Ethernet
   return Cluster::homogeneous(n, spec);
 }
 
@@ -71,11 +71,11 @@ void apply_static_loads(Cluster& cluster) {
   SSAMR_REQUIRE(cluster.size() >= 2, "need at least two nodes");
   auto steady = [](real_t level, real_t memory, real_t traffic) {
     LoadRamp r;
-    r.start_time = -1.0;  // already at level when the run starts
+    r.start_time = Seconds{-1.0};  // already at level when the run starts
     r.rate = 1.0e9;
     r.target_level = level;
-    r.memory_mb = memory;
-    r.traffic_mbps = traffic;
+    r.memory_mb = MegaBytes{memory};
+    r.traffic_mbps = MbitsPerSec{traffic};
     return r;
   };
   const int n = cluster.size();
@@ -110,22 +110,22 @@ void apply_dynamic_loads(Cluster& cluster, real_t timescale_s) {
   // load level") and exits past mid-run.
   {
     LoadRamp r;
-    r.start_time = 0.05 * tau;
-    r.stop_time = 0.55 * tau;
+    r.start_time = Seconds{0.05 * tau};
+    r.stop_time = Seconds{0.55 * tau};
     r.rate = 4.5 / (0.20 * tau);  // reaches level 4.5 in 0.20 τ
     r.target_level = 4.5;
-    r.memory_mb = 185.0;
-    r.traffic_mbps = 80.0;
+    r.memory_mb = MegaBytes{185.0};
+    r.traffic_mbps = MbitsPerSec{80.0};
     cluster.add_load(0, r);
   }
   // Node 1: a moderate generator ramps through the second half and stays.
   {
     LoadRamp r;
-    r.start_time = 0.55 * tau;
+    r.start_time = Seconds{0.55 * tau};
     r.rate = 2.6 / (0.18 * tau);
     r.target_level = 2.6;
-    r.memory_mb = 150.0;
-    r.traffic_mbps = 58.0;
+    r.memory_mb = MegaBytes{150.0};
+    r.traffic_mbps = MbitsPerSec{58.0};
     cluster.add_load(1, r);
   }
   // Node 0 again: a second, lighter generator late in the run ("multiple
@@ -133,11 +133,11 @@ void apply_dynamic_loads(Cluster& cluster, real_t timescale_s) {
   // dynamics").
   {
     LoadRamp r;
-    r.start_time = 0.85 * tau;
+    r.start_time = Seconds{0.85 * tau};
     r.rate = 0.6 / (0.05 * tau);
     r.target_level = 0.6;
-    r.memory_mb = 40.0;
-    r.traffic_mbps = 15.0;
+    r.memory_mb = MegaBytes{40.0};
+    r.traffic_mbps = MbitsPerSec{15.0};
     cluster.add_load(0, r);
   }
 }
@@ -188,20 +188,20 @@ RuntimeConfig paper_runtime_config(int iterations, int sensing_interval) {
   cfg.weights = CapacityWeights::equal();
   cfg.work.ratio = 2;
   cfg.work.cost_per_cell = 1.0;
-  cfg.monitor.probe_cost_s = 1.0;
+  cfg.monitor.probe_cost_s = Seconds{1.0};
   cfg.monitor.noise.cpu_sigma = 0.05;
   cfg.monitor.noise.memory_sigma = 0.02;
   cfg.monitor.noise.bandwidth_sigma = 0.08;
   cfg.monitor.seed = 2001;
   cfg.executor.ncomp = 5;
   cfg.executor.ghost = 1;  // first-order Rusanov stencil
-  cfg.executor.comm_overlap = 0.8;
+  cfg.executor.comm_overlap = Fraction{0.8};
   cfg.exec_model = current_exec_model();
   return cfg;
 }
 
 real_t Comparison::improvement() const {
-  if (grace_default.total_time <= 0) return 0;
+  if (grace_default.total_time <= Seconds{0}) return 0;
   return (grace_default.total_time - system_sensitive.total_time) /
          grace_default.total_time;
 }
@@ -250,7 +250,7 @@ real_t calibrate_timescale(int nprocs, int iterations, int sensing_interval,
   for (int i = 0; i < passes; ++i) {
     const RunTrace t =
         run_dynamic_het(nprocs, iterations, sensing_interval, tau);
-    tau = 0.95 * t.total_time;
+    tau = 0.95 * t.total_time.value();
   }
   return tau;
 }

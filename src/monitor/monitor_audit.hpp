@@ -1,0 +1,16 @@
+#pragma once
+/// \file monitor_audit.hpp
+/// Invariant audit of the resource-monitor knobs.
+
+#include "monitor/monitor_service.hpp"
+#include "util/audit.hpp"
+
+namespace ssamr::audit {
+
+/// Audit the resource-monitor knobs: probe cost, memory footprint and
+/// noise sigmas non-negative and finite, CPU intrusion in [0,1).
+/// ResourceMonitor enforces this report at construction.
+AuditReport validate_monitor_config(const MonitorConfig& cfg,
+                                    const AuditConfig& audit_cfg = {});
+
+}  // namespace ssamr::audit

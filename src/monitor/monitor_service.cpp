@@ -2,7 +2,9 @@
 
 #include <cmath>
 
-#include "audit/audit.hpp"
+#include "cluster/cluster_audit.hpp"
+#include "monitor/monitor_audit.hpp"
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -38,12 +40,12 @@ const char* probe_status_name(ProbeStatus s) {
 }
 
 ResourceEstimate StalenessPolicy::degrade(
-    const ResourceEstimate& last_good, real_t age_s,
+    const ResourceEstimate& last_good, Seconds age,
     const ResourceEstimate& cluster_mean) const {
   // Exponential decay toward the population mean: a reading of age zero is
   // trusted fully; one many tau old says little more than "the node looked
-  // like an average node once".
-  const real_t w = std::exp(-std::max(age_s, real_t{0}) / decay_tau_s);
+  // like an average node once".  Seconds / Seconds yields the raw ratio.
+  const real_t w = std::exp(-std::max(age, Seconds{0}) / decay_tau_s);
   ResourceEstimate e;
   e.cpu_available =
       w * last_good.cpu_available + (1.0 - w) * cluster_mean.cpu_available;
@@ -62,13 +64,14 @@ ResourceMonitor::ResourceMonitor(const Cluster& cluster, MonitorConfig cfg)
       mem_hist_(static_cast<std::size_t>(cluster.size())),
       bw_hist_(static_cast<std::size_t>(cluster.size())),
       last_good_(static_cast<std::size_t>(cluster.size())),
-      last_good_time_(static_cast<std::size_t>(cluster.size()), 0),
+      last_good_time_(static_cast<std::size_t>(cluster.size()),
+                      Seconds{0}),
       has_good_(static_cast<std::size_t>(cluster.size()), 0),
       fail_streak_(static_cast<std::size_t>(cluster.size()), 0),
       quarantined_(static_cast<std::size_t>(cluster.size()), 0),
       attempt_counter_(static_cast<std::size_t>(cluster.size()), 0) {
   const audit::AuditReport report =
-      audit::Validator{}.validate_monitor_config(cfg);
+      audit::validate_monitor_config(cfg);
   SSAMR_REQUIRE(report.ok(), report.summary());
 }
 
@@ -77,7 +80,7 @@ std::size_t ResourceMonitor::index_of(rank_t rank) const {
   return static_cast<std::size_t>(rank);
 }
 
-ResourceEstimate ResourceMonitor::fresh_probe(rank_t rank, real_t t_obs) {
+ResourceEstimate ResourceMonitor::fresh_probe(rank_t rank, Seconds t_obs) {
   const std::size_t i = static_cast<std::size_t>(rank);
   const Measurement m = sensor_.measure(rank, t_obs);
   auto& cpu = cpu_hist_[i];
@@ -88,15 +91,17 @@ ResourceEstimate ResourceMonitor::fresh_probe(rank_t rank, real_t t_obs) {
   bw.push_back(m.bandwidth_mbps);
   ++probe_count_;
 
+  // Forecasts and raw measurements are dimensionless wire data; wrapping
+  // them here is where each value acquires its dimension.
   ResourceEstimate e;
   if (cfg_.forecast) {
-    e.cpu_available = forecaster_.forecast(cpu);
-    e.memory_free_mb = forecaster_.forecast(mem);
-    e.bandwidth_mbps = forecaster_.forecast(bw);
+    e.cpu_available = Fraction{forecaster_.forecast(cpu)};
+    e.memory_free_mb = MegaBytes{forecaster_.forecast(mem)};
+    e.bandwidth_mbps = MbitsPerSec{forecaster_.forecast(bw)};
   } else {
-    e.cpu_available = m.cpu_available;
-    e.memory_free_mb = m.memory_free_mb;
-    e.bandwidth_mbps = m.bandwidth_mbps;
+    e.cpu_available = Fraction{m.cpu_available};
+    e.memory_free_mb = MegaBytes{m.memory_free_mb};
+    e.bandwidth_mbps = MbitsPerSec{m.bandwidth_mbps};
   }
   last_good_[i] = e;
   last_good_time_[i] = t_obs;
@@ -104,14 +109,14 @@ ResourceEstimate ResourceMonitor::fresh_probe(rank_t rank, real_t t_obs) {
   return e;
 }
 
-ResourceEstimate ResourceMonitor::probe(rank_t rank, real_t t) {
+ResourceEstimate ResourceMonitor::probe(rank_t rank, Seconds t) {
   (void)index_of(rank);
   return fresh_probe(rank, t);
 }
 
 ResourceEstimate ResourceMonitor::known_good_mean() const {
   ResourceEstimate mean;
-  mean.cpu_available = 0;
+  mean.cpu_available = Fraction{0};
   int count = 0;
   for (std::size_t i = 0; i < has_good_.size(); ++i) {
     if (has_good_[i] == 0 || quarantined_[i] != 0) continue;
@@ -120,14 +125,14 @@ ResourceEstimate ResourceMonitor::known_good_mean() const {
     mean.bandwidth_mbps += last_good_[i].bandwidth_mbps;
     ++count;
   }
-  if (count == 0) return ResourceEstimate{0, 0, 0};
+  if (count == 0) return ResourceEstimate{Fraction{0}, MegaBytes{0}, MbitsPerSec{0}};
   mean.cpu_available /= count;
   mean.memory_free_mb /= count;
   mean.bandwidth_mbps /= count;
   return mean;
 }
 
-ProbeOutcome ResourceMonitor::probe_outcome(rank_t rank, real_t t) {
+ProbeOutcome ResourceMonitor::probe_outcome(rank_t rank, Seconds t) {
   const std::size_t i = index_of(rank);
   const FaultPlan* plan = cluster_.fault_plan();
 
@@ -146,7 +151,7 @@ ProbeOutcome ResourceMonitor::probe_outcome(rank_t rank, real_t t) {
   const int max_attempts =
       quarantined_[i] != 0 ? 1 : 1 + cfg_.probe_max_retries;
   ProbeFault last_fault = ProbeFault::kNone;
-  real_t cost = 0;
+  Seconds cost{0};
   int attempts = 0;
   bool answered = false;
   bool stale = false;
@@ -172,7 +177,7 @@ ProbeOutcome ResourceMonitor::probe_outcome(rank_t rank, real_t t) {
   if (answered) {
     // A stale answer is a real (old) reading: it enters the history and
     // counts as contact for quarantine purposes.
-    const real_t t_obs = stale ? plan->observable_time(rank, t) : t;
+    const Seconds t_obs = stale ? plan->observable_time(rank, t) : t;
     out.estimate = fresh_probe(rank, t_obs);
     out.status = stale ? ProbeStatus::kStale : ProbeStatus::kOk;
     fail_streak_[i] = 0;
@@ -187,19 +192,19 @@ ProbeOutcome ResourceMonitor::probe_outcome(rank_t rank, real_t t) {
   if (quarantined_[i] != 0) {
     // Quarantined: report zero capacity so normalization routes no work
     // here until the node answers again.
-    out.estimate = ResourceEstimate{0, 0, 0};
+    out.estimate = ResourceEstimate{Fraction{0}, MegaBytes{0}, MbitsPerSec{0}};
   } else if (has_good_[i] != 0) {
     out.estimate = cfg_.staleness.degrade(
         last_good_[i], t - last_good_time_[i], known_good_mean());
   } else {
     // Never reached the node at all: assume nothing (zero capacity) rather
     // than inventing an average node that may not exist.
-    out.estimate = ResourceEstimate{0, 0, 0};
+    out.estimate = ResourceEstimate{Fraction{0}, MegaBytes{0}, MbitsPerSec{0}};
   }
   return out;
 }
 
-SweepResult ResourceMonitor::probe_all(real_t t) {
+SweepResult ResourceMonitor::probe_all(Seconds t) {
   const std::size_t n = static_cast<std::size_t>(cluster_.size());
   SweepResult out;
   out.estimates.reserve(n);
@@ -215,7 +220,7 @@ SweepResult ResourceMonitor::probe_all(real_t t) {
     }
     out.overhead_s = sweep_cost();
     out.ok = cluster_.size();
-    SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));
+    SSAMR_AUDIT(audit::validate_cluster(cluster_, t));
     health_.record_sweep(out);
     return out;
   }
@@ -242,12 +247,12 @@ SweepResult ResourceMonitor::probe_all(real_t t) {
   }
   // The probed truth must itself be consistent: availabilities in [0, 1],
   // free memory and bandwidth within each node's spec.
-  SSAMR_AUDIT(audit::Validator{}.validate_cluster(cluster_, t));
+  SSAMR_AUDIT(audit::validate_cluster(cluster_, t));
   health_.record_sweep(out);
   return out;
 }
 
-real_t ResourceMonitor::sweep_cost() const {
+Seconds ResourceMonitor::sweep_cost() const {
   return cfg_.probe_cost_s * static_cast<real_t>(cluster_.size());
 }
 

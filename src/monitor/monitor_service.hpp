@@ -26,20 +26,15 @@
 #include <memory>
 #include <vector>
 
+#include "capacity/resource_estimate.hpp"
 #include "cluster/cluster.hpp"
 #include "monitor/forecaster.hpp"
 #include "monitor/probe_health.hpp"
 #include "monitor/sensor.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
-
-/// What the monitor reports for one node.
-struct ResourceEstimate {
-  real_t cpu_available = 1.0;
-  real_t memory_free_mb = 0;
-  real_t bandwidth_mbps = 0;
-};
 
 /// How one probe (after retries) ended.
 enum class ProbeStatus : std::uint8_t {
@@ -58,10 +53,10 @@ const char* probe_status_name(ProbeStatus s);
 /// unbiased guess drifts to the population average).
 struct StalenessPolicy {
   /// e-folding time of the decay, in virtual seconds.
-  real_t decay_tau_s = 60.0;
+  Seconds decay_tau_s{60.0};
 
-  /// Blend `last_good` toward `cluster_mean` for a reading `age_s` old.
-  ResourceEstimate degrade(const ResourceEstimate& last_good, real_t age_s,
+  /// Blend `last_good` toward `cluster_mean` for a reading `age` old.
+  ResourceEstimate degrade(const ResourceEstimate& last_good, Seconds age,
                            const ResourceEstimate& cluster_mean) const;
 };
 
@@ -74,7 +69,7 @@ struct ProbeOutcome {
   /// Virtual-time cost of the probe including timeouts, retries and
   /// backoff waits.  Equals MonitorConfig::probe_cost_s when the first
   /// attempt succeeds.
-  real_t elapsed_s = 0;
+  Seconds elapsed_s{0};
 };
 
 /// One full probe sweep: the per-node estimates plus what the sweep cost
@@ -85,7 +80,7 @@ struct SweepResult {
   std::vector<ProbeStatus> statuses;
   /// Virtual-time cost of the sweep (probe_cost_s × nodes when fault-free;
   /// larger when probes timed out, retried or backed off).
-  real_t overhead_s = 0;
+  Seconds overhead_s{0};
   /// Probe-health tallies of this sweep.
   int ok = 0;
   int stale = 0;
@@ -106,16 +101,16 @@ struct SweepResult {
 struct MonitorConfig {
   SensorNoise noise;
   /// Seconds charged per node probed (paper: ≈ 0.5 s per node).
-  real_t probe_cost_s = 0.5;
+  Seconds probe_cost_s{0.5};
   /// Seconds after which an unanswered probe counts as timed out (each
   /// timed-out attempt costs this much virtual time).
-  real_t probe_deadline_s = 2.0;
+  Seconds probe_deadline_s{2.0};
   /// Retries after a failed or timed-out attempt (bounded; quarantined
   /// nodes get a single attempt regardless).
   int probe_max_retries = 2;
   /// Wait before the first retry; each further retry multiplies it by
   /// backoff_factor (exponential backoff).
-  real_t backoff_base_s = 0.25;
+  Seconds backoff_base_s{0.25};
   real_t backoff_factor = 2.0;
   /// Consecutive failed sweeps after which a node is quarantined
   /// (reported at zero capacity until a probe succeeds again).
@@ -123,9 +118,9 @@ struct MonitorConfig {
   /// Fallback decay for unreachable nodes.
   StalenessPolicy staleness;
   /// CPU fraction the monitor steals on monitored nodes (NWS: < 3 %).
-  real_t intrusion_cpu = 0.02;
+  Fraction intrusion_cpu{0.02};
   /// Memory footprint of the monitor per node in MB (NWS: ≈ 3300 KB).
-  real_t intrusion_memory_mb = 3.3;
+  MegaBytes intrusion_memory_mb{3.3};
   /// Use the adaptive forecaster over the history; when false, report the
   /// raw last measurement (no forecasting).
   bool forecast = true;
@@ -139,15 +134,15 @@ class ResourceMonitor {
 
   /// Probe one node at virtual time t: take a measurement (retrying on
   /// faults), extend the history, and return the forecasted estimate.
-  ResourceEstimate probe(rank_t rank, real_t t);
+  ResourceEstimate probe(rank_t rank, Seconds t);
 
   /// As probe(), but report the full outcome (status, attempts, cost).
-  ProbeOutcome probe_outcome(rank_t rank, real_t t);
+  ProbeOutcome probe_outcome(rank_t rank, Seconds t);
 
   /// Probe every node and report the sweep's virtual-time cost, health
   /// tallies and quarantine transitions alongside the estimates.  Each
   /// sweep's tallies are also folded into the health ledger.
-  SweepResult probe_all(real_t t);
+  SweepResult probe_all(Seconds t);
 
   /// Running probe-health totals across all sweeps of this monitor's
   /// lifetime — the shared state between the monitor (writing on the
@@ -156,10 +151,10 @@ class ResourceMonitor {
   const HealthLedger& health() const { return health_; }
 
   /// Virtual-time cost of probing the whole cluster once, fault-free.
-  real_t sweep_cost() const;
+  Seconds sweep_cost() const;
 
   /// CPU fraction stolen by the monitor on every node.
-  real_t intrusion_cpu() const { return cfg_.intrusion_cpu; }
+  Fraction intrusion_cpu() const { return cfg_.intrusion_cpu; }
 
   /// Number of probes issued so far (all nodes, successful or not).
   std::size_t probe_count() const { return probe_count_; }
@@ -176,7 +171,7 @@ class ResourceMonitor {
  private:
   /// Take a fresh measurement of `rank` as of virtual time t_obs, extend
   /// the history, and record the result as last-known-good.
-  ResourceEstimate fresh_probe(rank_t rank, real_t t_obs);
+  ResourceEstimate fresh_probe(rank_t rank, Seconds t_obs);
   /// Mean of the last-known-good estimates over non-quarantined nodes
   /// (the decay target of the staleness fallback).
   ResourceEstimate known_good_mean() const;
@@ -191,7 +186,7 @@ class ResourceMonitor {
   std::vector<std::vector<real_t>> bw_hist_;
   /// Fault-tolerance state, one slot per node.
   std::vector<ResourceEstimate> last_good_;
-  std::vector<real_t> last_good_time_;
+  std::vector<Seconds> last_good_time_;
   std::vector<char> has_good_;
   std::vector<int> fail_streak_;
   std::vector<char> quarantined_;

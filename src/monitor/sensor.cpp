@@ -13,16 +13,20 @@ real_t Sensor::perturb(real_t value, real_t sigma, real_t lo, real_t hi) {
   return std::clamp(noisy, lo, hi);
 }
 
-Measurement Sensor::measure(rank_t rank, real_t t) {
+Measurement Sensor::measure(rank_t rank, Seconds t) {
   const NodeState s = cluster_.state_at(rank, t);
   const NodeSpec& spec = cluster_.spec(rank);
+  // Raw-reading boundary: .value() unwraps are sanctioned here (and only
+  // here on the sensing path) because a measurement is dimensionless wire
+  // data until the monitor classifies it.
   Measurement m;
-  m.time = t;
-  m.cpu_available = perturb(s.cpu_available, noise_.cpu_sigma, 0.0, 1.0);
-  m.memory_free_mb =
-      perturb(s.memory_free_mb, noise_.memory_sigma, 0.0, spec.memory_mb);
-  m.bandwidth_mbps = perturb(s.bandwidth_mbps, noise_.bandwidth_sigma, 0.0,
-                             spec.bandwidth_mbps);
+  m.time = t.value();
+  m.cpu_available =
+      perturb(s.cpu_available.value(), noise_.cpu_sigma, 0.0, 1.0);
+  m.memory_free_mb = perturb(s.memory_free_mb.value(), noise_.memory_sigma,
+                             0.0, spec.memory_mb.value());
+  m.bandwidth_mbps = perturb(s.bandwidth_mbps.value(), noise_.bandwidth_sigma,
+                             0.0, spec.bandwidth_mbps.value());
   return m;
 }
 

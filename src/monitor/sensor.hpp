@@ -10,10 +10,16 @@
 #include "cluster/cluster.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
 /// One measurement of a node's resources.
+///
+/// Raw-reading boundary: a sensor sample is an unvalidated wire reading,
+/// so its fields stay raw `real_t`; typed units begin at ResourceEstimate
+/// (capacity/resource_estimate.hpp), where the monitor vouches for the
+/// dimension of each value.
 struct Measurement {
   real_t time = 0;
   real_t cpu_available = 1.0;
@@ -34,7 +40,7 @@ class Sensor {
   Sensor(const Cluster& cluster, SensorNoise noise, std::uint64_t seed);
 
   /// Measure one node at virtual time t.
-  Measurement measure(rank_t rank, real_t t);
+  Measurement measure(rank_t rank, Seconds t);
 
  private:
   real_t perturb(real_t value, real_t sigma, real_t lo, real_t hi);

@@ -6,7 +6,8 @@
 #include <limits>
 #include <numeric>
 
-#include "audit/audit.hpp"
+#include "partition/partition_audit.hpp"
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -171,7 +172,7 @@ PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
     if (sum > 0)
       for (std::size_t q = 0; q < nproc; ++q)
         caps[static_cast<std::size_t>(proc_order[q])] = targets[q] / sum;
-    return audit::Validator{}.validate_partition(
+    return audit::validate_partition(
         BoxList(ordered_boxes), result, caps, work, constraints);
   }());
   return result;

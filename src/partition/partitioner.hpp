@@ -78,7 +78,7 @@ class Partitioner {
   virtual std::string name() const = 0;
 
   /// The splitting constraints this partitioner honours.  Audits
-  /// (audit/validator.hpp) check partition results against these; the
+  /// (partition/partition_audit.hpp) check partition results against these; the
   /// default matches the paper's constraints.
   virtual PartitionConstraints constraints() const {
     return PartitionConstraints{};

@@ -52,7 +52,7 @@ RunTrace AdaptiveRuntime::run() {
   RunTrace trace;
   trace.model = model_->name();
   trace.num_ranks = cluster_.size();
-  real_t t = 0;
+  Seconds t{0};
 
   // Initial sensing sweep: capacities used until the first periodic probe.
   stage_sense(trace, t, /*iteration=*/0, /*initial=*/true);
@@ -87,12 +87,13 @@ RunTrace AdaptiveRuntime::run() {
   // monitor/probe_health.hpp) become part of the finalized trace.
   trace.health = monitor_.health().snapshot();
   SSAMR_INFO << partitioner_.name() << ": " << trace.iterations
-             << " iterations in " << trace.total_time << " virtual s ("
+             << " iterations in " << trace.total_time.value()
+             << " virtual s ("
              << trace.model << " model)";
   return trace;
 }
 
-void AdaptiveRuntime::stage_sense(RunTrace& trace, real_t& t, int iteration,
+void AdaptiveRuntime::stage_sense(RunTrace& trace, Seconds& t, int iteration,
                                   bool initial) {
   // probe_all folds the sweep's tallies into the monitor's HealthLedger;
   // run() snapshots the ledger into the trace once the run is over.
@@ -136,7 +137,7 @@ void AdaptiveRuntime::stage_adopt_capacities(
     capacities_ = fresh;
 }
 
-void AdaptiveRuntime::stage_repartition(RunTrace& trace, real_t& t,
+void AdaptiveRuntime::stage_repartition(RunTrace& trace, Seconds& t,
                                         int iteration, int& regrid_index,
                                         PartitionResult& current) {
   const BoxList boxes = source_.boxes_for_regrid(regrid_index);
@@ -150,8 +151,8 @@ void AdaptiveRuntime::stage_repartition(RunTrace& trace, real_t& t,
   // Migration is priced at the pre-regrid time t (the bandwidths in effect
   // when the repartition was decided) — the BSP model depends on this for
   // bit-identity with the pre-seam accounting.
-  const real_t t_regrid = model_->regrid(t, boxes.size(), iteration);
-  const real_t t_migrate = model_->migrate(current, next, t);
+  const Seconds t_regrid = model_->regrid(t, boxes.size(), iteration);
+  const Seconds t_migrate = model_->migrate(current, next, t);
   t += t_regrid + t_migrate;
   trace.regrid_time += t_regrid;
   trace.migrate_time += t_migrate;
@@ -166,7 +167,7 @@ void AdaptiveRuntime::stage_repartition(RunTrace& trace, real_t& t,
   rec.imbalance_pct = load_imbalance_pct(next);
   rec.splits = next.splits;
   rec.num_boxes = boxes.size();
-  rec.total_work = total_work(boxes, cfg_.work);
+  rec.total_work = Work{total_work(boxes, cfg_.work)};
   trace.regrids.push_back(std::move(rec));
 
   // Refresh the HDDA registry with the new distribution.
@@ -181,7 +182,7 @@ void AdaptiveRuntime::stage_repartition(RunTrace& trace, real_t& t,
   ++regrid_index;
 }
 
-void AdaptiveRuntime::stage_advance(RunTrace& trace, real_t& t, int iteration,
+void AdaptiveRuntime::stage_advance(RunTrace& trace, Seconds& t, int iteration,
                                     const PartitionResult& current) {
   const StepCost step = model_->advance(current, t, iteration);
   trace.compute_time += step.compute;

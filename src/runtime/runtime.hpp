@@ -24,8 +24,8 @@
 #include "cluster/cluster.hpp"
 #include "monitor/monitor_service.hpp"
 #include "partition/partitioner.hpp"
-#include "runtime/executor.hpp"
-#include "runtime/trace.hpp"
+#include "sim/executor.hpp"
+#include "sim/trace.hpp"
 #include "sim/exec_model.hpp"
 
 namespace ssamr {
@@ -126,7 +126,7 @@ class AdaptiveRuntime {
   /// to the model.  The initial sweep always adopts what it sensed (there
   /// is nothing to be hysteretic against); periodic sweeps go through
   /// stage_adopt_capacities.
-  void stage_sense(RunTrace& trace, real_t& t, int iteration, bool initial);
+  void stage_sense(RunTrace& trace, Seconds& t, int iteration, bool initial);
 
   /// Hysteresis: adopt freshly sensed capacities only when some node moved
   /// by more than the configured threshold.
@@ -134,11 +134,11 @@ class AdaptiveRuntime {
 
   /// Regrid the application, repartition under the current capacities,
   /// charge regrid + migration to the model, and refresh the registry.
-  void stage_repartition(RunTrace& trace, real_t& t, int iteration,
+  void stage_repartition(RunTrace& trace, Seconds& t, int iteration,
                          int& regrid_index, PartitionResult& current);
 
   /// One coarse iteration under the current assignment.
-  void stage_advance(RunTrace& trace, real_t& t, int iteration,
+  void stage_advance(RunTrace& trace, Seconds& t, int iteration,
                      const PartitionResult& current);
 
   Cluster& cluster_;

@@ -11,7 +11,7 @@ BspModel::BspModel(const Cluster& cluster, const ExecutorConfig& cfg)
   for (int k = 0; k <= n; ++k) lanes_.emplace_back(k);
 }
 
-real_t BspModel::sense(real_t t, real_t sweep_s, int iteration) {
+Seconds BspModel::sense(Seconds t, Seconds sweep_s, int iteration) {
   // Charged serially: every rank waits for the sweep (the pre-seam
   // behaviour the paper measures as sensing overhead).
   const auto n = static_cast<std::size_t>(cluster_.size());
@@ -22,8 +22,8 @@ real_t BspModel::sense(real_t t, real_t sweep_s, int iteration) {
   return sweep_s;
 }
 
-real_t BspModel::regrid(real_t t, std::size_t boxes, int iteration) {
-  const real_t cost = exec_.regrid_time(boxes) + exec_.partition_time(boxes);
+Seconds BspModel::regrid(Seconds t, std::size_t boxes, int iteration) {
+  const Seconds cost = exec_.regrid_time(boxes) + exec_.partition_time(boxes);
   const auto n = static_cast<std::size_t>(cluster_.size());
   for (std::size_t k = 0; k < n; ++k)
     lanes_[k].advance(t + cost, SpanKind::kRegrid, iteration);
@@ -31,27 +31,27 @@ real_t BspModel::regrid(real_t t, std::size_t boxes, int iteration) {
   return cost;
 }
 
-real_t BspModel::migrate(const PartitionResult& previous,
-                         const PartitionResult& next, real_t t) {
+Seconds BspModel::migrate(const PartitionResult& previous,
+                          const PartitionResult& next, Seconds t) {
   // The pre-seam clock charges migration at the pre-regrid time t; the
   // spans start after the regrid work the driver adds alongside.
-  const real_t cost = exec_.migration_time(previous, next, t);
+  const Seconds cost = exec_.migration_time(previous, next, t);
   // The driver charges regrid + migration to its clock as one pre-summed
   // pair; replicate that exact rounding so the lanes land on the driver's
   // clock bit-for-bit ((t + a) + b need not equal t + (a + b)).
-  const real_t end = t + (pending_regrid_s_ + cost);
-  pending_regrid_s_ = 0;
+  const Seconds end = t + (pending_regrid_s_ + cost);
+  pending_regrid_s_ = Seconds{0};
   const auto n = static_cast<std::size_t>(cluster_.size());
   for (std::size_t k = 0; k < n; ++k)
     lanes_[k].advance(end, SpanKind::kMigrate);
   return cost;
 }
 
-StepCost BspModel::advance(const PartitionResult& r, real_t t,
+StepCost BspModel::advance(const PartitionResult& r, Seconds t,
                            int iteration) {
   const auto comp = exec_.compute_times(r, t);
   const auto comm = exec_.effective_comm_times(r, t);
-  real_t worst_total = 0;
+  Seconds worst_total{0};
   std::size_t worst_k = 0;
   for (std::size_t k = 0; k < comp.size(); ++k) {
     if (comp[k] + comm[k] > worst_total) {
@@ -59,7 +59,7 @@ StepCost BspModel::advance(const PartitionResult& r, real_t t,
       worst_k = k;
     }
   }
-  const real_t worst_comp = comp[worst_k];
+  const Seconds worst_comp = comp[worst_k];
   for (std::size_t k = 0; k < comp.size(); ++k) {
     RankTimeline& lane = lanes_[k];
     // Sum comp + comm before adding t: rounding is then monotone in the
@@ -71,7 +71,7 @@ StepCost BspModel::advance(const PartitionResult& r, real_t t,
   return StepCost{worst_total, worst_comp, worst_total - worst_comp};
 }
 
-void BspModel::finish(RunTrace& trace, real_t t_end) {
+void BspModel::finish(RunTrace& trace, Seconds t_end) {
   const auto n = static_cast<std::size_t>(cluster_.size());
   trace.rank_usage.clear();
   trace.spans.clear();

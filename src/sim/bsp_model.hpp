@@ -25,13 +25,13 @@ class BspModel final : public ExecutionModel {
   BspModel(const Cluster& cluster, const ExecutorConfig& cfg);
 
   std::string name() const override { return "bsp"; }
-  real_t sense(real_t t, real_t sweep_s, int iteration) override;
-  real_t regrid(real_t t, std::size_t boxes, int iteration) override;
-  real_t migrate(const PartitionResult& previous, const PartitionResult& next,
-                 real_t t) override;
-  StepCost advance(const PartitionResult& r, real_t t,
+  Seconds sense(Seconds t, Seconds sweep_s, int iteration) override;
+  Seconds regrid(Seconds t, std::size_t boxes, int iteration) override;
+  Seconds migrate(const PartitionResult& previous, const PartitionResult& next,
+                  Seconds t) override;
+  StepCost advance(const PartitionResult& r, Seconds t,
                    int iteration) override;
-  void finish(RunTrace& trace, real_t t_end) override;
+  void finish(RunTrace& trace, Seconds t_end) override;
   const VirtualExecutor& costs() const override { return exec_; }
 
  private:
@@ -41,7 +41,7 @@ class BspModel final : public ExecutionModel {
   /// Regrid charge of the current repartition stage: the driver adds
   /// regrid + migration to the clock together, so the migration spans
   /// recorded by migrate() start after this offset.
-  real_t pending_regrid_s_ = 0;
+  Seconds pending_regrid_s_{0};
 };
 
 }  // namespace ssamr::sim

@@ -44,8 +44,8 @@ void write_chrome_trace(std::ostream& os, const RunTrace& trace) {
     if (s.kind == SpanKind::kIdle) continue;
     if (!first) os << ",\n";
     first = false;
-    const double ts_us = s.t0 * 1.0e6;
-    const double dur_us = (s.t1 - s.t0) * 1.0e6;
+    const double ts_us = s.t0.value() * 1.0e6;
+    const double dur_us = (s.t1 - s.t0).value() * 1.0e6;
     os << "    {\"name\":\"" << span_kind_name(s.kind) << "\",\"cat\":\""
        << span_kind_name(s.kind) << "\",\"ph\":\"X\",\"pid\":" << kPid
        << ",\"tid\":" << s.rank << ",\"ts\":" << ts_us << ",\"dur\":"

@@ -12,7 +12,7 @@
 #include <iosfwd>
 #include <string>
 
-#include "runtime/trace.hpp"
+#include "sim/trace.hpp"
 
 namespace ssamr::sim {
 

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr::sim {
 
@@ -21,35 +22,35 @@ namespace ssamr::sim {
 struct Transfer {
   int src = 0;
   int dst = 0;
-  std::int64_t bytes = 0;
+  Bytes bytes{0};
   /// When the payload is handed to the NIC (absolute virtual time).
-  real_t post_time = 0;
+  Seconds post_time{0};
   /// Completion time, filled in by simulate_transfers().
-  real_t finish_time = 0;
+  Seconds finish_time{0};
 };
 
 /// A rank executing its assigned patches for one coarse iteration.
 struct ComputeSpan {
   int rank = 0;
   int iteration = 0;
-  real_t begin = 0;
-  real_t duration = 0;
+  Seconds begin{0};
+  Seconds duration{0};
 };
 
 /// One full probe sweep of the resource monitor (runs on the monitor lane,
 /// overlapping rank execution in the event model).
 struct ProbeSweep {
   int iteration = 0;
-  real_t begin = 0;
-  real_t duration = 0;
+  Seconds begin{0};
+  Seconds duration{0};
 };
 
 /// A regrid/repartition barrier: every rank synchronizes, then performs
 /// flagging + clustering + partitioning work of the given duration.
 struct RegridBarrier {
   int iteration = 0;
-  real_t begin = 0;     ///< barrier release time (max over rank clocks)
-  real_t duration = 0;  ///< regrid + partition work charged to every rank
+  Seconds begin{0};     ///< barrier release time (max over rank clocks)
+  Seconds duration{0};  ///< regrid + partition work charged to every rank
 };
 
 }  // namespace ssamr::sim

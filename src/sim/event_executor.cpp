@@ -16,14 +16,14 @@ EventExecutor::EventExecutor(const Cluster& cluster,
   for (int k = 0; k <= n; ++k) lanes_.emplace_back(k);
 }
 
-real_t EventExecutor::rank_time(rank_t rank) const {
+Seconds EventExecutor::rank_time(rank_t rank) const {
   SSAMR_REQUIRE(rank >= 0 && rank < cluster_.size(), "rank out of range");
   return lanes_[static_cast<std::size_t>(rank)].now();
 }
 
-std::vector<real_t> EventExecutor::bandwidths_at(real_t t) const {
+std::vector<MbitsPerSec> EventExecutor::bandwidths_at(Seconds t) const {
   const auto n = static_cast<std::size_t>(cluster_.size());
-  std::vector<real_t> bw(n, 0);
+  std::vector<MbitsPerSec> bw(n, MbitsPerSec{0});
   for (std::size_t k = 0; k < n; ++k) {
     // Crashed nodes are priced at their rejoin-time bandwidth: the compute
     // lane charges the crash pause, so pricing transfers at the down-state
@@ -35,31 +35,31 @@ std::vector<real_t> EventExecutor::bandwidths_at(real_t t) const {
   return bw;
 }
 
-real_t EventExecutor::horizon() const {
-  real_t h = 0;
+Seconds EventExecutor::horizon() const {
+  Seconds h{0};
   const auto n = static_cast<std::size_t>(cluster_.size());
   for (std::size_t k = 0; k < n; ++k) h = std::max(h, lanes_[k].now());
   return h;
 }
 
-real_t EventExecutor::sense(real_t t, real_t sweep_s, int iteration) {
+Seconds EventExecutor::sense(Seconds t, Seconds sweep_s, int iteration) {
   // The sweep occupies the monitor lane only: sensing overlaps execution.
   // The driver is charged only when the monitor is still busy with the
   // previous sweep — it blocks until its request can start, so degraded
   // sweeps (timeouts, retries, backoff) surface as sensing lag instead of
   // silently queueing forever on the monitor lane.
   RankTimeline& monitor = lanes_.back();
-  const real_t wait = std::max(real_t{0}, monitor.now() - t);
+  const Seconds wait = std::max(Seconds{0}, monitor.now() - t);
   monitor.skip_to(std::max(monitor.now(), t));
   monitor.advance(monitor.now() + sweep_s, SpanKind::kSense, iteration);
   return wait;
 }
 
-real_t EventExecutor::regrid(real_t t, std::size_t boxes, int iteration) {
+Seconds EventExecutor::regrid(Seconds t, std::size_t boxes, int iteration) {
   // Global barrier: every rank synchronizes (idle), then all perform the
   // flagging/clustering/partitioning work together.
-  const real_t cost = exec_.regrid_time(boxes) + exec_.partition_time(boxes);
-  const real_t barrier = std::max(t, horizon());
+  const Seconds cost = exec_.regrid_time(boxes) + exec_.partition_time(boxes);
+  const Seconds barrier = std::max(t, horizon());
   const auto n = static_cast<std::size_t>(cluster_.size());
   for (std::size_t k = 0; k < n; ++k) {
     lanes_[k].advance(barrier, SpanKind::kIdle, iteration);
@@ -68,22 +68,23 @@ real_t EventExecutor::regrid(real_t t, std::size_t boxes, int iteration) {
   return (barrier + cost) - t;
 }
 
-real_t EventExecutor::migrate(const PartitionResult& previous,
-                              const PartitionResult& next, real_t t) {
+Seconds EventExecutor::migrate(const PartitionResult& previous,
+                               const PartitionResult& next, Seconds t) {
   // Ranks leave the regrid barrier together; each resumes as soon as its
   // own incident transfers are done (no second barrier).
-  const real_t begin = horizon();
+  const Seconds begin = horizon();
   std::vector<RankFlow> flows = exec_.migration_flows(previous, next);
-  if (flows.empty()) return 0;
+  if (flows.empty()) return Seconds{0};
 
   std::vector<Transfer> transfers;
   transfers.reserve(flows.size());
   for (const RankFlow& f : flows)
-    transfers.push_back(Transfer{f.src, f.dst, f.bytes, begin, 0});
+    transfers.push_back(
+        Transfer{f.src, f.dst, Bytes{f.bytes}, begin, Seconds{0}});
   simulate_transfers(transfers, bandwidths_at(t), cluster_.network());
 
   const auto n = static_cast<std::size_t>(cluster_.size());
-  std::vector<real_t> done(n, begin);
+  std::vector<Seconds> done(n, begin);
   for (const Transfer& tr : transfers) {
     done[static_cast<std::size_t>(tr.src)] =
         std::max(done[static_cast<std::size_t>(tr.src)], tr.finish_time);
@@ -95,15 +96,15 @@ real_t EventExecutor::migrate(const PartitionResult& previous,
   return horizon() - begin;
 }
 
-StepCost EventExecutor::advance(const PartitionResult& r, real_t t,
+StepCost EventExecutor::advance(const PartitionResult& r, Seconds t,
                                 int iteration) {
   const auto n = static_cast<std::size_t>(cluster_.size());
-  const std::vector<real_t> comp = exec_.compute_times(r, t);
+  const std::vector<Seconds> comp = exec_.compute_times(r, t);
   SSAMR_REQUIRE(comp.size() == n, "partition arity must match cluster size");
 
   // Compute spans start at each rank's own clock (asynchronous steps).
-  std::vector<real_t> compute_start(n, 0);
-  std::vector<real_t> compute_end(n, 0);
+  std::vector<Seconds> compute_start(n, Seconds{0});
+  std::vector<Seconds> compute_end(n, Seconds{0});
   for (std::size_t k = 0; k < n; ++k) {
     RankTimeline& lane = lanes_[k];
     compute_start[k] = lane.now();
@@ -117,19 +118,20 @@ StepCost EventExecutor::advance(const PartitionResult& r, real_t t,
   // comm_overlap = 0 posts at compute end, 1 at compute start.  The
   // receiving rank still needs all its incoming messages before its next
   // span.  Transfers contend for endpoint bandwidth.
-  const real_t overlap = exec_.config().comm_overlap;
+  const real_t overlap = exec_.config().comm_overlap.value();
   const std::vector<RankFlow> flows = pairwise_comm_bytes(
       r, exec_.config().ghost, exec_.config().ncomp);
   std::vector<Transfer> transfers;
   transfers.reserve(flows.size());
   for (const RankFlow& f : flows) {
     const auto s = static_cast<std::size_t>(f.src);
-    const real_t post = compute_start[s] + (1.0 - overlap) * comp[s];
-    transfers.push_back(Transfer{f.src, f.dst, f.bytes, post, 0});
+    const Seconds post = compute_start[s] + (1.0 - overlap) * comp[s];
+    transfers.push_back(
+        Transfer{f.src, f.dst, Bytes{f.bytes}, post, Seconds{0}});
   }
   simulate_transfers(transfers, bandwidths_at(t), cluster_.network());
 
-  std::vector<real_t> ready(compute_end);
+  std::vector<Seconds> ready(compute_end);
   for (const Transfer& tr : transfers)
     ready[static_cast<std::size_t>(tr.dst)] =
         std::max(ready[static_cast<std::size_t>(tr.dst)], tr.finish_time);
@@ -140,16 +142,16 @@ StepCost EventExecutor::advance(const PartitionResult& r, real_t t,
   std::size_t crit = 0;
   for (std::size_t k = 1; k < n; ++k)
     if (ready[k] > ready[crit]) crit = k;
-  const real_t elapsed = ready[crit] - t;
-  const real_t compute = std::min(comp[crit], elapsed);
+  const Seconds elapsed = ready[crit] - t;
+  const Seconds compute = std::min(comp[crit], elapsed);
   return StepCost{elapsed, compute, elapsed - compute};
 }
 
-void EventExecutor::finish(RunTrace& trace, real_t t_end) {
+void EventExecutor::finish(RunTrace& trace, Seconds t_end) {
   const auto n = static_cast<std::size_t>(cluster_.size());
   // The driver's clock re-rounds the stage deltas it accumulated, so it
   // can sit an ulp below the true lane horizon; never rewind a lane.
-  const real_t end = std::max(t_end, horizon());
+  const Seconds end = std::max(t_end, horizon());
   trace.rank_usage.clear();
   trace.spans.clear();
   for (std::size_t k = 0; k < n; ++k) {

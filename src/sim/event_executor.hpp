@@ -32,23 +32,23 @@ class EventExecutor final : public ExecutionModel {
   EventExecutor(const Cluster& cluster, const ExecutorConfig& cfg);
 
   std::string name() const override { return "event"; }
-  real_t sense(real_t t, real_t sweep_s, int iteration) override;
-  real_t regrid(real_t t, std::size_t boxes, int iteration) override;
-  real_t migrate(const PartitionResult& previous, const PartitionResult& next,
-                 real_t t) override;
-  StepCost advance(const PartitionResult& r, real_t t,
+  Seconds sense(Seconds t, Seconds sweep_s, int iteration) override;
+  Seconds regrid(Seconds t, std::size_t boxes, int iteration) override;
+  Seconds migrate(const PartitionResult& previous, const PartitionResult& next,
+                  Seconds t) override;
+  StepCost advance(const PartitionResult& r, Seconds t,
                    int iteration) override;
-  void finish(RunTrace& trace, real_t t_end) override;
+  void finish(RunTrace& trace, Seconds t_end) override;
   const VirtualExecutor& costs() const override { return exec_; }
 
   /// Local clock of one rank (test access).
-  real_t rank_time(rank_t rank) const;
+  Seconds rank_time(rank_t rank) const;
 
  private:
   /// Deliverable bandwidth of every rank at virtual time t.
-  std::vector<real_t> bandwidths_at(real_t t) const;
+  std::vector<MbitsPerSec> bandwidths_at(Seconds t) const;
   /// Latest local clock over all ranks (excludes the monitor lane).
-  real_t horizon() const;
+  Seconds horizon() const;
 
   const Cluster& cluster_;
   VirtualExecutor exec_;

@@ -14,6 +14,7 @@
 
 #include "util/error.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr::sim {
 
@@ -21,13 +22,13 @@ template <typename Payload>
 class EventQueue {
  public:
   struct Item {
-    real_t time = 0;
+    Seconds time{0};
     std::uint64_t seq = 0;
     Payload payload{};
   };
 
   /// Schedule `payload` at virtual time `time` (ties pop in push order).
-  void push(real_t time, Payload payload) {
+  void push(Seconds time, Payload payload) {
     heap_.push(Item{time, next_seq_++, std::move(payload)});
   }
 
@@ -35,7 +36,7 @@ class EventQueue {
   std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest pending event.
-  real_t next_time() const {
+  Seconds next_time() const {
     SSAMR_REQUIRE(!heap_.empty(), "next_time() on empty event queue");
     return heap_.top().time;
   }

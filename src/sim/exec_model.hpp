@@ -25,9 +25,10 @@
 
 #include "cluster/cluster.hpp"
 #include "partition/partitioner.hpp"
-#include "runtime/executor.hpp"
-#include "runtime/trace.hpp"
+#include "sim/executor.hpp"
+#include "sim/trace.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -46,9 +47,9 @@ ExecModelKind parse_exec_model_name(const std::string& name);
 
 /// Cost of one coarse-iteration advance as charged to the global clock.
 struct StepCost {
-  real_t elapsed = 0;  ///< global virtual-time advance
-  real_t compute = 0;  ///< part attributed to computation
-  real_t comm = 0;     ///< part attributed to visible communication
+  Seconds elapsed{0};  ///< global virtual-time advance
+  Seconds compute{0};  ///< part attributed to computation
+  Seconds comm{0};     ///< part attributed to visible communication
 
   bool operator==(const StepCost&) const = default;
 };
@@ -64,24 +65,25 @@ class ExecutionModel {
   /// A probe sweep of duration `sweep_s` issued at global time t.  Returns
   /// the global-clock charge (BSP: sweep_s, serial; event model: 0, the
   /// sweep overlaps execution on the monitor lane).
-  virtual real_t sense(real_t t, real_t sweep_s, int iteration) = 0;
+  virtual Seconds sense(Seconds t, Seconds sweep_s, int iteration) = 0;
 
   /// Regrid + repartition work over `boxes` composite boxes at time t
   /// (a barrier in the event model).
-  virtual real_t regrid(real_t t, std::size_t boxes, int iteration) = 0;
+  virtual Seconds regrid(Seconds t, std::size_t boxes,
+                         int iteration) = 0;
 
   /// Data migration from `previous` to `next` ownership, starting at the
   /// pre-regrid global time t (`previous` empty = initial scatter).
-  virtual real_t migrate(const PartitionResult& previous,
-                         const PartitionResult& next, real_t t) = 0;
+  virtual Seconds migrate(const PartitionResult& previous,
+                          const PartitionResult& next, Seconds t) = 0;
 
   /// One coarse iteration over assignment `r` starting at global time t.
-  virtual StepCost advance(const PartitionResult& r, real_t t,
+  virtual StepCost advance(const PartitionResult& r, Seconds t,
                            int iteration) = 0;
 
   /// Fill the model-specific RunTrace extensions (rank usage, spans) once
   /// the driver loop is done; `t_end` is the final global time.
-  virtual void finish(RunTrace& trace, real_t t_end) = 0;
+  virtual void finish(RunTrace& trace, Seconds t_end) = 0;
 
   /// The closed-form cost library both models share (memory footprints,
   /// per-rank rates, migration volumes).

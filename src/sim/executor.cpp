@@ -1,8 +1,9 @@
-#include "runtime/executor.hpp"
+#include "sim/executor.hpp"
 
 #include <algorithm>
 
-#include "audit/validator.hpp"
+#include "sim/executor_audit.hpp"
+#include "util/audit.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -11,54 +12,53 @@ namespace ssamr {
 VirtualExecutor::VirtualExecutor(const Cluster& cluster, ExecutorConfig cfg)
     : cluster_(cluster), cfg_(cfg) {
   const audit::AuditReport report =
-      audit::Validator{}.validate_executor_config(cfg);
+      audit::validate_executor_config(cfg);
   SSAMR_REQUIRE(report.ok(), report.summary());
 }
 
-real_t VirtualExecutor::memory_demand_mb(const PartitionResult& r,
-                                         rank_t rank) const {
+MegaBytes VirtualExecutor::memory_demand_mb(const PartitionResult& r,
+                                            rank_t rank) const {
   std::int64_t cells = 0;
   for (const BoxAssignment& a : r.assignments)
     if (a.owner == rank) cells += a.box.cells();
   const real_t bytes = static_cast<real_t>(cells) * cfg_.ncomp *
                        cfg_.bytes_per_value * cfg_.time_levels;
-  return cfg_.app_base_memory_mb + bytes / 1.0e6;
+  return cfg_.app_base_memory_mb + MegaBytes{bytes / 1.0e6};
 }
 
-std::vector<real_t> VirtualExecutor::compute_times(const PartitionResult& r,
-                                                   real_t t) const {
+std::vector<Seconds> VirtualExecutor::compute_times(const PartitionResult& r,
+                                                    Seconds t) const {
   const auto n = static_cast<std::size_t>(cluster_.size());
   SSAMR_REQUIRE(r.assigned_work.size() == n,
                 "partition arity must match cluster size");
   // Ranks are evaluated independently (each scans the assignment list for
   // its own memory footprint), each writing only its own slot.
-  std::vector<real_t> out(n, 0);
+  std::vector<Seconds> out(n, Seconds{0});
   ThreadPool::global().parallel_for(n, [&](std::size_t k) {
     const auto rank = static_cast<rank_t>(k);
-    const real_t mem = memory_demand_mb(r, rank);
+    const MegaBytes mem = memory_demand_mb(r, rank);
     // A transiently crashed node pauses: work assigned to it waits out the
     // episode and resumes at rejoin rate, rather than "progressing" at the
     // availability floor (which would price one iteration at ~1000× its
     // real cost).  Without a fault plan resume == t and nothing changes.
-    const real_t resume = cluster_.resume_time(rank, t);
-    real_t rate = cluster_.effective_rate(rank, resume, mem);
-    rate *= (1.0 - cfg_.monitor_intrusion_cpu);
-    out[k] = r.assigned_work[k] / std::max(rate, real_t{1e-9});
+    const Seconds resume = cluster_.resume_time(rank, t);
+    WorkRate rate = cluster_.effective_rate(rank, resume, mem);
+    rate *= (1.0 - cfg_.monitor_intrusion_cpu.value());
+    out[k] = Work{r.assigned_work[k]} / std::max(rate, WorkRate{1e-9});
     if (r.assigned_work[k] > 0) out[k] += resume - t;
   });
   return out;
 }
 
-std::vector<real_t> VirtualExecutor::comm_times(const PartitionResult& r,
-                                                real_t t) const {
+std::vector<Seconds> VirtualExecutor::comm_times(const PartitionResult& r,
+                                                 Seconds t) const {
   const auto n = static_cast<std::size_t>(cluster_.size());
   // rank_comm_bytes is O(assignments²) per rank — the dominant cost here —
   // and ranks are independent, so evaluate them in parallel.
-  std::vector<real_t> out(n, 0);
+  std::vector<Seconds> out(n, Seconds{0});
   ThreadPool::global().parallel_for(n, [&](std::size_t k) {
     const auto rank = static_cast<rank_t>(k);
-    const std::int64_t bytes =
-        rank_comm_bytes(r, rank, cfg_.ghost, cfg_.ncomp);
+    const Bytes bytes{rank_comm_bytes(r, rank, cfg_.ghost, cfg_.ncomp)};
     // Price traffic at the node's rejoin-time bandwidth (the compute side
     // already charges the crash pause; a down node's bandwidth floor would
     // double-charge it as absurd transfer times).
@@ -68,36 +68,36 @@ std::vector<real_t> VirtualExecutor::comm_times(const PartitionResult& r,
   return out;
 }
 
-std::vector<real_t> VirtualExecutor::effective_comm_times(
-    const PartitionResult& r, real_t t) const {
+std::vector<Seconds> VirtualExecutor::effective_comm_times(
+    const PartitionResult& r, Seconds t) const {
   auto comm = comm_times(r, t);
-  const real_t visible = 1.0 - cfg_.comm_overlap;
-  for (real_t& c : comm) c *= visible;
+  const real_t visible = 1.0 - cfg_.comm_overlap.value();
+  for (Seconds& c : comm) c *= visible;
   return comm;
 }
 
-real_t VirtualExecutor::iteration_time(const PartitionResult& r,
-                                       real_t t) const {
+Seconds VirtualExecutor::iteration_time(const PartitionResult& r,
+                                        Seconds t) const {
   const auto comp = compute_times(r, t);
   const auto comm = effective_comm_times(r, t);
-  real_t worst = 0;
+  Seconds worst{0};
   for (std::size_t k = 0; k < comp.size(); ++k)
     worst = std::max(worst, comp[k] + comm[k]);
   return worst;
 }
 
-real_t VirtualExecutor::regrid_time(std::size_t boxes) const {
+Seconds VirtualExecutor::regrid_time(std::size_t boxes) const {
   return cfg_.regrid_cost_base_s +
          cfg_.regrid_cost_per_box_s * static_cast<real_t>(boxes);
 }
 
-real_t VirtualExecutor::partition_time(std::size_t boxes) const {
+Seconds VirtualExecutor::partition_time(std::size_t boxes) const {
   return cfg_.partition_cost_per_box_s * static_cast<real_t>(boxes);
 }
 
-std::int64_t VirtualExecutor::migration_bytes(const PartitionResult& previous,
-                                              const PartitionResult& next,
-                                              rank_t rank) const {
+Bytes VirtualExecutor::migration_bytes(const PartitionResult& previous,
+                                       const PartitionResult& next,
+                                       rank_t rank) const {
   const std::int64_t cell_bytes =
       static_cast<std::int64_t>(cfg_.ncomp) * cfg_.bytes_per_value;
   std::int64_t total = 0;
@@ -108,7 +108,7 @@ std::int64_t VirtualExecutor::migration_bytes(const PartitionResult& previous,
         total += a.box.cells() * cell_bytes;
       if (rank == 0 && a.owner != 0) total += a.box.cells() * cell_bytes;
     }
-    return total;
+    return Bytes{total};
   }
   for (const BoxAssignment& nb : next.assignments) {
     for (const BoxAssignment& ob : previous.assignments) {
@@ -121,7 +121,7 @@ std::int64_t VirtualExecutor::migration_bytes(const PartitionResult& previous,
         total += overlap.cells() * cell_bytes;
     }
   }
-  return total;
+  return Bytes{total};
 }
 
 std::vector<RankFlow> VirtualExecutor::migration_flows(
@@ -160,21 +160,21 @@ std::vector<RankFlow> VirtualExecutor::migration_flows(
   return flows;
 }
 
-real_t VirtualExecutor::migration_time(const PartitionResult& previous,
-                                       const PartitionResult& next,
-                                       real_t t) const {
+Seconds VirtualExecutor::migration_time(const PartitionResult& previous,
+                                        const PartitionResult& next,
+                                        Seconds t) const {
   // migration_bytes is O(|previous| · |next|) per rank; the max over ranks
   // is combined in fixed rank order (bit-identical to the serial loop).
   return ThreadPool::global().transform_reduce_ordered(
-      static_cast<std::size_t>(cluster_.size()), real_t{0},
+      static_cast<std::size_t>(cluster_.size()), Seconds{0},
       [&](std::size_t k) {
         const auto rank = static_cast<rank_t>(k);
-        const std::int64_t bytes = migration_bytes(previous, next, rank);
+        const Bytes bytes = migration_bytes(previous, next, rank);
         const NodeState s =
             cluster_.state_at(rank, cluster_.resume_time(rank, t));
         return cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
       },
-      [](real_t a, real_t b) { return std::max(a, b); });
+      [](Seconds a, Seconds b) { return std::max(a, b); });
 }
 
 }  // namespace ssamr

@@ -17,19 +17,20 @@
 #include "partition/metrics.hpp"
 #include "partition/partitioner.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
 /// Cost-model knobs.
 struct ExecutorConfig {
-  /// Fixed regrid overhead per regrid event (flagging + clustering), s.
-  real_t regrid_cost_base_s = 0.05;
-  /// Additional regrid cost per composite box, s.
-  real_t regrid_cost_per_box_s = 0.002;
-  /// Partitioner cost per box (sorting + splitting), s.
-  real_t partition_cost_per_box_s = 0.0005;
-  /// Application base memory footprint per rank, MB.
-  real_t app_base_memory_mb = 24.0;
+  /// Fixed regrid overhead per regrid event (flagging + clustering).
+  Seconds regrid_cost_base_s{0.05};
+  /// Additional regrid cost per composite box.
+  Seconds regrid_cost_per_box_s{0.002};
+  /// Partitioner cost per box (sorting + splitting).
+  Seconds partition_cost_per_box_s{0.0005};
+  /// Application base memory footprint per rank.
+  MegaBytes app_base_memory_mb{24.0};
   /// Field components (for ghost/migration byte counts).
   int ncomp = 5;
   /// Ghost width (for comm volume).
@@ -39,10 +40,10 @@ struct ExecutorConfig {
   /// Time levels held in memory.
   int time_levels = 2;
   /// CPU fraction stolen by the resource monitor on every node.
-  real_t monitor_intrusion_cpu = 0.02;
+  Fraction monitor_intrusion_cpu{0.02};
   /// Fraction of ghost-exchange time hidden behind interior computation
   /// (SAMR runtimes post asynchronous sends while updating the interior).
-  real_t comm_overlap = 0.7;
+  Fraction comm_overlap{0.7};
 };
 
 /// Computes virtual-time costs of executing a partitioned SAMR hierarchy.
@@ -50,42 +51,41 @@ class VirtualExecutor {
  public:
   VirtualExecutor(const Cluster& cluster, ExecutorConfig cfg);
 
-  /// Memory demand (MB) of a rank under an assignment.
-  real_t memory_demand_mb(const PartitionResult& r, rank_t rank) const;
+  /// Memory demand of a rank under an assignment.
+  MegaBytes memory_demand_mb(const PartitionResult& r, rank_t rank) const;
 
   /// Time of one coarse iteration starting at virtual time t.
-  real_t iteration_time(const PartitionResult& r, real_t t) const;
+  Seconds iteration_time(const PartitionResult& r, Seconds t) const;
 
   /// Per-rank compute time of one iteration at time t (test access).
-  std::vector<real_t> compute_times(const PartitionResult& r,
-                                    real_t t) const;
+  std::vector<Seconds> compute_times(const PartitionResult& r,
+                                     Seconds t) const;
 
   /// Per-rank raw (un-overlapped) communication time of one iteration.
-  std::vector<real_t> comm_times(const PartitionResult& r, real_t t) const;
+  std::vector<Seconds> comm_times(const PartitionResult& r, Seconds t) const;
 
   /// Per-rank communication time after overlap with computation:
   /// (1 − comm_overlap) · raw.
-  std::vector<real_t> effective_comm_times(const PartitionResult& r,
-                                           real_t t) const;
+  std::vector<Seconds> effective_comm_times(const PartitionResult& r,
+                                            Seconds t) const;
 
   /// Cost of a regrid event for a composite list of `boxes` boxes.
-  real_t regrid_time(std::size_t boxes) const;
+  Seconds regrid_time(std::size_t boxes) const;
 
   /// Cost of running the partitioner on `boxes` boxes.
-  real_t partition_time(std::size_t boxes) const;
+  Seconds partition_time(std::size_t boxes) const;
 
   /// Time to migrate data between two assignments (cells whose owner
   /// changed, slowest-rank transfer under current bandwidths at time t).
   /// `previous` may be empty (initial distribution: charged as a scatter
   /// from rank 0).
-  real_t migration_time(const PartitionResult& previous,
-                        const PartitionResult& next, real_t t) const;
+  Seconds migration_time(const PartitionResult& previous,
+                         const PartitionResult& next, Seconds t) const;
 
   /// Bytes rank `rank` sends+receives when moving from `previous` to
   /// `next`.
-  std::int64_t migration_bytes(const PartitionResult& previous,
-                               const PartitionResult& next,
-                               rank_t rank) const;
+  Bytes migration_bytes(const PartitionResult& previous,
+                        const PartitionResult& next, rank_t rank) const;
 
   /// Directed per-pair migration traffic from `previous` to `next`
   /// ownership, sorted by (src, dst) with zero flows omitted (`previous`

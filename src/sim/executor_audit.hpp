@@ -1,0 +1,17 @@
+#pragma once
+/// \file executor_audit.hpp
+/// Invariant audit of the execution-model cost knobs.
+
+#include "sim/executor.hpp"
+#include "util/audit.hpp"
+
+namespace ssamr::audit {
+
+/// Audit the execution-model cost knobs: all costs and footprints
+/// non-negative and finite, ncomp/bytes_per_value/time_levels >= 1,
+/// ghost >= 0, monitor intrusion in [0,1), comm_overlap in [0,1].
+/// VirtualExecutor enforces this report at construction.
+AuditReport validate_executor_config(const ExecutorConfig& cfg,
+                                     const AuditConfig& audit_cfg = {});
+
+}  // namespace ssamr::audit

@@ -15,14 +15,14 @@ constexpr real_t kDrainedBytes = 1e-6;
 }  // namespace
 
 void simulate_transfers(std::vector<Transfer>& transfers,
-                        const std::vector<real_t>& deliverable_mbps,
+                        const std::vector<MbitsPerSec>& deliverable_mbps,
                         const NetworkModel& net) {
   const auto n = deliverable_mbps.size();
   // Deliverable endpoint capacity in bytes/s, floored like NetworkModel.
-  std::vector<real_t> cap(n, 0);
+  std::vector<BytesPerSec> cap(n, BytesPerSec{0});
   for (std::size_t k = 0; k < n; ++k)
-    cap[k] = std::max(NetworkModel::kMinBandwidthMbps, deliverable_mbps[k]) *
-             1.0e6 / 8.0;
+    cap[k] = to_bytes_per_sec(
+        std::max(NetworkModel::kMinBandwidthMbps, deliverable_mbps[k]));
 
   EventQueue<std::size_t> starts;
   std::vector<real_t> remaining(transfers.size(), 0);
@@ -31,12 +31,12 @@ void simulate_transfers(std::vector<Transfer>& transfers,
     SSAMR_REQUIRE(tr.src >= 0 && static_cast<std::size_t>(tr.src) < n &&
                       tr.dst >= 0 && static_cast<std::size_t>(tr.dst) < n,
                   "transfer endpoint out of range");
-    SSAMR_REQUIRE(tr.bytes >= 0, "negative transfer size");
-    if (tr.bytes == 0 || tr.src == tr.dst) {
+    SSAMR_REQUIRE(tr.bytes >= Bytes{0}, "negative transfer size");
+    if (tr.bytes == Bytes{0} || tr.src == tr.dst) {
       tr.finish_time = tr.post_time;  // local/empty: free, like the
       continue;                       // closed-form model
     }
-    remaining[i] = static_cast<real_t>(tr.bytes);
+    remaining[i] = static_cast<real_t>(tr.bytes.value());
     // The per-message latency is charged exactly once, as a delayed entry
     // into the shared-bandwidth phase.
     starts.push(tr.post_time + net.latency_s, i);
@@ -51,9 +51,9 @@ void simulate_transfers(std::vector<Transfer>& transfers,
   // Full-duplex NICs: sends share the tx lane, receives the rx lane.
   std::vector<int> tx_degree(n, 0);
   std::vector<int> rx_degree(n, 0);
-  std::vector<real_t> rate(transfers.size(), 0);
-  real_t now = 0;
-  constexpr real_t kInf = std::numeric_limits<real_t>::infinity();
+  std::vector<BytesPerSec> rate(transfers.size(), BytesPerSec{0});
+  Seconds now{0};
+  constexpr Seconds kInf{std::numeric_limits<real_t>::infinity()};
 
   while (!active_list.empty() || !starts.empty()) {
     if (active_list.empty()) now = std::max(now, starts.next_time());
@@ -67,22 +67,23 @@ void simulate_transfers(std::vector<Transfer>& transfers,
     }
     // Piecewise-constant rates: each endpoint's capacity is split equally
     // among its active transfers; a transfer moves at the slower share.
-    real_t dt_finish = kInf;
+    Seconds dt_finish = kInf;
     std::size_t first_done = transfers.size();
     for (const std::size_t i : active_list) {
       const auto s = static_cast<std::size_t>(transfers[i].src);
       const auto d = static_cast<std::size_t>(transfers[i].dst);
       rate[i] = net.efficiency *
                 std::min(cap[s] / tx_degree[s], cap[d] / rx_degree[d]);
-      const real_t dt = remaining[i] / rate[i];
+      const Seconds dt{remaining[i] / rate[i].value()};
       if (dt < dt_finish) {
         dt_finish = dt;
         first_done = i;
       }
     }
-    const real_t dt_start = starts.empty() ? kInf : starts.next_time() - now;
-    const real_t dt = std::min(dt_finish, dt_start);
-    for (const std::size_t i : active_list) remaining[i] -= rate[i] * dt;
+    const Seconds dt_start = starts.empty() ? kInf : starts.next_time() - now;
+    const Seconds dt = std::min(dt_finish, dt_start);
+    for (const std::size_t i : active_list)
+      remaining[i] -= drained_bytes(rate[i], dt);
     now += dt;
     if (dt_finish <= dt_start) {
       // Retire everything drained this step (the exact minimum always is,

@@ -28,6 +28,7 @@
 #include "cluster/network.hpp"
 #include "sim/event.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr::sim {
 
@@ -35,7 +36,7 @@ namespace ssamr::sim {
 /// deliverable bandwidths `deliverable_mbps`, filling every finish_time.
 /// Endpoint indices must lie in [0, deliverable_mbps.size()).
 void simulate_transfers(std::vector<Transfer>& transfers,
-                        const std::vector<real_t>& deliverable_mbps,
+                        const std::vector<MbitsPerSec>& deliverable_mbps,
                         const NetworkModel& net);
 
 }  // namespace ssamr::sim

@@ -5,15 +5,16 @@
 
 namespace ssamr::sim {
 
-void RankTimeline::advance(real_t until, SpanKind kind, int iteration) {
+void RankTimeline::advance(Seconds until, SpanKind kind, int iteration) {
   SSAMR_REQUIRE(until >= now_,
                 "timeline may not move backwards (rank " +
                     std::to_string(rank_) + " kind " +
                     std::string(span_kind_name(kind)) + " now " +
-                    std::to_string(now_) + " until " + std::to_string(until) +
+                    std::to_string(now_.value()) + " until " +
+                    std::to_string(until.value()) +
                     " iter " + std::to_string(iteration) + ")");
-  const real_t dt = until - now_;
-  if (dt <= 0) return;
+  const Seconds dt = until - now_;
+  if (dt <= Seconds{0}) return;
   switch (kind) {
     case SpanKind::kCompute:
     case SpanKind::kRegrid:
@@ -32,7 +33,7 @@ void RankTimeline::advance(real_t until, SpanKind kind, int iteration) {
   now_ = until;
 }
 
-void RankTimeline::skip_to(real_t until) {
+void RankTimeline::skip_to(Seconds until) {
   SSAMR_REQUIRE(until >= now_, "timeline may not move backwards");
   now_ = until;
 }

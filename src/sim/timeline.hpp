@@ -10,7 +10,7 @@
 
 #include <vector>
 
-#include "runtime/trace.hpp"
+#include "sim/trace.hpp"
 #include "util/types.hpp"
 
 namespace ssamr::sim {
@@ -25,16 +25,16 @@ class RankTimeline {
   int rank() const { return rank_; }
 
   /// Current local clock (end of the last recorded span).
-  real_t now() const { return now_; }
+  Seconds now() const { return now_; }
 
   /// Advance the clock to `until`, recording a span of the given kind.
   /// `until` may not precede the current clock; zero-length advances are
   /// accepted and record nothing.
-  void advance(real_t until, SpanKind kind, int iteration = -1);
+  void advance(Seconds until, SpanKind kind, int iteration = -1);
 
   /// Advance the clock without recording (used by the monitor lane, which
   /// is not busy between sweeps).
-  void skip_to(real_t until);
+  void skip_to(Seconds until);
 
   /// Busy/comm/idle totals accumulated so far.
   const RankUsage& usage() const { return usage_; }
@@ -44,7 +44,7 @@ class RankTimeline {
 
  private:
   int rank_;
-  real_t now_ = 0;
+  Seconds now_{0};
   RankUsage usage_;
   std::vector<TraceSpan> spans_;
 };

@@ -1,4 +1,4 @@
-#include "runtime/trace.hpp"
+#include "sim/trace.hpp"
 
 #include <algorithm>
 
@@ -16,15 +16,15 @@ const char* span_kind_name(SpanKind k) {
   return "unknown";
 }
 
-real_t RunTrace::mean_max_imbalance_pct() const {
-  if (regrids.empty()) return 0;
+Percent RunTrace::mean_max_imbalance_pct() const {
+  if (regrids.empty()) return Percent{0};
   real_t sum = 0;
   for (const RegridRecord& r : regrids) {
     real_t mx = 0;
     for (real_t i : r.imbalance_pct) mx = std::max(mx, i);
     sum += mx;
   }
-  return sum / static_cast<real_t>(regrids.size());
+  return Percent{sum / static_cast<real_t>(regrids.size())};
 }
 
 }  // namespace ssamr

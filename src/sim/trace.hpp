@@ -16,6 +16,7 @@
 
 #include "monitor/probe_health.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -23,14 +24,14 @@ namespace ssamr {
 struct RegridRecord {
   int iteration = 0;       ///< coarse iteration at which the regrid ran
   int regrid_index = 0;    ///< 1-based regrid number (paper's x-axes)
-  real_t vtime = 0;        ///< virtual time when it happened
+  Seconds vtime{0};        ///< virtual time when it happened
   std::vector<real_t> capacities;     ///< C_k used by the partitioner
   std::vector<real_t> assigned_work;  ///< W_k
   std::vector<real_t> target_work;    ///< L_k = C_k · L
   std::vector<real_t> imbalance_pct;  ///< I_k (Eq. 2)
   int splits = 0;          ///< boxes broken by the partitioner
   std::size_t num_boxes = 0;  ///< composite boxes before splitting
-  real_t total_work = 0;   ///< L
+  Work total_work{0};      ///< L
 
   /// Bit-exact comparison (the determinism tests diff whole traces).
   bool operator==(const RegridRecord&) const = default;
@@ -39,7 +40,7 @@ struct RegridRecord {
 /// One sensing (NWS probe sweep) event.
 struct SenseRecord {
   int iteration = 0;
-  real_t vtime = 0;
+  Seconds vtime{0};
   std::vector<real_t> capacities;  ///< capacities computed from this sweep
 
   bool operator==(const SenseRecord&) const = default;
@@ -62,8 +63,8 @@ const char* span_kind_name(SpanKind k);
 struct TraceSpan {
   int rank = 0;  ///< 0..num_ranks-1; == num_ranks for the monitor lane
   SpanKind kind = SpanKind::kCompute;
-  real_t t0 = 0;
-  real_t t1 = 0;
+  Seconds t0{0};
+  Seconds t1{0};
   int iteration = -1;  ///< coarse iteration, -1 outside the advance loop
 
   bool operator==(const TraceSpan&) const = default;
@@ -71,9 +72,9 @@ struct TraceSpan {
 
 /// Where one rank's virtual time went over the whole run.
 struct RankUsage {
-  real_t busy_s = 0;  ///< computing (including regrid/partition work)
-  real_t comm_s = 0;  ///< ghost exchange + migration (visible part)
-  real_t idle_s = 0;  ///< barrier waits and run tail
+  Seconds busy_s{0};  ///< computing (including regrid/partition work)
+  Seconds comm_s{0};  ///< ghost exchange + migration (visible part)
+  Seconds idle_s{0};  ///< barrier waits and run tail
 
   bool operator==(const RankUsage&) const = default;
 };
@@ -87,12 +88,12 @@ struct RunTrace {
   std::vector<SenseRecord> senses;
   int iterations = 0;
   /// Virtual execution time, total and by component.
-  real_t total_time = 0;
-  real_t compute_time = 0;
-  real_t comm_time = 0;
-  real_t sense_time = 0;
-  real_t regrid_time = 0;
-  real_t migrate_time = 0;
+  Seconds total_time{0};
+  Seconds compute_time{0};
+  Seconds comm_time{0};
+  Seconds sense_time{0};
+  Seconds regrid_time{0};
+  Seconds migrate_time{0};
 
   /// Execution-model identifier ("bsp" or "event").
   std::string model;
@@ -106,7 +107,7 @@ struct RunTrace {
   ProbeHealth health;
 
   /// Mean of the per-regrid max imbalance.
-  real_t mean_max_imbalance_pct() const;
+  Percent mean_max_imbalance_pct() const;
 
   bool operator==(const RunTrace&) const = default;
 };

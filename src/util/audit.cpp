@@ -1,4 +1,4 @@
-#include "audit/audit.hpp"
+#include "util/audit.hpp"
 
 #include <sstream>
 

@@ -1,0 +1,60 @@
+#pragma once
+/// \file audit.hpp
+/// The SSAMR_AUDIT hook: enforce an AuditReport at a call site.
+///
+/// SSAMR_AUDIT(expr) evaluates `expr` (an expression yielding an
+/// audit::AuditReport, typically a validator call), throws ssamr::Error when
+/// the report contains Error-severity violations, and logs a debug summary
+/// when it only contains warnings.  The hook is compiled in for Debug
+/// builds and for audit builds (cmake -DSSAMR_AUDIT=ON, which defines
+/// SSAMR_ENABLE_AUDIT); in optimized NDEBUG builds without the option it
+/// compiles to nothing, so hot paths pay nothing.
+///
+/// This seam lives in util/ — the bottom layer — so every subsystem can
+/// hook its own invariant audits without reaching up into the audit/
+/// aggregation layer.  The per-subsystem validators live next to the data
+/// they check (e.g. capacity/capacity_audit.hpp); audit/validator.hpp
+/// re-aggregates them behind the historical Validator facade.
+
+#include "util/audit_report.hpp"
+#include "util/types.hpp"
+
+#if !defined(SSAMR_AUDIT_ENABLED)
+#if defined(SSAMR_ENABLE_AUDIT) || !defined(NDEBUG)
+#define SSAMR_AUDIT_ENABLED 1
+#else
+#define SSAMR_AUDIT_ENABLED 0
+#endif
+#endif
+
+namespace ssamr::audit {
+
+/// Tolerances of the audit checks, shared by every per-subsystem validator.
+struct AuditConfig {
+  /// Allowed deviation of Σ C_k from 1 and of any C_k outside [0, 1].
+  real_t capacity_tolerance = 1e-6;
+  /// Relative tolerance of exact bookkeeping identities (work sums).
+  real_t work_rel_tolerance = 1e-6;
+  /// Per-rank deviation of assigned from target work beyond which a
+  /// load-tracking warning is issued, as a fraction of the mean target.
+  real_t load_rel_tolerance = 0.5;
+  /// Multiplicative slack on the aspect-ratio bound (numerical headroom).
+  real_t aspect_slack = 1.0 + 1e-9;
+};
+
+namespace detail {
+/// Throw ssamr::Error on report errors; log warnings at Debug level.
+void enforce(const AuditReport& report, const char* file, int line);
+}  // namespace detail
+
+/// True when SSAMR_AUDIT hooks are active in this translation unit's build.
+constexpr bool hooks_enabled() { return SSAMR_AUDIT_ENABLED != 0; }
+
+}  // namespace ssamr::audit
+
+#if SSAMR_AUDIT_ENABLED
+#define SSAMR_AUDIT(report_expr) \
+  ::ssamr::audit::detail::enforce((report_expr), __FILE__, __LINE__)
+#else
+#define SSAMR_AUDIT(report_expr) ((void)0)
+#endif

@@ -1,4 +1,4 @@
-#include "audit/report.hpp"
+#include "util/audit_report.hpp"
 
 #include <ostream>
 #include <sstream>

@@ -1,0 +1,224 @@
+#pragma once
+/// \file units.hpp
+/// Zero-overhead dimensional types for the cost model.
+///
+/// Every quantity the paper's cost model manipulates — virtual time,
+/// transfer sizes, NIC rates, cell-update work, relative capacities — is
+/// wrapped in a strong typedef so that a rate/time swap or a work/byte
+/// mix-up is a compile error instead of a silently wrong Table I number.
+///
+/// Design rules:
+///   * `Quantity<Tag, Rep>` stores exactly one `Rep` (default `real_t`)
+///     and every operation forwards to the same floating-point operation
+///     in the same order the raw code performed — the wrappers are
+///     representation-transparent, so golden CSVs stay bit-identical.
+///   * Only physically meaningful arithmetic exists:
+///       - same-dimension `+`, `-`, comparisons; `q / q -> Rep` (a ratio);
+///       - scaling by a raw scalar or by `Fraction`;
+///       - declared cross-dimension ops (`Work / WorkRate -> Seconds`,
+///         `Bytes / BytesPerSec -> Seconds`, `WorkRate * Seconds -> Work`,
+///         ...), each spelled out below.
+///     Cross-dimension `+` or `<` does not compile.
+///   * `.value()` is the explicit escape hatch for serialization
+///     boundaries (CSV/JSON writers) and for raw-reading seams (sensors).
+///     Scale changes between units (Mbit/s -> bytes/s) go through the
+///     named `to_*` conversions here — the `narrowing-unit` lint rule
+///     rejects re-wrapping another unit's `.value()` elsewhere.
+///
+/// The `raw-double-cost-api` lint rule keeps bare `double`/`real_t`
+/// parameters and returns out of the migrated cost-model headers (listed
+/// in tools/layering.toml); dimensionless *collections* such as capacity
+/// shares stay `std::vector<real_t>`.
+
+#include <concepts>
+#include <cstdint>
+#include <type_traits>
+
+#include "util/types.hpp"
+
+namespace ssamr {
+
+namespace units {
+
+/// Strong typedef over `Rep` carrying a dimension tag.  All arithmetic is
+/// constexpr and inlineable to the identical raw operation.
+template <class Tag, class Rep = real_t>
+class Quantity {
+ public:
+  using rep = Rep;
+  using tag = Tag;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep v) : v_(v) {}
+
+  /// The raw representation — the explicit escape hatch.  Use only at
+  /// serialization boundaries and raw-reading seams.
+  [[nodiscard]] constexpr Rep value() const { return v_; }
+
+  // Same-dimension arithmetic.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity{static_cast<Rep>(a.v_ + b.v_)};
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity{static_cast<Rep>(a.v_ - b.v_)};
+  }
+  constexpr Quantity operator-() const {
+    return Quantity{static_cast<Rep>(-v_)};
+  }
+  constexpr Quantity& operator+=(Quantity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+
+  /// Ratio of same-dimension quantities is a dimensionless scalar.
+  friend constexpr Rep operator/(Quantity a, Quantity b) {
+    return a.v_ / b.v_;
+  }
+
+  // Scaling by a raw scalar (counts, dimensionless factors).
+  friend constexpr Quantity operator*(Quantity a, Rep s) {
+    return Quantity{static_cast<Rep>(a.v_ * s)};
+  }
+  friend constexpr Quantity operator*(Rep s, Quantity a) {
+    return Quantity{static_cast<Rep>(s * a.v_)};
+  }
+  friend constexpr Quantity operator/(Quantity a, Rep s) {
+    return Quantity{static_cast<Rep>(a.v_ / s)};
+  }
+  constexpr Quantity& operator*=(Rep s) {
+    v_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep s) {
+    v_ /= s;
+    return *this;
+  }
+
+  friend constexpr auto operator<=>(Quantity a, Quantity b) = default;
+  friend constexpr bool operator==(Quantity a, Quantity b) = default;
+
+ private:
+  Rep v_ = Rep{};
+};
+
+/// Concept: any instantiation of Quantity.
+template <class Q>
+concept AnyQuantity = std::same_as<
+    Q, Quantity<typename Q::tag, typename Q::rep>>;
+
+struct SecondsTag {};
+struct WorkTag {};
+struct WorkRateTag {};
+struct FractionTag {};
+struct BytesTag {};
+struct BytesPerSecTag {};
+struct MegaBytesTag {};
+struct MbitsPerSecTag {};
+struct CountTag {};
+struct PercentTag {};
+
+}  // namespace units
+
+/// Virtual time / durations, in seconds.
+using Seconds = units::Quantity<units::SecondsTag>;
+/// Application work, in cell-updates (the paper's load unit).
+using Work = units::Quantity<units::WorkTag>;
+/// Compute throughput, in cell-updates per second.
+using WorkRate = units::Quantity<units::WorkRateTag>;
+/// A dimensionless factor in [0, 1]-ish: availabilities, efficiencies,
+/// overlap/intrusion knobs.
+using Fraction = units::Quantity<units::FractionTag>;
+/// Message/storage sizes in bytes (exact, integer).
+using Bytes = units::Quantity<units::BytesTag, std::int64_t>;
+/// Deliverable transfer rate in bytes per second.
+using BytesPerSec = units::Quantity<units::BytesPerSecTag>;
+/// Memory sizes in megabytes (the paper reports MB).
+using MegaBytes = units::Quantity<units::MegaBytesTag>;
+/// NIC link rate in Mbit/s (the paper reports Mbps).
+using MbitsPerSec = units::Quantity<units::MbitsPerSecTag>;
+/// Plain tallies (ranks, boxes, probes) that must not mix with sizes.
+using Count = units::Quantity<units::CountTag, std::int64_t>;
+/// Percentages (imbalance statistics): a ratio scaled by 100, kept apart
+/// from Fraction so the two scales cannot be mixed silently.
+using Percent = units::Quantity<units::PercentTag>;
+
+namespace units {
+
+// ---- Fraction as the universal dimensionless factor -----------------------
+// Q * Fraction and Fraction * Q keep Q's dimension (floating reps only;
+// integer-rep quantities like Bytes must be unwrapped explicitly so the
+// rounding is visible at the call site).
+
+template <class Q>
+concept ScalableQuantity =
+    AnyQuantity<Q> && std::floating_point<typename Q::rep> &&
+    (!std::same_as<Q, Fraction>);
+
+template <ScalableQuantity Q>
+constexpr Q operator*(Q q, Fraction f) {
+  return Q{q.value() * f.value()};
+}
+template <ScalableQuantity Q>
+constexpr Q operator*(Fraction f, Q q) {
+  return Q{f.value() * q.value()};
+}
+template <ScalableQuantity Q>
+constexpr Q operator/(Q q, Fraction f) {
+  return Q{q.value() / f.value()};
+}
+constexpr Fraction operator*(Fraction a, Fraction b) {
+  return Fraction{a.value() * b.value()};
+}
+
+// ---- Declared cross-dimension arithmetic ----------------------------------
+
+/// Work / WorkRate -> Seconds (how long a load takes at a given speed).
+constexpr Seconds operator/(Work w, WorkRate r) {
+  return Seconds{w.value() / r.value()};
+}
+/// WorkRate * Seconds -> Work (how much a node gets done in a window).
+constexpr Work operator*(WorkRate r, Seconds t) {
+  return Work{r.value() * t.value()};
+}
+constexpr Work operator*(Seconds t, WorkRate r) {
+  return Work{t.value() * r.value()};
+}
+/// Work / Seconds -> WorkRate (observed throughput).
+constexpr WorkRate operator/(Work w, Seconds t) {
+  return WorkRate{w.value() / t.value()};
+}
+
+/// Bytes / BytesPerSec -> Seconds (transfer time on a deliverable rate).
+constexpr Seconds operator/(Bytes b, BytesPerSec r) {
+  return Seconds{static_cast<real_t>(b.value()) / r.value()};
+}
+/// BytesPerSec * Seconds -> how many bytes drained (fractional, so the
+/// result is a raw byte count, not integer Bytes).
+constexpr real_t drained_bytes(BytesPerSec r, Seconds t) {
+  return r.value() * t.value();
+}
+
+/// Bytes / MbitsPerSec -> Seconds with the historical scaling spelled out
+/// once: bytes -> bits (*8), Mbit/s -> bit/s (*1e6).  Evaluation order
+/// matches the pre-units code exactly, so finish times stay bit-identical:
+///   bits = bytes * 8.0;  bits / (mbps * 1.0e6)
+constexpr Seconds operator/(Bytes b, MbitsPerSec r) {
+  return Seconds{static_cast<real_t>(b.value()) * 8.0 / (r.value() * 1.0e6)};
+}
+
+/// Mbit/s -> bytes/s, the one sanctioned scale change between rate units:
+///   mbps * 1.0e6 / 8.0
+constexpr BytesPerSec to_bytes_per_sec(MbitsPerSec r) {
+  return BytesPerSec{r.value() * 1.0e6 / 8.0};
+}
+
+}  // namespace units
+
+using units::drained_bytes;
+using units::to_bytes_per_sec;
+
+}  // namespace ssamr

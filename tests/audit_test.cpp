@@ -15,7 +15,7 @@
 #include "amr/hierarchy.hpp"
 #include "amr/workload.hpp"
 #include "audit/audit.hpp"
-#include "audit/report.hpp"
+#include "util/audit_report.hpp"
 #include "audit/validator.hpp"
 #include "cluster/cluster.hpp"
 #include "partition/heterogeneous.hpp"
@@ -321,22 +321,22 @@ TEST(ValidateHierarchy, FlagsGhostStorageMismatch) {
 TEST(ValidateCluster, AcceptsLoadedClusterOverTime) {
   Cluster c = Cluster::homogeneous(4);
   LoadRamp ramp;
-  ramp.start_time = 10.0;
+  ramp.start_time = Seconds{10.0};
   ramp.rate = 0.5;
   ramp.target_level = 3.0;
-  ramp.memory_mb = 100.0;
-  ramp.traffic_mbps = 40.0;
+  ramp.memory_mb = MegaBytes{100.0};
+  ramp.traffic_mbps = MbitsPerSec{40.0};
   c.add_load(0, ramp);
   const Validator v;
   for (real_t t : {0.0, 15.0, 60.0, 600.0})
-    EXPECT_TRUE(v.validate_cluster(c, t).clean())
-        << v.validate_cluster(c, t).summary();
+    EXPECT_TRUE(v.validate_cluster(c, Seconds{t}).clean())
+        << v.validate_cluster(c, Seconds{t}).summary();
 }
 
 TEST(ValidateNodeState, FlagsAvailabilityOutsideUnitInterval) {
   const Validator v;
   NodeState s;
-  s.cpu_available = 1.5;
+  s.cpu_available = Fraction{1.5};
   const AuditReport r = v.validate_node_state(NodeSpec{}, s, "rank 0");
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.has("cluster.availability"));
@@ -345,9 +345,9 @@ TEST(ValidateNodeState, FlagsAvailabilityOutsideUnitInterval) {
 TEST(ValidateNodeState, FlagsMemoryBeyondSpec) {
   const Validator v;
   NodeSpec spec;
-  spec.memory_mb = 256.0;
+  spec.memory_mb = MegaBytes{256.0};
   NodeState s;
-  s.memory_free_mb = 512.0;
+  s.memory_free_mb = MegaBytes{512.0};
   const AuditReport r = v.validate_node_state(spec, s, "rank 0");
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.has("cluster.memory"));
@@ -356,7 +356,7 @@ TEST(ValidateNodeState, FlagsMemoryBeyondSpec) {
 TEST(ValidateNodeState, FlagsDeadLink) {
   const Validator v;
   NodeState s;
-  s.bandwidth_mbps = 0.0;
+  s.bandwidth_mbps = MbitsPerSec{0.0};
   const AuditReport r = v.validate_node_state(NodeSpec{}, s, "rank 0");
   EXPECT_FALSE(r.ok());
   EXPECT_TRUE(r.has("cluster.bandwidth"));
@@ -365,7 +365,7 @@ TEST(ValidateNodeState, FlagsDeadLink) {
 TEST(ValidateNodeState, FlagsBrokenSpec) {
   const Validator v;
   NodeSpec spec;
-  spec.peak_rate = 0.0;
+  spec.peak_rate = WorkRate{0.0};
   const AuditReport r =
       v.validate_node_state(spec, NodeState{}, "rank 0");
   EXPECT_FALSE(r.ok());
@@ -381,14 +381,14 @@ TEST(ValidateExecutorConfig, AcceptsDefaults) {
 TEST(ValidateExecutorConfig, RejectsNegativeCosts) {
   const Validator v;
   ExecutorConfig cfg;
-  cfg.regrid_cost_base_s = -0.1;
+  cfg.regrid_cost_base_s = Seconds{-0.1};
   EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.regrid_cost"));
   cfg = ExecutorConfig{};
-  cfg.partition_cost_per_box_s = -1e-6;
+  cfg.partition_cost_per_box_s = Seconds{-1e-6};
   EXPECT_TRUE(
       v.validate_executor_config(cfg).has("executor.partition_cost"));
   cfg = ExecutorConfig{};
-  cfg.app_base_memory_mb = std::nan("");  // NaN must not pass a >= 0 gate
+  cfg.app_base_memory_mb = MegaBytes{std::nan("")};  // NaN must not pass a >= 0 gate
   EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.app_memory"));
 }
 
@@ -412,12 +412,12 @@ TEST(ValidateExecutorConfig, RejectsDegenerateFieldShape) {
 TEST(ValidateExecutorConfig, RejectsOutOfRangeFractions) {
   const Validator v;
   ExecutorConfig cfg;
-  cfg.comm_overlap = 1.5;
+  cfg.comm_overlap = Fraction{1.5};
   EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.comm_overlap"));
-  cfg.comm_overlap = -0.1;
+  cfg.comm_overlap = Fraction{-0.1};
   EXPECT_TRUE(v.validate_executor_config(cfg).has("executor.comm_overlap"));
   cfg = ExecutorConfig{};
-  cfg.monitor_intrusion_cpu = 1.0;  // would zero out every node's rate
+  cfg.monitor_intrusion_cpu = Fraction{1.0};  // would zero every rate
   EXPECT_TRUE(
       v.validate_executor_config(cfg).has("executor.monitor_intrusion"));
 }
@@ -436,13 +436,13 @@ TEST(ValidateMonitorConfig, AcceptsDefaults) {
 TEST(ValidateMonitorConfig, RejectsBadKnobs) {
   const Validator v;
   MonitorConfig cfg;
-  cfg.probe_cost_s = -0.5;
+  cfg.probe_cost_s = Seconds{-0.5};
   EXPECT_TRUE(v.validate_monitor_config(cfg).has("monitor.probe_cost"));
   cfg = MonitorConfig{};
-  cfg.intrusion_cpu = 1.0;
+  cfg.intrusion_cpu = Fraction{1.0};
   EXPECT_TRUE(v.validate_monitor_config(cfg).has("monitor.intrusion_cpu"));
   cfg = MonitorConfig{};
-  cfg.intrusion_memory_mb = -1.0;
+  cfg.intrusion_memory_mb = MegaBytes{-1.0};
   EXPECT_TRUE(
       v.validate_monitor_config(cfg).has("monitor.intrusion_memory"));
   cfg = MonitorConfig{};
@@ -453,7 +453,7 @@ TEST(ValidateMonitorConfig, RejectsBadKnobs) {
 TEST(ValidateMonitorConfig, ResourceMonitorEnforcesAtConstruction) {
   Cluster cluster = Cluster::homogeneous(2);
   MonitorConfig cfg;
-  cfg.probe_cost_s = -1.0;
+  cfg.probe_cost_s = Seconds{-1.0};
   EXPECT_THROW(ResourceMonitor(cluster, cfg), Error);
 }
 

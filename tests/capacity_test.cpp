@@ -11,7 +11,7 @@ namespace ssamr {
 namespace {
 
 ResourceEstimate est(real_t cpu, real_t mem, real_t bw) {
-  return ResourceEstimate{cpu, mem, bw};
+  return ResourceEstimate{Fraction{cpu}, MegaBytes{mem}, MbitsPerSec{bw}};
 }
 
 TEST(CapacityWeights, Validation) {
@@ -91,11 +91,11 @@ TEST(Capacity, RejectsBadInput) {
 
 TEST(Capacity, WorkAllocationIsProportional) {
   const auto alloc =
-      CapacityCalculator::work_allocation({0.25, 0.75}, 1000.0);
-  EXPECT_DOUBLE_EQ(alloc[0], 250.0);
-  EXPECT_DOUBLE_EQ(alloc[1], 750.0);
-  EXPECT_THROW(CapacityCalculator::work_allocation({0.5}, -1.0), Error);
-  EXPECT_THROW(CapacityCalculator::work_allocation({-0.5}, 1.0), Error);
+      CapacityCalculator::work_allocation({0.25, 0.75}, Work{1000.0});
+  EXPECT_DOUBLE_EQ(alloc[0].value(), 250.0);
+  EXPECT_DOUBLE_EQ(alloc[1].value(), 750.0);
+  EXPECT_THROW(CapacityCalculator::work_allocation({0.5}, Work{-1.0}), Error);
+  EXPECT_THROW(CapacityCalculator::work_allocation({-0.5}, Work{1.0}), Error);
 }
 
 TEST(Capacity, SetWeightsValidates) {

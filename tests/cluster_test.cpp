@@ -11,31 +11,31 @@ namespace {
 
 TEST(LoadRamp, RampsLinearlyToTarget) {
   LoadRamp r;
-  r.start_time = 10.0;
+  r.start_time = Seconds{10.0};
   r.rate = 0.5;
   r.target_level = 2.0;
-  EXPECT_EQ(r.level_at(5.0), 0.0);
-  EXPECT_EQ(r.level_at(10.0), 0.0);
-  EXPECT_DOUBLE_EQ(r.level_at(12.0), 1.0);
-  EXPECT_DOUBLE_EQ(r.level_at(14.0), 2.0);
-  EXPECT_DOUBLE_EQ(r.level_at(100.0), 2.0);  // saturates
+  EXPECT_EQ(r.level_at(Seconds{5.0}), 0.0);
+  EXPECT_EQ(r.level_at(Seconds{10.0}), 0.0);
+  EXPECT_DOUBLE_EQ(r.level_at(Seconds{12.0}), 1.0);
+  EXPECT_DOUBLE_EQ(r.level_at(Seconds{14.0}), 2.0);
+  EXPECT_DOUBLE_EQ(r.level_at(Seconds{100.0}), 2.0);  // saturates
 }
 
 TEST(LoadRamp, StopsAtStopTime) {
   LoadRamp r;
-  r.start_time = 0.0;
-  r.stop_time = 50.0;
+  r.start_time = Seconds{0.0};
+  r.stop_time = Seconds{50.0};
   r.rate = 1.0;
   r.target_level = 3.0;
-  EXPECT_DOUBLE_EQ(r.level_at(49.0), 3.0);
-  EXPECT_EQ(r.level_at(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(r.level_at(Seconds{49.0}), 3.0);
+  EXPECT_EQ(r.level_at(Seconds{50.0}), 0.0);
 }
 
 TEST(LoadRamp, ZeroRateMeansInstant) {
   LoadRamp r;
   r.rate = 0.0;
   r.target_level = 1.5;
-  EXPECT_DOUBLE_EQ(r.level_at(0.0), 1.5);
+  EXPECT_DOUBLE_EQ(r.level_at(Seconds{0.0}), 1.5);
 }
 
 TEST(LoadScript, ComposesGenerators) {
@@ -44,13 +44,13 @@ TEST(LoadScript, ComposesGenerators) {
   a.rate = 0;
   a.target_level = 1.0;
   LoadRamp b;
-  b.start_time = 10.0;
+  b.start_time = Seconds{10.0};
   b.rate = 0;
   b.target_level = 0.5;
   s.add(a);
   s.add(b);
-  EXPECT_DOUBLE_EQ(s.load_at(5.0), 1.0);
-  EXPECT_DOUBLE_EQ(s.load_at(15.0), 1.5);
+  EXPECT_DOUBLE_EQ(s.load_at(Seconds{5.0}), 1.0);
+  EXPECT_DOUBLE_EQ(s.load_at(Seconds{15.0}), 1.5);
 }
 
 TEST(LoadScript, FairShareCpu) {
@@ -59,21 +59,21 @@ TEST(LoadScript, FairShareCpu) {
   r.rate = 0;
   r.target_level = 1.0;  // one competing process
   s.add(r);
-  EXPECT_DOUBLE_EQ(s.cpu_available_at(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(s.cpu_available_at(Seconds{1.0}).value(), 0.5);
   LoadScript idle;
-  EXPECT_DOUBLE_EQ(idle.cpu_available_at(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(idle.cpu_available_at(Seconds{0.0}).value(), 1.0);
 }
 
 TEST(LoadScript, MemoryScalesWithRampProgress) {
   LoadScript s;
   LoadRamp r;
-  r.start_time = 0;
+  r.start_time = Seconds{0};
   r.rate = 1.0;
   r.target_level = 2.0;
-  r.memory_mb = 100.0;
+  r.memory_mb = MegaBytes{100.0};
   s.add(r);
-  EXPECT_DOUBLE_EQ(s.memory_used_at(1.0), 50.0);   // half ramped
-  EXPECT_DOUBLE_EQ(s.memory_used_at(10.0), 100.0);  // full
+  EXPECT_DOUBLE_EQ(s.memory_used_at(Seconds{1.0}).value(), 50.0);
+  EXPECT_DOUBLE_EQ(s.memory_used_at(Seconds{10.0}).value(), 100.0);  // full
 }
 
 TEST(LoadScript, TrafficScalesWithRampProgress) {
@@ -81,9 +81,9 @@ TEST(LoadScript, TrafficScalesWithRampProgress) {
   LoadRamp r;
   r.rate = 0;
   r.target_level = 1.0;
-  r.traffic_mbps = 40.0;
+  r.traffic_mbps = MbitsPerSec{40.0};
   s.add(r);
-  EXPECT_DOUBLE_EQ(s.traffic_at(0.0), 40.0);
+  EXPECT_DOUBLE_EQ(s.traffic_at(Seconds{0.0}).value(), 40.0);
 }
 
 TEST(Cluster, FactoriesBuildRequestedShapes) {
@@ -92,16 +92,18 @@ TEST(Cluster, FactoriesBuildRequestedShapes) {
   EXPECT_EQ(homo.spec(0).peak_rate, homo.spec(3).peak_rate);
 
   const Cluster het =
-      Cluster::heterogeneous(4, {1.0, 2.0}, NodeSpec{"n", 100.0, 512, 100});
-  EXPECT_DOUBLE_EQ(het.spec(0).peak_rate, 100.0);
-  EXPECT_DOUBLE_EQ(het.spec(1).peak_rate, 200.0);
-  EXPECT_DOUBLE_EQ(het.spec(2).peak_rate, 100.0);  // pattern repeats
+      Cluster::heterogeneous(4, {1.0, 2.0},
+                             NodeSpec{"n", WorkRate{100.0}, MegaBytes{512},
+                                      MbitsPerSec{100}});
+  EXPECT_DOUBLE_EQ(het.spec(0).peak_rate.value(), 100.0);
+  EXPECT_DOUBLE_EQ(het.spec(1).peak_rate.value(), 200.0);
+  EXPECT_DOUBLE_EQ(het.spec(2).peak_rate.value(), 100.0);  // pattern repeats
 }
 
 TEST(Cluster, RejectsBadSpecs) {
   EXPECT_THROW(Cluster::homogeneous(0), Error);
   NodeSpec bad;
-  bad.peak_rate = 0;
+  bad.peak_rate = WorkRate{0};
   EXPECT_THROW(Cluster({bad}), Error);
   Cluster c = Cluster::homogeneous(2);
   EXPECT_THROW(c.spec(5), Error);
@@ -113,15 +115,16 @@ TEST(Cluster, StateReflectsLoads) {
   LoadRamp r;
   r.rate = 0;
   r.target_level = 1.0;
-  r.memory_mb = 200.0;
-  r.traffic_mbps = 30.0;
+  r.memory_mb = MegaBytes{200.0};
+  r.traffic_mbps = MbitsPerSec{30.0};
   c.add_load(0, r);
-  const NodeState s0 = c.state_at(0, 1.0);
-  const NodeState s1 = c.state_at(1, 1.0);
-  EXPECT_DOUBLE_EQ(s0.cpu_available, 0.5);
-  EXPECT_DOUBLE_EQ(s0.memory_free_mb, c.spec(0).memory_mb - 200.0);
-  EXPECT_DOUBLE_EQ(s0.bandwidth_mbps, 70.0);
-  EXPECT_DOUBLE_EQ(s1.cpu_available, 1.0);
+  const NodeState s0 = c.state_at(0, Seconds{1.0});
+  const NodeState s1 = c.state_at(1, Seconds{1.0});
+  EXPECT_DOUBLE_EQ(s0.cpu_available.value(), 0.5);
+  EXPECT_DOUBLE_EQ(s0.memory_free_mb.value(),
+                   (c.spec(0).memory_mb - MegaBytes{200.0}).value());
+  EXPECT_DOUBLE_EQ(s0.bandwidth_mbps.value(), 70.0);
+  EXPECT_DOUBLE_EQ(s1.cpu_available.value(), 1.0);
 }
 
 TEST(Cluster, EffectiveRateTracksCpu) {
@@ -130,18 +133,19 @@ TEST(Cluster, EffectiveRateTracksCpu) {
   r.rate = 0;
   r.target_level = 1.0;
   c.add_load(0, r);
-  EXPECT_NEAR(c.effective_rate(0, 1.0), c.spec(0).peak_rate * 0.5, 1e-9);
+  EXPECT_NEAR(c.effective_rate(0, Seconds{1.0}).value(),
+              (c.spec(0).peak_rate * 0.5).value(), 1e-9);
 }
 
 TEST(Cluster, PagingPenaltyWhenOvercommitted) {
   NodeSpec spec;
-  spec.memory_mb = 100.0;
+  spec.memory_mb = MegaBytes{100.0};
   Cluster c({spec});
-  const real_t fits = c.effective_rate(0, 0.0, 50.0);
-  const real_t pages = c.effective_rate(0, 0.0, 200.0);
-  EXPECT_DOUBLE_EQ(fits, spec.peak_rate);
-  EXPECT_LT(pages, fits / 2);
-  EXPECT_GT(pages, 0.0);
+  const WorkRate fits = c.effective_rate(0, Seconds{0.0}, MegaBytes{50.0});
+  const WorkRate pages = c.effective_rate(0, Seconds{0.0}, MegaBytes{200.0});
+  EXPECT_DOUBLE_EQ(fits.value(), spec.peak_rate.value());
+  EXPECT_LT(pages, fits / 2.0);
+  EXPECT_GT(pages, WorkRate{0.0});
 }
 
 TEST(Cluster, MemoryNeverGoesNegative) {
@@ -149,32 +153,40 @@ TEST(Cluster, MemoryNeverGoesNegative) {
   LoadRamp r;
   r.rate = 0;
   r.target_level = 1.0;
-  r.memory_mb = 1.0e6;
+  r.memory_mb = MegaBytes{1.0e6};
   c.add_load(0, r);
-  EXPECT_EQ(c.state_at(0, 1.0).memory_free_mb, 0.0);
+  EXPECT_EQ(c.state_at(0, Seconds{1.0}).memory_free_mb, MegaBytes{0.0});
 }
 
 TEST(Network, TransferTimeLatencyPlusBandwidth) {
   NetworkModel net;
-  net.latency_s = 1e-4;
-  net.efficiency = 1.0;
+  net.latency_s = Seconds{1e-4};
+  net.efficiency = Fraction{1.0};
   // 1 Mbit over min(100,50)=50 Mbps -> 0.02 s + latency.
-  EXPECT_NEAR(net.transfer_time(125000, 100.0, 50.0), 0.02 + 1e-4, 1e-9);
-  EXPECT_EQ(net.transfer_time(0, 100.0, 100.0), 0.0);
-  EXPECT_THROW(net.transfer_time(-1, 100, 100), Error);
+  EXPECT_NEAR(net.transfer_time(Bytes{125000}, MbitsPerSec{100.0},
+                                MbitsPerSec{50.0})
+                  .value(),
+              0.02 + 1e-4, 1e-9);
+  EXPECT_EQ(net.transfer_time(Bytes{0}, MbitsPerSec{100.0},
+                              MbitsPerSec{100.0}),
+            Seconds{0.0});
+  EXPECT_THROW(
+      net.transfer_time(Bytes{-1}, MbitsPerSec{100}, MbitsPerSec{100}),
+      Error);
 }
 
 TEST(Network, EfficiencyDeratesBandwidth) {
   NetworkModel net;
-  net.latency_s = 0;
-  net.efficiency = 0.5;
-  EXPECT_NEAR(net.exchange_time(125000, 100.0), 0.02, 1e-9);
+  net.latency_s = Seconds{0};
+  net.efficiency = Fraction{0.5};
+  EXPECT_NEAR(net.exchange_time(Bytes{125000}, MbitsPerSec{100.0}).value(),
+              0.02, 1e-9);
 }
 
 TEST(Network, SurvivesZeroBandwidth) {
   NetworkModel net;
   // Bandwidth floor prevents division blowups.
-  EXPECT_LT(net.exchange_time(1000, 0.0), 1.0);
+  EXPECT_LT(net.exchange_time(Bytes{1000}, MbitsPerSec{0.0}), Seconds{1.0});
 }
 
 }  // namespace

@@ -98,7 +98,7 @@ TEST(Determinism, TraceWorkloadBitIdenticalAcrossThreadCounts) {
   ThreadPoolOverride serial(1);
   const RunTrace reference = run_trace_workload();
   ASSERT_GT(reference.regrids.size(), 0u);
-  ASSERT_GT(reference.total_time, 0.0);
+  ASSERT_GT(reference.total_time, Seconds{0.0});
   for (int threads : kThreadCounts) {
     ThreadPoolOverride ov(threads);
     const RunTrace got = run_trace_workload();

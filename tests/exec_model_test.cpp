@@ -68,16 +68,16 @@ TEST(ExecModel, NamesRoundTrip) {
 TEST(ExecModel, BspReproducesPreSeamTraceBitExactly) {
   const RunTrace t = run_scenario(ExecModelKind::kBsp);
   EXPECT_EQ(t.model, "bsp");
-  EXPECT_EQ(t.total_time, 0x1.1a2d6c074fcbfp+3);
-  EXPECT_EQ(t.compute_time, 0x1.c70511006938bp-2);
-  EXPECT_EQ(t.comm_time, 0x1.8956164de0f56p-7);
-  EXPECT_EQ(t.sense_time, 0x1p+3);
-  EXPECT_EQ(t.regrid_time, 0x1.4cccccccccccep-2);
-  EXPECT_EQ(t.migrate_time, 0x1.2c879352a386dp-5);
+  EXPECT_EQ(t.total_time, Seconds{0x1.1a2d6c074fcbfp+3});
+  EXPECT_EQ(t.compute_time, Seconds{0x1.c70511006938bp-2});
+  EXPECT_EQ(t.comm_time, Seconds{0x1.8956164de0f56p-7});
+  EXPECT_EQ(t.sense_time, Seconds{0x1p+3});
+  EXPECT_EQ(t.regrid_time, Seconds{0x1.4cccccccccccep-2});
+  EXPECT_EQ(t.migrate_time, Seconds{0x1.2c879352a386dp-5});
   ASSERT_EQ(t.regrids.size(), 4u);
   ASSERT_EQ(t.senses.size(), 4u);
   EXPECT_EQ(t.iterations, 20);
-  EXPECT_EQ(t.regrids.back().vtime, 0x1.16cd476e0311ap+3);
+  EXPECT_EQ(t.regrids.back().vtime, Seconds{0x1.16cd476e0311ap+3});
   EXPECT_EQ(t.regrids.back().splits, 3);
   EXPECT_EQ(t.regrids.back().num_boxes, 17u);
 }
@@ -88,27 +88,28 @@ void check_envelope(const RunTrace& t) {
   ASSERT_EQ(t.rank_usage.size(), 4u);
   EXPECT_FALSE(t.spans.empty());
 
-  EXPECT_TRUE(std::isfinite(t.total_time));
-  EXPECT_GT(t.total_time, 0.0);
+  EXPECT_TRUE(std::isfinite(t.total_time.value()));
+  EXPECT_GT(t.total_time, Seconds{0.0});
   for (const RankUsage& u : t.rank_usage) {
-    EXPECT_TRUE(std::isfinite(u.busy_s) && u.busy_s >= 0);
-    EXPECT_TRUE(std::isfinite(u.comm_s) && u.comm_s >= 0);
-    EXPECT_TRUE(std::isfinite(u.idle_s) && u.idle_s >= 0);
+    EXPECT_TRUE(std::isfinite(u.busy_s.value()) && u.busy_s >= Seconds{0});
+    EXPECT_TRUE(std::isfinite(u.comm_s.value()) && u.comm_s >= Seconds{0});
+    EXPECT_TRUE(std::isfinite(u.idle_s.value()) && u.idle_s >= Seconds{0});
     // The run is at least as long as any rank's busy time, and each
     // rank's timeline is contiguous: busy + comm + idle covers the run.
-    EXPECT_GE(t.total_time, u.busy_s - 1e-9);
-    EXPECT_NEAR(u.busy_s + u.comm_s + u.idle_s, t.total_time, 1e-6);
+    EXPECT_GE(t.total_time, u.busy_s - Seconds{1e-9});
+    EXPECT_NEAR((u.busy_s + u.comm_s + u.idle_s).value(),
+                t.total_time.value(), 1e-6);
   }
   for (const TraceSpan& s : t.spans) {
-    EXPECT_TRUE(std::isfinite(s.t0) && std::isfinite(s.t1));
+    EXPECT_TRUE(std::isfinite(s.t0.value()) && std::isfinite(s.t1.value()));
     EXPECT_LE(s.t0, s.t1);
-    EXPECT_GE(s.t0, 0.0);
+    EXPECT_GE(s.t0, Seconds{0.0});
     EXPECT_GE(s.rank, 0);
     EXPECT_LE(s.rank, t.num_ranks);  // == num_ranks: monitor lane
     // Rank spans end by the run end; the monitor lane may outlast it
     // (overlapped sweeps keep probing while ranks already finished).
     if (s.rank < t.num_ranks) {
-      EXPECT_LE(s.t1, t.total_time + 1e-9);
+      EXPECT_LE(s.t1, t.total_time + Seconds{1e-9});
     }
   }
 }
@@ -131,8 +132,9 @@ TEST(ExecModel, EventOverlapsSensingWithExecution) {
   // into the critical path), so it must finish strictly sooner.
   const RunTrace bsp = run_scenario(ExecModelKind::kBsp);
   const RunTrace event = run_scenario(ExecModelKind::kEvent);
-  EXPECT_GT(bsp.sense_time, 0.0);
-  EXPECT_DOUBLE_EQ(event.sense_time, bsp.sense_time);  // cost still known
+  EXPECT_GT(bsp.sense_time, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(event.sense_time.value(),
+                   bsp.sense_time.value());  // cost still known
   EXPECT_LT(event.total_time, bsp.total_time);
 }
 
@@ -155,7 +157,7 @@ TEST(ExecModel, EventHeterogeneousBeatsDefaultUnderLoad) {
     LoadRamp heavy;
     heavy.rate = 0;  // rate 0: at the target level from the start
     heavy.target_level = 2.0;
-    heavy.memory_mb = 100;
+    heavy.memory_mb = MegaBytes{100};
     cluster.add_load(1, heavy);
     cluster.add_load(2, heavy);
     TraceWorkloadSource source(small_trace());

@@ -3,7 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/error.hpp"
-#include "runtime/executor.hpp"
+#include "sim/executor.hpp"
 
 namespace ssamr {
 namespace {
@@ -23,9 +23,9 @@ ExecutorConfig test_config() {
   ExecutorConfig cfg;
   cfg.ncomp = 1;
   cfg.ghost = 1;
-  cfg.monitor_intrusion_cpu = 0.0;
-  cfg.comm_overlap = 0.0;
-  cfg.app_base_memory_mb = 0.0;
+  cfg.monitor_intrusion_cpu = Fraction{0.0};
+  cfg.comm_overlap = Fraction{0.0};
+  cfg.app_base_memory_mb = MegaBytes{0.0};
   return cfg;
 }
 
@@ -34,74 +34,77 @@ TEST(Executor, MemoryDemandCountsOwnedCells) {
   VirtualExecutor ex(c, test_config());
   const auto r = simple_partition();
   // 512 cells x 1 comp x 8 bytes x 2 time levels = 8192 bytes.
-  EXPECT_NEAR(ex.memory_demand_mb(r, 0), 8192.0 / 1e6, 1e-12);
+  EXPECT_NEAR(ex.memory_demand_mb(r, 0).value(), 8192.0 / 1e6, 1e-12);
 }
 
 TEST(Executor, ComputeTimeIsWorkOverRate) {
   NodeSpec spec;
-  spec.peak_rate = 512.0;  // one second per patch
+  spec.peak_rate = WorkRate{512.0};  // one second per patch
   Cluster c = Cluster::homogeneous(2, spec);
   VirtualExecutor ex(c, test_config());
-  const auto times = ex.compute_times(simple_partition(), 0.0);
-  EXPECT_NEAR(times[0], 1.0, 1e-9);
-  EXPECT_NEAR(times[1], 1.0, 1e-9);
+  const auto times = ex.compute_times(simple_partition(), Seconds{0.0});
+  EXPECT_NEAR(times[0].value(), 1.0, 1e-9);
+  EXPECT_NEAR(times[1].value(), 1.0, 1e-9);
 }
 
 TEST(Executor, LoadedNodeComputesSlower) {
   NodeSpec spec;
-  spec.peak_rate = 512.0;
+  spec.peak_rate = WorkRate{512.0};
   Cluster c = Cluster::homogeneous(2, spec);
   LoadRamp r;
   r.rate = 0;
   r.target_level = 1.0;  // halves cpu
   c.add_load(0, r);
   VirtualExecutor ex(c, test_config());
-  const auto times = ex.compute_times(simple_partition(), 0.0);
-  EXPECT_NEAR(times[0], 2.0, 1e-9);
-  EXPECT_NEAR(times[1], 1.0, 1e-9);
-  EXPECT_NEAR(ex.iteration_time(simple_partition(), 0.0), 2.0, 0.1);
+  const auto times = ex.compute_times(simple_partition(), Seconds{0.0});
+  EXPECT_NEAR(times[0].value(), 2.0, 1e-9);
+  EXPECT_NEAR(times[1].value(), 1.0, 1e-9);
+  EXPECT_NEAR(ex.iteration_time(simple_partition(), Seconds{0.0}).value(), 2.0,
+              0.1);
 }
 
 TEST(Executor, MonitorIntrusionShavesRate) {
   NodeSpec spec;
-  spec.peak_rate = 512.0;
+  spec.peak_rate = WorkRate{512.0};
   Cluster c = Cluster::homogeneous(2, spec);
   ExecutorConfig cfg = test_config();
-  cfg.monitor_intrusion_cpu = 0.5;
+  cfg.monitor_intrusion_cpu = Fraction{0.5};
   VirtualExecutor ex(c, cfg);
-  EXPECT_NEAR(ex.compute_times(simple_partition(), 0.0)[0], 2.0, 1e-9);
+  EXPECT_NEAR(ex.compute_times(simple_partition(), Seconds{0.0})[0].value(),
+              2.0, 1e-9);
 }
 
 TEST(Executor, CommTimesReflectPartitionBoundary) {
   Cluster c = Cluster::homogeneous(2);
   VirtualExecutor ex(c, test_config());
-  const auto comm = ex.comm_times(simple_partition(), 0.0);
+  const auto comm = ex.comm_times(simple_partition(), Seconds{0.0});
   // Two ranks share an 8x8 face, ghost 1: 64 cells each way, 8 B/cell.
-  EXPECT_GT(comm[0], 0.0);
-  EXPECT_NEAR(comm[0], comm[1], 1e-12);
+  EXPECT_GT(comm[0], Seconds{0.0});
+  EXPECT_NEAR(comm[0].value(), comm[1].value(), 1e-12);
 }
 
 TEST(Executor, OverlapHidesCommunication) {
   Cluster c = Cluster::homogeneous(2);
   ExecutorConfig cfg = test_config();
-  cfg.comm_overlap = 0.75;
+  cfg.comm_overlap = Fraction{0.75};
   VirtualExecutor ex_overlap(c, cfg);
   VirtualExecutor ex_raw(c, test_config());
-  const auto raw = ex_raw.effective_comm_times(simple_partition(), 0.0);
+  const auto raw =
+      ex_raw.effective_comm_times(simple_partition(), Seconds{0.0});
   const auto hidden =
-      ex_overlap.effective_comm_times(simple_partition(), 0.0);
-  EXPECT_NEAR(hidden[0], raw[0] * 0.25, 1e-12);
+      ex_overlap.effective_comm_times(simple_partition(), Seconds{0.0});
+  EXPECT_NEAR(hidden[0].value(), raw[0].value() * 0.25, 1e-12);
 }
 
 TEST(Executor, RegridAndPartitionCostsScaleWithBoxes) {
   Cluster c = Cluster::homogeneous(2);
   ExecutorConfig cfg = test_config();
-  cfg.regrid_cost_base_s = 0.1;
-  cfg.regrid_cost_per_box_s = 0.01;
-  cfg.partition_cost_per_box_s = 0.002;
+  cfg.regrid_cost_base_s = Seconds{0.1};
+  cfg.regrid_cost_per_box_s = Seconds{0.01};
+  cfg.partition_cost_per_box_s = Seconds{0.002};
   VirtualExecutor ex(c, cfg);
-  EXPECT_NEAR(ex.regrid_time(10), 0.2, 1e-12);
-  EXPECT_NEAR(ex.partition_time(10), 0.02, 1e-12);
+  EXPECT_NEAR(ex.regrid_time(10).value(), 0.2, 1e-12);
+  EXPECT_NEAR(ex.partition_time(10).value(), 0.02, 1e-12);
 }
 
 TEST(Executor, InitialMigrationIsAScatterFromRankZero) {
@@ -109,21 +112,21 @@ TEST(Executor, InitialMigrationIsAScatterFromRankZero) {
   VirtualExecutor ex(c, test_config());
   const auto next = simple_partition();
   // Rank 1's box must move from rank 0: 512 cells * 8 bytes.
-  EXPECT_EQ(ex.migration_bytes({}, next, 1), 512 * 8);
-  EXPECT_EQ(ex.migration_bytes({}, next, 0), 512 * 8);  // sender side
-  EXPECT_GT(ex.migration_time({}, next, 0.0), 0.0);
+  EXPECT_EQ(ex.migration_bytes({}, next, 1), Bytes{512 * 8});
+  EXPECT_EQ(ex.migration_bytes({}, next, 0), Bytes{512 * 8});  // sender side
+  EXPECT_GT(ex.migration_time({}, next, Seconds{0.0}), Seconds{0.0});
 }
 
 TEST(Executor, MigrationCountsOnlyChangedOwnership) {
   Cluster c = Cluster::homogeneous(2);
   VirtualExecutor ex(c, test_config());
   const auto prev = simple_partition();
-  EXPECT_EQ(ex.migration_bytes(prev, prev, 0), 0);
+  EXPECT_EQ(ex.migration_bytes(prev, prev, 0), Bytes{0});
   // Swap owners: everything moves.
   PartitionResult swapped = prev;
   swapped.assignments[0].owner = 1;
   swapped.assignments[1].owner = 0;
-  EXPECT_EQ(ex.migration_bytes(prev, swapped, 0), 2 * 512 * 8);
+  EXPECT_EQ(ex.migration_bytes(prev, swapped, 0), Bytes{2 * 512 * 8});
 }
 
 TEST(Executor, MigrationUsesBoxOverlapNotIdentity) {
@@ -138,19 +141,19 @@ TEST(Executor, MigrationUsesBoxOverlapNotIdentity) {
       {Box::from_extent(IntVec(4, 0, 0), IntVec(12, 8, 8), 0), 1});
   next.assigned_work = {256, 768};
   next.target_work = {256, 768};
-  EXPECT_EQ(ex.migration_bytes(prev, next, 1), 4 * 8 * 8 * 8);
+  EXPECT_EQ(ex.migration_bytes(prev, next, 1), Bytes{4 * 8 * 8 * 8});
 }
 
 TEST(Executor, PagingDegradesLoadedNodeThroughput) {
   NodeSpec spec;
-  spec.peak_rate = 512.0;
-  spec.memory_mb = 4.0;  // tiny node: the patch data will not fit
+  spec.peak_rate = WorkRate{512.0};
+  spec.memory_mb = MegaBytes{4.0};  // tiny node: the patch data will not fit
   Cluster c = Cluster::homogeneous(2, spec);
   ExecutorConfig cfg = test_config();
-  cfg.app_base_memory_mb = 8.0;  // > 4 MB free
+  cfg.app_base_memory_mb = MegaBytes{8.0};  // > 4 MB free
   VirtualExecutor ex(c, cfg);
-  const auto times = ex.compute_times(simple_partition(), 0.0);
-  EXPECT_GT(times[0], 1.5);  // paging penalty beyond the 1.0 s baseline
+  const auto times = ex.compute_times(simple_partition(), Seconds{0.0});
+  EXPECT_GT(times[0], Seconds{1.5});  // paging beyond the 1.0 s baseline
 }
 
 TEST(Executor, ValidatesConfigAndArity) {
@@ -161,7 +164,7 @@ TEST(Executor, ValidatesConfigAndArity) {
   VirtualExecutor ex(c, test_config());
   PartitionResult r = simple_partition();
   r.assigned_work = {1.0};  // arity mismatch with 2-node cluster
-  EXPECT_THROW(ex.compute_times(r, 0.0), Error);
+  EXPECT_THROW(ex.compute_times(r, Seconds{0.0}), Error);
 }
 
 }  // namespace

@@ -33,23 +33,23 @@ TEST(Experiment, PaperTraceIsPaperScale) {
 TEST(Experiment, PaperClusterIsFastEthernet) {
   const Cluster c = exp::paper_cluster(4);
   EXPECT_EQ(c.size(), 4);
-  EXPECT_DOUBLE_EQ(c.spec(0).bandwidth_mbps, 100.0);
-  EXPECT_DOUBLE_EQ(c.spec(0).peak_rate, c.spec(3).peak_rate);
+  EXPECT_DOUBLE_EQ(c.spec(0).bandwidth_mbps.value(), 100.0);
+  EXPECT_EQ(c.spec(0).peak_rate, c.spec(3).peak_rate);
 }
 
 TEST(Experiment, StaticLoadsDifferentiateNodes) {
   Cluster c = exp::paper_cluster(4);
   exp::apply_static_loads(c);
-  EXPECT_LT(c.state_at(0, 10.0).cpu_available, 0.8);
-  EXPECT_DOUBLE_EQ(c.state_at(3, 10.0).cpu_available, 1.0);
+  EXPECT_LT(c.state_at(0, Seconds{10.0}).cpu_available.value(), 0.8);
+  EXPECT_DOUBLE_EQ(c.state_at(3, Seconds{10.0}).cpu_available.value(), 1.0);
 }
 
 TEST(Experiment, DynamicLoadsEvolveOverTime) {
   Cluster c = exp::paper_cluster(4);
   exp::apply_dynamic_loads(c, 100.0);
-  const real_t before = c.state_at(0, 0.0).cpu_available;
-  const real_t during = c.state_at(0, 40.0).cpu_available;
-  const real_t after = c.state_at(0, 60.0).cpu_available;
+  const real_t before = c.state_at(0, Seconds{0.0}).cpu_available.value();
+  const real_t during = c.state_at(0, Seconds{40.0}).cpu_available.value();
+  const real_t after = c.state_at(0, Seconds{60.0}).cpu_available.value();
   EXPECT_DOUBLE_EQ(before, 1.0);
   EXPECT_LT(during, 0.35);
   EXPECT_GT(after, during);  // heavy generator exited at 0.55 tau
@@ -93,8 +93,8 @@ TEST(Experiment, TimescaleCalibrationConverges) {
   EXPECT_GT(tau, 1.0);
   const RunTrace t = exp::run_dynamic_het(4, 30, 10, tau);
   // The calibrated timescale must be within a factor ~2 of the duration.
-  EXPECT_GT(t.total_time, 0.4 * tau);
-  EXPECT_LT(t.total_time, 2.5 * tau);
+  EXPECT_GT(t.total_time, Seconds{0.4 * tau});
+  EXPECT_LT(t.total_time, Seconds{2.5 * tau});
 }
 
 TEST(Experiment, HeadlineResultHoldsAcrossSensorSeeds) {

@@ -39,8 +39,8 @@ FaultEpisode episode(rank_t rank, FaultKind kind, real_t t0, real_t t1) {
   FaultEpisode e;
   e.rank = rank;
   e.kind = kind;
-  e.t0 = t0;
-  e.t1 = t1;
+  e.t0 = Seconds{t0};
+  e.t1 = Seconds{t1};
   return e;
 }
 
@@ -55,10 +55,10 @@ TEST(FaultPlan, ProbeFaultIsAPureFunctionOfSeedRankAttempt) {
   std::vector<ProbeFault> fa, fb;
   for (int r = 0; r < 4; ++r)
     for (std::uint64_t k = 0; k < 50; ++k)
-      fa.push_back(a.probe_fault(r, 1.0, k));
+      fa.push_back(a.probe_fault(r, Seconds{1.0}, k));
   for (std::uint64_t k = 50; k-- > 0;)
     for (int r = 3; r >= 0; --r)
-      fb.push_back(b.probe_fault(r, 1.0, k));
+      fb.push_back(b.probe_fault(r, Seconds{1.0}, k));
   int faults = 0;
   for (int r = 0; r < 4; ++r)
     for (std::uint64_t k = 0; k < 50; ++k) {
@@ -77,8 +77,8 @@ TEST(FaultPlan, ScriptedFactoryIsDeterministic) {
   profile.probe_timeout_rate = 0.1;
   profile.stale_windows = 3;
   profile.crash_episodes = 2;
-  const FaultPlan a = FaultPlan::scripted(8, 500.0, profile, 99);
-  const FaultPlan b = FaultPlan::scripted(8, 500.0, profile, 99);
+  const FaultPlan a = FaultPlan::scripted(8, Seconds{500.0}, profile, 99);
+  const FaultPlan b = FaultPlan::scripted(8, Seconds{500.0}, profile, 99);
   ASSERT_EQ(a.episodes().size(), 5u);
   for (std::size_t i = 0; i < a.episodes().size(); ++i) {
     EXPECT_EQ(a.episodes()[i].rank, b.episodes()[i].rank);
@@ -92,38 +92,40 @@ TEST(FaultPlan, EpisodeKindsMapToProbeFaults) {
   plan.add(episode(0, FaultKind::kProbeDrop, 10.0, 20.0));
   plan.add(episode(1, FaultKind::kStaleWindow, 10.0, 20.0));
   plan.add(episode(2, FaultKind::kCrash, 10.0, 20.0));
-  EXPECT_EQ(plan.probe_fault(0, 15.0, 0), ProbeFault::kDrop);
-  EXPECT_EQ(plan.probe_fault(1, 15.0, 0), ProbeFault::kStale);
-  EXPECT_EQ(plan.probe_fault(2, 15.0, 0), ProbeFault::kTimeout);
+  EXPECT_EQ(plan.probe_fault(0, Seconds{15.0}, 0), ProbeFault::kDrop);
+  EXPECT_EQ(plan.probe_fault(1, Seconds{15.0}, 0), ProbeFault::kStale);
+  EXPECT_EQ(plan.probe_fault(2, Seconds{15.0}, 0), ProbeFault::kTimeout);
   // Outside the windows (and with zero random rates) everything is benign.
-  EXPECT_EQ(plan.probe_fault(0, 25.0, 0), ProbeFault::kNone);
-  EXPECT_EQ(plan.probe_fault(0, 9.999, 0), ProbeFault::kNone);
+  EXPECT_EQ(plan.probe_fault(0, Seconds{25.0}, 0), ProbeFault::kNone);
+  EXPECT_EQ(plan.probe_fault(0, Seconds{9.999}, 0), ProbeFault::kNone);
   EXPECT_FALSE(plan.benign());
   EXPECT_TRUE(FaultPlan{}.benign());
   // Stale windows freeze the observable time at their start.
-  EXPECT_DOUBLE_EQ(plan.observable_time(1, 15.0), 10.0);
-  EXPECT_DOUBLE_EQ(plan.observable_time(1, 25.0), 25.0);
+  EXPECT_DOUBLE_EQ(plan.observable_time(1, Seconds{15.0}).value(), 10.0);
+  EXPECT_DOUBLE_EQ(plan.observable_time(1, Seconds{25.0}).value(), 25.0);
   // Crash coverage and rejoin.
-  EXPECT_TRUE(plan.node_down(2, 15.0));
-  EXPECT_FALSE(plan.node_down(2, 20.0));
-  EXPECT_DOUBLE_EQ(plan.resume_time(2, 15.0), 20.0);
-  EXPECT_DOUBLE_EQ(plan.resume_time(2, 5.0), 5.0);
+  EXPECT_TRUE(plan.node_down(2, Seconds{15.0}));
+  EXPECT_FALSE(plan.node_down(2, Seconds{20.0}));
+  EXPECT_DOUBLE_EQ(plan.resume_time(2, Seconds{15.0}).value(), 20.0);
+  EXPECT_DOUBLE_EQ(plan.resume_time(2, Seconds{5.0}).value(), 5.0);
 }
 
 TEST(FaultPlan, ResumeTimeFollowsChainedEpisodes) {
   FaultPlan plan;
   plan.add(episode(0, FaultKind::kCrash, 10.0, 20.0));
   plan.add(episode(0, FaultKind::kCrash, 18.0, 30.0));
-  EXPECT_DOUBLE_EQ(plan.resume_time(0, 12.0), 30.0);
+  EXPECT_DOUBLE_EQ(plan.resume_time(0, Seconds{12.0}).value(), 30.0);
 }
 
 TEST(FaultPlan, ValidatesInputs) {
   FaultProfile bad;
   bad.probe_timeout_rate = 0.8;
   bad.probe_drop_rate = 0.5;  // sums past 1
-  EXPECT_THROW(FaultPlan::scripted(4, 100.0, bad, 1), Error);
-  EXPECT_THROW(FaultPlan::scripted(0, 100.0, FaultProfile{}, 1), Error);
-  EXPECT_THROW(FaultPlan::scripted(4, -1.0, FaultProfile{}, 1), Error);
+  EXPECT_THROW(FaultPlan::scripted(4, Seconds{100.0}, bad, 1), Error);
+  EXPECT_THROW(FaultPlan::scripted(0, Seconds{100.0}, FaultProfile{}, 1),
+               Error);
+  EXPECT_THROW(FaultPlan::scripted(4, Seconds{-1.0}, FaultProfile{}, 1),
+               Error);
   FaultPlan plan;
   EXPECT_THROW(plan.add(episode(0, FaultKind::kCrash, 5.0, 5.0)), Error);
   EXPECT_THROW(plan.add(episode(-1, FaultKind::kCrash, 0.0, 1.0)), Error);
@@ -136,16 +138,16 @@ TEST(Cluster, CrashEpisodeZeroesStateAndFloorsBandwidth) {
   FaultPlan plan;
   plan.add(episode(0, FaultKind::kCrash, 10.0, 20.0));
   c.set_fault_plan(plan);
-  EXPECT_TRUE(c.node_down(0, 15.0));
-  EXPECT_FALSE(c.node_down(1, 15.0));
-  const NodeState down = c.state_at(0, 15.0);
-  EXPECT_DOUBLE_EQ(down.cpu_available, 0.0);
-  EXPECT_DOUBLE_EQ(down.memory_free_mb, 0.0);
-  EXPECT_GT(down.bandwidth_mbps, 0.0);
+  EXPECT_TRUE(c.node_down(0, Seconds{15.0}));
+  EXPECT_FALSE(c.node_down(1, Seconds{15.0}));
+  const NodeState down = c.state_at(0, Seconds{15.0});
+  EXPECT_DOUBLE_EQ(down.cpu_available.value(), 0.0);
+  EXPECT_DOUBLE_EQ(down.memory_free_mb.value(), 0.0);
+  EXPECT_GT(down.bandwidth_mbps, MbitsPerSec{0.0});
   // Up again after the episode; resume_time reports the rejoin.
-  EXPECT_DOUBLE_EQ(c.state_at(0, 20.0).cpu_available, 1.0);
-  EXPECT_DOUBLE_EQ(c.resume_time(0, 15.0), 20.0);
-  EXPECT_DOUBLE_EQ(c.resume_time(1, 15.0), 15.0);
+  EXPECT_DOUBLE_EQ(c.state_at(0, Seconds{20.0}).cpu_available.value(), 1.0);
+  EXPECT_DOUBLE_EQ(c.resume_time(0, Seconds{15.0}).value(), 20.0);
+  EXPECT_DOUBLE_EQ(c.resume_time(1, Seconds{15.0}).value(), 15.0);
 }
 
 // ---- Monitor: retries, backoff, staleness, quarantine ---------------------
@@ -162,16 +164,16 @@ TEST(MonitorFaults, TimeoutProbePaysDeadlineRetriesAndBackoff) {
   plan.add(episode(0, FaultKind::kProbeTimeout, 0.0, 1.0e9));
   c.set_fault_plan(plan);
   ResourceMonitor m(c, quiet_monitor());
-  const ProbeOutcome bad = m.probe_outcome(0, 5.0);
+  const ProbeOutcome bad = m.probe_outcome(0, Seconds{5.0});
   EXPECT_EQ(bad.status, ProbeStatus::kTimeout);
   EXPECT_EQ(bad.attempts, 3);  // 1 + probe_max_retries
   // 3 timed-out attempts at the 2 s deadline plus backoffs 0.25 and 0.5.
-  EXPECT_DOUBLE_EQ(bad.elapsed_s, 3 * 2.0 + 0.25 + 0.5);
+  EXPECT_DOUBLE_EQ(bad.elapsed_s.value(), 3 * 2.0 + 0.25 + 0.5);
   // The healthy node pays exactly one probe.
-  const ProbeOutcome good = m.probe_outcome(1, 5.0);
+  const ProbeOutcome good = m.probe_outcome(1, Seconds{5.0});
   EXPECT_EQ(good.status, ProbeStatus::kOk);
   EXPECT_EQ(good.attempts, 1);
-  EXPECT_DOUBLE_EQ(good.elapsed_s, 0.5);
+  EXPECT_DOUBLE_EQ(good.elapsed_s.value(), 0.5);
 }
 
 TEST(MonitorFaults, FastFailureCostsProbeNotDeadline) {
@@ -180,9 +182,9 @@ TEST(MonitorFaults, FastFailureCostsProbeNotDeadline) {
   plan.add(episode(0, FaultKind::kProbeDrop, 0.0, 1.0e9));
   c.set_fault_plan(plan);
   ResourceMonitor m(c, quiet_monitor());
-  const ProbeOutcome o = m.probe_outcome(0, 5.0);
+  const ProbeOutcome o = m.probe_outcome(0, Seconds{5.0});
   EXPECT_EQ(o.status, ProbeStatus::kFailed);
-  EXPECT_DOUBLE_EQ(o.elapsed_s, 3 * 0.5 + 0.25 + 0.5);
+  EXPECT_DOUBLE_EQ(o.elapsed_s.value(), 3 * 0.5 + 0.25 + 0.5);
 }
 
 TEST(MonitorFaults, StaleWindowAnswersWithFrozenReadings) {
@@ -190,7 +192,7 @@ TEST(MonitorFaults, StaleWindowAnswersWithFrozenReadings) {
   // Load ramps up sharply at t=10: a stale window frozen at t=5 must keep
   // reporting the unloaded state.
   LoadRamp r;
-  r.start_time = 10.0;
+  r.start_time = Seconds{10.0};
   r.rate = 1e9;
   r.target_level = 1.0;
   c.add_load(0, r);
@@ -200,9 +202,9 @@ TEST(MonitorFaults, StaleWindowAnswersWithFrozenReadings) {
   MonitorConfig cfg = quiet_monitor();
   cfg.forecast = false;
   ResourceMonitor m(c, cfg);
-  const ProbeOutcome o = m.probe_outcome(0, 50.0);
+  const ProbeOutcome o = m.probe_outcome(0, Seconds{50.0});
   EXPECT_EQ(o.status, ProbeStatus::kStale);
-  EXPECT_DOUBLE_EQ(o.estimate.cpu_available, 1.0);  // the t=5 truth
+  EXPECT_DOUBLE_EQ(o.estimate.cpu_available.value(), 1.0);  // the t=5 truth
 }
 
 TEST(MonitorFaults, UnreachableNodeDecaysTowardClusterMean) {
@@ -210,7 +212,7 @@ TEST(MonitorFaults, UnreachableNodeDecaysTowardClusterMean) {
   // Node 1 carries a steady load, so the cluster mean differs from node
   // 0's last-known-good reading.
   LoadRamp r;
-  r.start_time = -1.0;
+  r.start_time = Seconds{-1.0};
   r.rate = 1e9;
   r.target_level = 1.0;
   c.add_load(1, r);
@@ -218,19 +220,20 @@ TEST(MonitorFaults, UnreachableNodeDecaysTowardClusterMean) {
   cfg.forecast = false;
   ResourceMonitor m(c, cfg);
   // Establish last-known-good readings while everything is reachable.
-  (void)m.probe_all(0.0);
+  (void)m.probe_all(Seconds{0.0});
   // Now node 0 goes dark.
   FaultPlan plan;
   plan.add(episode(0, FaultKind::kProbeTimeout, 1.0, 1.0e9));
   c.set_fault_plan(plan);
-  const ProbeOutcome o = m.probe_outcome(0, 30.0);
+  const ProbeOutcome o = m.probe_outcome(0, Seconds{30.0});
   EXPECT_EQ(o.status, ProbeStatus::kTimeout);
   // Last good cpu = 1.0 (node 0 at t=0); the known-good mean averages both
   // nodes' last readings: (1.0 + 0.5) / 2 = 0.75.  Decay w = exp(-30/60).
   const real_t w = std::exp(-30.0 / 60.0);
-  EXPECT_NEAR(o.estimate.cpu_available, w * 1.0 + (1 - w) * 0.75, 1e-9);
-  EXPECT_TRUE(std::isfinite(o.estimate.memory_free_mb));
-  EXPECT_TRUE(std::isfinite(o.estimate.bandwidth_mbps));
+  EXPECT_NEAR(o.estimate.cpu_available.value(), w * 1.0 + (1 - w) * 0.75,
+              1e-9);
+  EXPECT_TRUE(std::isfinite(o.estimate.memory_free_mb.value()));
+  EXPECT_TRUE(std::isfinite(o.estimate.bandwidth_mbps.value()));
 }
 
 TEST(MonitorFaults, QuarantineAfterConsecutiveFailedSweepsThenReadmit) {
@@ -240,34 +243,34 @@ TEST(MonitorFaults, QuarantineAfterConsecutiveFailedSweepsThenReadmit) {
   c.set_fault_plan(plan);
   ResourceMonitor m(c, quiet_monitor());  // quarantine_after = 2
 
-  const SweepResult s1 = m.probe_all(10.0);
+  const SweepResult s1 = m.probe_all(Seconds{10.0});
   EXPECT_EQ(s1.timeouts, 1);
   EXPECT_FALSE(m.quarantined(0));
   EXPECT_EQ(m.fail_streak(0), 1);
   EXPECT_FALSE(s1.health_event());
 
-  const SweepResult s2 = m.probe_all(20.0);
+  const SweepResult s2 = m.probe_all(Seconds{20.0});
   ASSERT_EQ(s2.quarantined.size(), 1u);
   EXPECT_EQ(s2.quarantined[0], 0);
   EXPECT_TRUE(s2.health_event());
   EXPECT_TRUE(m.quarantined(0));
   // Quarantined capacity is reported as zero on every axis.
-  EXPECT_DOUBLE_EQ(s2.estimates[0].cpu_available, 0.0);
-  EXPECT_DOUBLE_EQ(s2.estimates[0].memory_free_mb, 0.0);
-  EXPECT_DOUBLE_EQ(s2.estimates[0].bandwidth_mbps, 0.0);
+  EXPECT_DOUBLE_EQ(s2.estimates[0].cpu_available.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s2.estimates[0].memory_free_mb.value(), 0.0);
+  EXPECT_DOUBLE_EQ(s2.estimates[0].bandwidth_mbps.value(), 0.0);
 
   // While quarantined, the node gets a single attempt (no retry budget).
-  const SweepResult s3 = m.probe_all(30.0);
+  const SweepResult s3 = m.probe_all(Seconds{30.0});
   EXPECT_TRUE(s3.quarantined.empty());
   EXPECT_TRUE(m.quarantined(0));
 
   // Past the episode the node answers again and is re-admitted.
-  const SweepResult s4 = m.probe_all(150.0);
+  const SweepResult s4 = m.probe_all(Seconds{150.0});
   ASSERT_EQ(s4.readmitted.size(), 1u);
   EXPECT_EQ(s4.readmitted[0], 0);
   EXPECT_TRUE(s4.health_event());
   EXPECT_FALSE(m.quarantined(0));
-  EXPECT_GT(s4.estimates[0].cpu_available, 0.0);
+  EXPECT_GT(s4.estimates[0].cpu_available, Fraction{0.0});
 }
 
 TEST(MonitorFaults, DegradedSweepNeverFeedsCapacityNanOrZeroSum) {
@@ -280,7 +283,7 @@ TEST(MonitorFaults, DegradedSweepNeverFeedsCapacityNanOrZeroSum) {
     plan.add(episode(r, FaultKind::kProbeTimeout, 0.0, 1.0e9));
   c.set_fault_plan(plan);
   ResourceMonitor m(c, quiet_monitor());
-  const SweepResult sweep = m.probe_all(5.0);
+  const SweepResult sweep = m.probe_all(Seconds{5.0});
   CapacityCalculator calc{CapacityWeights::equal()};
   const std::vector<real_t> caps = calc.relative_capacities(sweep.estimates);
   real_t sum = 0;
@@ -299,8 +302,8 @@ TEST(MonitorFaults, ZeroFaultPathIsBitIdenticalWithBenignPlanAttached) {
   ResourceMonitor a(plain, cfg);
   ResourceMonitor b(with_plan, cfg);
   for (int i = 0; i < 5; ++i) {
-    const SweepResult sa = a.probe_all(10.0 * i);
-    const SweepResult sb = b.probe_all(10.0 * i);
+    const SweepResult sa = a.probe_all(Seconds{10.0 * i});
+    const SweepResult sb = b.probe_all(Seconds{10.0 * i});
     ASSERT_EQ(sa.estimates.size(), sb.estimates.size());
     EXPECT_EQ(sa.overhead_s, sb.overhead_s);
     for (std::size_t k = 0; k < sa.estimates.size(); ++k) {
@@ -360,8 +363,8 @@ TEST(RuntimeFaults, CrashAndRejoinProducesReadmissionAndStaysFinite) {
   // At least the quarantine lands off the regrid cadence (the readmission
   // may coincide with a scheduled regrid, which doesn't count as forced).
   EXPECT_GE(t.health.forced_repartitions, 1);
-  EXPECT_TRUE(std::isfinite(t.total_time));
-  EXPECT_GT(t.total_time, 0.0);
+  EXPECT_TRUE(std::isfinite(t.total_time.value()));
+  EXPECT_GT(t.total_time, Seconds{0.0});
   for (const SenseRecord& s : t.senses) {
     real_t sum = 0;
     for (const real_t cap : s.capacities) {
@@ -385,7 +388,7 @@ TEST(RuntimeFaults, TwentyPercentProbeFailuresCompleteAllScenarios) {
     profile.stale_windows = 2;
     profile.crash_episodes = 1;
     Cluster cluster = Cluster::homogeneous(4);
-    cluster.set_fault_plan(FaultPlan::scripted(4, 100.0, profile, 7));
+    cluster.set_fault_plan(FaultPlan::scripted(4, Seconds{100.0}, profile, 7));
     TraceWorkloadSource source(small_trace());
     HeterogeneousPartitioner part;
     RuntimeConfig cfg = small_runtime(25, 2);
@@ -393,7 +396,7 @@ TEST(RuntimeFaults, TwentyPercentProbeFailuresCompleteAllScenarios) {
     AdaptiveRuntime rt(cluster, source, part, cfg);
     const RunTrace t = rt.run();
     EXPECT_EQ(t.iterations, 25);
-    EXPECT_TRUE(std::isfinite(t.total_time));
+    EXPECT_TRUE(std::isfinite(t.total_time.value()));
     for (const SenseRecord& s : t.senses)
       for (const real_t cap : s.capacities) {
         EXPECT_TRUE(std::isfinite(cap));
@@ -429,7 +432,7 @@ TEST(RuntimeFaults, ZeroFaultRunBitIdenticalWithBenignPlan) {
 TEST(MonitorFaults, NewKnobsAreValidated) {
   Cluster c = Cluster::homogeneous(1);
   MonitorConfig cfg;
-  cfg.probe_deadline_s = 0.1;  // below probe_cost_s
+  cfg.probe_deadline_s = Seconds{0.1};  // below probe_cost_s
   EXPECT_THROW(ResourceMonitor(c, cfg), Error);
   cfg = MonitorConfig{};
   cfg.probe_max_retries = -1;
@@ -441,16 +444,16 @@ TEST(MonitorFaults, NewKnobsAreValidated) {
   cfg.quarantine_after = 0;
   EXPECT_THROW(ResourceMonitor(c, cfg), Error);
   cfg = MonitorConfig{};
-  cfg.staleness.decay_tau_s = 0;
+  cfg.staleness.decay_tau_s = Seconds{0};
   EXPECT_THROW(ResourceMonitor(c, cfg), Error);
 }
 
 TEST(Capacity, RejectsNonFiniteEstimates) {
   CapacityCalculator calc{CapacityWeights::equal()};
   std::vector<ResourceEstimate> est(2);
-  est[0].cpu_available = std::numeric_limits<real_t>::quiet_NaN();
+  est[0].cpu_available = Fraction{std::numeric_limits<real_t>::quiet_NaN()};
   EXPECT_THROW(calc.relative_capacities(est), Error);
-  est[0].cpu_available = std::numeric_limits<real_t>::infinity();
+  est[0].cpu_available = Fraction{std::numeric_limits<real_t>::infinity()};
   EXPECT_THROW(calc.relative_capacities(est), Error);
 }
 

@@ -1,0 +1,39 @@
+// Fixture for the `narrowing-unit` rule: converting between dimensional
+// types outside the seam (src/util/units.hpp) hides a scale factor — or
+// worse, asserts one that does not exist.  Both escape hatches must be
+// flagged: static_cast between unit types, and laundering one type's
+// .value() through another type's constructor.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include "util/units.hpp"
+
+namespace ssamr_fixture {
+
+using ssamr::MbitsPerSec;
+using ssamr::MegaBytes;
+using ssamr::Seconds;
+using ssamr::Work;
+
+Seconds pretend_time(Work w) {
+  return static_cast<Seconds>(w);  // expect: narrowing-unit
+}
+
+Seconds relabel_rate(MbitsPerSec r) {
+  return Seconds{r.value()};  // expect: narrowing-unit
+}
+
+MegaBytes relabel_ctor(Seconds t) {
+  return MegaBytes(t.value() * 2.0);  // expect: narrowing-unit
+}
+
+// Sanctioned: wrapping a raw scalar at a seam and unwrapping at a
+// serialization boundary are exactly what the escape hatches are for.
+Seconds from_sensor(double raw_seconds) {
+  return Seconds{raw_seconds};
+}
+
+double to_csv_cell(Seconds t) {
+  return t.value();
+}
+
+}  // namespace ssamr_fixture

@@ -1,0 +1,29 @@
+// Fixture for the `raw-double-cost-api` rule: this file is listed in the
+// [cost-api] headers of tools/layering.toml, so bare double/real_t/float
+// parameters and returns in its function signatures must be flagged —
+// cost quantities carry their dimension via util/units.hpp.  Collections
+// of dimensionless shares (std::vector<real_t>) stay exempt.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include <vector>
+
+#include "util/types.hpp"
+#include "util/units.hpp"
+
+namespace ssamr_fixture {
+
+struct CostSummary {
+  ssamr::Seconds total_time;
+
+  real_t total_seconds() const;                 // expect: raw-double-cost-api
+  double comm_ratio() const;                    // expect: raw-double-cost-api
+  void set_deadline(real_t deadline_s);         // expect: raw-double-cost-api
+  ssamr::Work scaled(const ssamr::Work w, float factor);  // expect: raw-double-cost-api
+
+  // Sanctioned signatures the rule must stay silent on:
+  ssamr::Seconds typed_total() const;
+  std::vector<real_t> relative_shares() const;
+  void set_iterations(int iterations);
+};
+
+}  // namespace ssamr_fixture

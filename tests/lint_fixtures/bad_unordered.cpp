@@ -5,7 +5,7 @@
 
 #include <unordered_map>
 
-#include "runtime/trace.hpp"
+#include "sim/trace.hpp"
 
 namespace ssamr_fixture {
 

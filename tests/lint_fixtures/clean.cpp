@@ -8,7 +8,7 @@
 #include <cstdint>
 #include <map>
 
-#include "runtime/trace.hpp"
+#include "sim/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/thread_safety.hpp"
 

@@ -21,7 +21,7 @@ TEST(Sensor, NoiselessMeasurementMatchesTruth) {
   r.target_level = 1.0;
   c.add_load(0, r);
   Sensor s(c, SensorNoise{0, 0, 0}, 1);
-  const Measurement m = s.measure(0, 5.0);
+  const Measurement m = s.measure(0, Seconds{5.0});
   EXPECT_DOUBLE_EQ(m.cpu_available, 0.5);
   EXPECT_DOUBLE_EQ(m.bandwidth_mbps, 100.0);
 }
@@ -31,13 +31,13 @@ TEST(Sensor, NoiseIsBoundedAndDeterministic) {
   Sensor a(c, SensorNoise{0.05, 0.05, 0.05}, 7);
   Sensor b(c, SensorNoise{0.05, 0.05, 0.05}, 7);
   for (int i = 0; i < 100; ++i) {
-    const Measurement ma = a.measure(0, i);
-    const Measurement mb = b.measure(0, i);
+    const Measurement ma = a.measure(0, Seconds{static_cast<real_t>(i)});
+    const Measurement mb = b.measure(0, Seconds{static_cast<real_t>(i)});
     EXPECT_EQ(ma.cpu_available, mb.cpu_available);
     EXPECT_GE(ma.cpu_available, 0.0);
     EXPECT_LE(ma.cpu_available, 1.0);
-    EXPECT_LE(ma.memory_free_mb, c.spec(0).memory_mb);
-    EXPECT_LE(ma.bandwidth_mbps, c.spec(0).bandwidth_mbps);
+    EXPECT_LE(ma.memory_free_mb, c.spec(0).memory_mb.value());
+    EXPECT_LE(ma.bandwidth_mbps, c.spec(0).bandwidth_mbps.value());
   }
 }
 
@@ -136,20 +136,21 @@ TEST(Monitor, ProbeAllReturnsPerNodeEstimates) {
   MonitorConfig cfg;
   cfg.noise = SensorNoise{0, 0, 0};
   ResourceMonitor m(c, cfg);
-  const SweepResult sweep = m.probe_all(0.0);
+  const SweepResult sweep = m.probe_all(Seconds{0.0});
   ASSERT_EQ(sweep.estimates.size(), 3u);
-  EXPECT_DOUBLE_EQ(sweep.overhead_s, 3 * cfg.probe_cost_s);
+  EXPECT_DOUBLE_EQ(sweep.overhead_s.value(), 3 * cfg.probe_cost_s.value());
   EXPECT_EQ(m.probe_count(), 3u);
-  for (const auto& e : sweep.estimates) EXPECT_DOUBLE_EQ(e.cpu_available, 1.0);
+  for (const auto& e : sweep.estimates)
+    EXPECT_DOUBLE_EQ(e.cpu_available.value(), 1.0);
 }
 
 TEST(Monitor, HistoriesAccumulate) {
   Cluster c = Cluster::homogeneous(1);
   MonitorConfig cfg;
   ResourceMonitor m(c, cfg);
-  m.probe(0, 0.0);
-  m.probe(0, 1.0);
-  m.probe(0, 2.0);
+  m.probe(0, Seconds{0.0});
+  m.probe(0, Seconds{1.0});
+  m.probe(0, Seconds{2.0});
   EXPECT_EQ(m.cpu_history(0).size(), 3u);
   EXPECT_THROW(m.cpu_history(5), Error);
 }
@@ -157,18 +158,18 @@ TEST(Monitor, HistoriesAccumulate) {
 TEST(Monitor, ForecastTracksLoadStep) {
   Cluster c = Cluster::homogeneous(1);
   LoadRamp r;
-  r.start_time = 10.0;
+  r.start_time = Seconds{10.0};
   r.rate = 1e9;
   r.target_level = 1.0;
   c.add_load(0, r);
   MonitorConfig cfg;
   cfg.noise = SensorNoise{0, 0, 0};
   ResourceMonitor m(c, cfg);
-  m.probe(0, 0.0);
-  m.probe(0, 5.0);
-  const auto after = m.probe(0, 20.0);
+  m.probe(0, Seconds{0.0});
+  m.probe(0, Seconds{5.0});
+  const auto after = m.probe(0, Seconds{20.0});
   // Adaptive forecaster must move decisively toward the new 0.5 level.
-  EXPECT_LT(after.cpu_available, 0.75);
+  EXPECT_LT(after.cpu_available.value(), 0.75);
 }
 
 TEST(Monitor, RawModeSkipsForecasting) {
@@ -185,17 +186,17 @@ TEST(Monitor, RawModeSkipsForecasting) {
     s.add(r);
     return s;
   }());
-  const auto e = m.probe(0, 0.0);
-  EXPECT_DOUBLE_EQ(e.cpu_available, 0.25);
+  const auto e = m.probe(0, Seconds{0.0});
+  EXPECT_DOUBLE_EQ(e.cpu_available.value(), 0.25);
 }
 
 TEST(Monitor, ConfigValidation) {
   Cluster c = Cluster::homogeneous(1);
   MonitorConfig cfg;
-  cfg.probe_cost_s = -1;
+  cfg.probe_cost_s = Seconds{-1};
   EXPECT_THROW(ResourceMonitor(c, cfg), Error);
   cfg = MonitorConfig{};
-  cfg.intrusion_cpu = 1.0;
+  cfg.intrusion_cpu = Fraction{1.0};
   EXPECT_THROW(ResourceMonitor(c, cfg), Error);
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "cluster/network.hpp"
+#include "util/units.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -14,66 +15,79 @@ namespace {
 
 NetworkModel fast_ethernet() {
   NetworkModel net;
-  net.latency_s = 1.0e-4;
-  net.efficiency = 0.85;
+  net.latency_s = Seconds{1.0e-4};
+  net.efficiency = Fraction{0.85};
   return net;
 }
 
 TEST(Network, ZeroBytesAreFree) {
   const NetworkModel net = fast_ethernet();
-  EXPECT_DOUBLE_EQ(net.transfer_time(0, 100.0, 100.0), 0.0);
-  EXPECT_DOUBLE_EQ(net.exchange_time(0, 100.0), 0.0);
+  EXPECT_DOUBLE_EQ(
+      net.transfer_time(Bytes{0}, MbitsPerSec{100.0}, MbitsPerSec{100.0})
+          .value(),
+      0.0);
+  EXPECT_DOUBLE_EQ(net.exchange_time(Bytes{0}, MbitsPerSec{100.0}).value(),
+                   0.0);
 }
 
 TEST(Network, NegativeBytesRejected) {
   const NetworkModel net = fast_ethernet();
-  EXPECT_THROW(net.transfer_time(-1, 100.0, 100.0), Error);
-  EXPECT_THROW(net.exchange_time(-1, 100.0), Error);
+  EXPECT_THROW(
+      net.transfer_time(Bytes{-1}, MbitsPerSec{100.0}, MbitsPerSec{100.0}),
+      Error);
+  EXPECT_THROW(net.exchange_time(Bytes{-1}, MbitsPerSec{100.0}), Error);
 }
 
 TEST(Network, SlowerEndpointLimitsTheTransfer) {
   const NetworkModel net = fast_ethernet();
-  const std::int64_t bytes = 1 << 20;
+  const Bytes bytes{1 << 20};
+  const MbitsPerSec slow{10.0}, fast{100.0};
   // 10 vs 100 Mbit/s: both orders give the 10 Mbit/s time.
-  const real_t slow_first = net.transfer_time(bytes, 10.0, 100.0);
-  const real_t fast_first = net.transfer_time(bytes, 100.0, 10.0);
-  EXPECT_DOUBLE_EQ(slow_first, fast_first);
-  EXPECT_DOUBLE_EQ(slow_first, net.transfer_time(bytes, 10.0, 10.0));
-  EXPECT_GT(slow_first, net.transfer_time(bytes, 100.0, 100.0));
+  const Seconds slow_first = net.transfer_time(bytes, slow, fast);
+  const Seconds fast_first = net.transfer_time(bytes, fast, slow);
+  EXPECT_DOUBLE_EQ(slow_first.value(), fast_first.value());
+  EXPECT_DOUBLE_EQ(slow_first.value(),
+                   net.transfer_time(bytes, slow, slow).value());
+  EXPECT_GT(slow_first, net.transfer_time(bytes, fast, fast));
 }
 
 TEST(Network, EfficiencyAppliedExactlyOnce) {
   NetworkModel net = fast_ethernet();
-  net.latency_s = 0;  // isolate the bandwidth term
-  net.efficiency = 0.5;
-  const std::int64_t bytes = 1000000;
+  net.latency_s = Seconds{0};  // isolate the bandwidth term
+  net.efficiency = Fraction{0.5};
+  const Bytes bytes{1000000};
+  const MbitsPerSec mbps{100.0};
   // 100 Mbit/s at 50 % efficiency moves 8e6 bits in 8e6/(50e6) s.
   const real_t expect = 8.0e6 / (0.5 * 100.0 * 1.0e6);
-  EXPECT_DOUBLE_EQ(net.transfer_time(bytes, 100.0, 100.0), expect);
-  EXPECT_DOUBLE_EQ(net.exchange_time(bytes, 100.0), expect);
+  EXPECT_DOUBLE_EQ(net.transfer_time(bytes, mbps, mbps).value(), expect);
+  EXPECT_DOUBLE_EQ(net.exchange_time(bytes, mbps).value(), expect);
 }
 
 TEST(Network, LatencyChargedExactlyOncePerMessage) {
   NetworkModel net = fast_ethernet();
-  net.efficiency = 1.0;
-  const std::int64_t bytes = 1250000;  // 10^7 bits = 0.1 s at 100 Mbit/s
-  const real_t t = net.transfer_time(bytes, 100.0, 100.0);
-  EXPECT_DOUBLE_EQ(t, net.latency_s + 0.1);
+  net.efficiency = Fraction{1.0};
+  const Bytes bytes{1250000};  // 10^7 bits = 0.1 s at 100 Mbit/s
+  const MbitsPerSec mbps{100.0};
+  const Seconds t = net.transfer_time(bytes, mbps, mbps);
+  EXPECT_DOUBLE_EQ(t.value(), (net.latency_s + Seconds{0.1}).value());
   // Doubling the payload doubles only the bandwidth term.
-  const real_t t2 = net.transfer_time(2 * bytes, 100.0, 100.0);
-  EXPECT_DOUBLE_EQ(t2 - t, 0.1);
+  const Seconds t2 = net.transfer_time(Bytes{2 * bytes.value()}, mbps, mbps);
+  EXPECT_DOUBLE_EQ((t2 - t).value(), 0.1);
 }
 
 TEST(Network, SaturatedLinkClampsToTheBandwidthFloor) {
   const NetworkModel net = fast_ethernet();
-  const std::int64_t bytes = 1 << 10;
+  const Bytes bytes{1 << 10};
   // A link with (effectively) no deliverable bandwidth still finishes:
   // the model clamps at kMinBandwidthMbps.
-  const real_t t = net.transfer_time(bytes, 0.0, 100.0);
-  const real_t bits = static_cast<real_t>(bytes) * 8.0;
+  const Seconds t =
+      net.transfer_time(bytes, MbitsPerSec{0.0}, MbitsPerSec{100.0});
+  const real_t bits = static_cast<real_t>(bytes.value()) * 8.0;
   EXPECT_DOUBLE_EQ(
-      t, net.latency_s + bits / (NetworkModel::kMinBandwidthMbps * 1.0e6));
-  EXPECT_TRUE(std::isfinite(t));
+      t.value(),
+      net.latency_s.value() +
+          bits / (NetworkModel::kMinBandwidthMbps.value() * 1.0e6));
+  EXPECT_TRUE(std::isfinite(t.value()));
 }
 
 }  // namespace

@@ -39,8 +39,8 @@ TEST(AdaptiveRuntime, RecordsExpectedEventCounts) {
   EXPECT_EQ(t.regrids.size(), 4u);  // iterations 0, 5, 10, 15
   // Initial sense + senses at iterations 5, 10, 15.
   EXPECT_EQ(t.senses.size(), 4u);
-  EXPECT_GT(t.total_time, 0.0);
-  EXPECT_GT(t.compute_time, 0.0);
+  EXPECT_GT(t.total_time, Seconds{0.0});
+  EXPECT_GT(t.compute_time, Seconds{0.0});
 }
 
 TEST(AdaptiveRuntime, SensingIntervalZeroSensesOnce) {
@@ -50,7 +50,7 @@ TEST(AdaptiveRuntime, SensingIntervalZeroSensesOnce) {
   AdaptiveRuntime rt(cluster, source, part, small_runtime(20, 0));
   const RunTrace t = rt.run();
   EXPECT_EQ(t.senses.size(), 1u);
-  EXPECT_DOUBLE_EQ(t.sense_time, 2 * 0.5);
+  EXPECT_DOUBLE_EQ(t.sense_time.value(), 2 * 0.5);
 }
 
 TEST(AdaptiveRuntime, TimeBreakdownSumsBelowTotal) {
@@ -59,9 +59,9 @@ TEST(AdaptiveRuntime, TimeBreakdownSumsBelowTotal) {
   GraceDefaultPartitioner part;
   AdaptiveRuntime rt(cluster, source, part, small_runtime(15, 5));
   const RunTrace t = rt.run();
-  const real_t parts = t.compute_time + t.comm_time + t.sense_time +
-                       t.regrid_time + t.migrate_time;
-  EXPECT_NEAR(parts, t.total_time, t.total_time * 0.01);
+  const Seconds parts = t.compute_time + t.comm_time + t.sense_time +
+                        t.regrid_time + t.migrate_time;
+  EXPECT_NEAR(parts.value(), t.total_time.value(), t.total_time.value() * 0.01);
 }
 
 TEST(AdaptiveRuntime, DeterministicAcrossRuns) {
@@ -78,7 +78,7 @@ TEST(AdaptiveRuntime, DeterministicAcrossRuns) {
     AdaptiveRuntime rt(cluster, source, part, cfg);
     return rt.run().total_time;
   };
-  EXPECT_DOUBLE_EQ(run_once(), run_once());
+  EXPECT_DOUBLE_EQ(run_once().value(), run_once().value());
 }
 
 TEST(AdaptiveRuntime, CapacitiesRespondToLoad) {
@@ -108,10 +108,10 @@ TEST(AdaptiveRuntime, ImbalanceRecordedPerRegrid) {
   for (const auto& rec : t.regrids) {
     EXPECT_EQ(rec.imbalance_pct.size(), 4u);
     EXPECT_EQ(rec.assigned_work.size(), 4u);
-    EXPECT_GT(rec.total_work, 0.0);
+    EXPECT_GT(rec.total_work, Work{0.0});
     EXPECT_GT(rec.num_boxes, 0u);
   }
-  EXPECT_GE(t.mean_max_imbalance_pct(), 0.0);
+  EXPECT_GE(t.mean_max_imbalance_pct(), Percent{0.0});
 }
 
 TEST(AdaptiveRuntime, SystemSensitiveBeatsDefaultUnderLoad) {
@@ -120,7 +120,7 @@ TEST(AdaptiveRuntime, SystemSensitiveBeatsDefaultUnderLoad) {
     LoadRamp r;
     r.rate = 0;
     r.target_level = 2.0;
-    r.memory_mb = 100;
+    r.memory_mb = MegaBytes{100};
     cluster.add_load(0, r);
     TraceWorkloadSource source(small_trace());
     AdaptiveRuntime rt(cluster, source, p, small_runtime(30, 0));

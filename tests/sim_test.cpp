@@ -10,7 +10,7 @@
 
 #include "cluster/cluster.hpp"
 #include "partition/metrics.hpp"
-#include "runtime/executor.hpp"
+#include "sim/executor.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/message_sim.hpp"
 #include "sim/timeline.hpp"
@@ -21,11 +21,11 @@ namespace {
 
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue<int> q;
-  q.push(3.0, 30);
-  q.push(1.0, 10);
-  q.push(2.0, 20);
+  q.push(Seconds{3.0}, 30);
+  q.push(Seconds{1.0}, 10);
+  q.push(Seconds{2.0}, 20);
   EXPECT_EQ(q.size(), 3u);
-  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  EXPECT_DOUBLE_EQ(q.next_time().value(), 1.0);
   EXPECT_EQ(q.pop().payload, 10);
   EXPECT_EQ(q.pop().payload, 20);
   EXPECT_EQ(q.pop().payload, 30);
@@ -34,7 +34,7 @@ TEST(EventQueue, PopsInTimeOrder) {
 
 TEST(EventQueue, TiesPopInPushOrder) {
   EventQueue<int> q;
-  for (int i = 0; i < 8; ++i) q.push(1.5, i);
+  for (int i = 0; i < 8; ++i) q.push(Seconds{1.5}, i);
   for (int i = 0; i < 8; ++i) EXPECT_EQ(q.pop().payload, i);
 }
 
@@ -46,118 +46,126 @@ TEST(EventQueue, EmptyQueueRejectsAccess) {
 
 TEST(Timeline, BucketsSpansByKind) {
   RankTimeline tl(0);
-  tl.advance(1.0, SpanKind::kCompute, 0);
-  tl.advance(1.5, SpanKind::kComm, 0);
-  tl.advance(2.0, SpanKind::kIdle, 0);
-  tl.advance(2.25, SpanKind::kRegrid, 1);
-  tl.advance(2.75, SpanKind::kMigrate);
-  EXPECT_DOUBLE_EQ(tl.usage().busy_s, 1.25);   // compute + regrid
-  EXPECT_DOUBLE_EQ(tl.usage().comm_s, 1.0);    // comm + migrate
-  EXPECT_DOUBLE_EQ(tl.usage().idle_s, 0.5);
-  EXPECT_DOUBLE_EQ(tl.now(), 2.75);
+  tl.advance(Seconds{1.0}, SpanKind::kCompute, 0);
+  tl.advance(Seconds{1.5}, SpanKind::kComm, 0);
+  tl.advance(Seconds{2.0}, SpanKind::kIdle, 0);
+  tl.advance(Seconds{2.25}, SpanKind::kRegrid, 1);
+  tl.advance(Seconds{2.75}, SpanKind::kMigrate);
+  EXPECT_DOUBLE_EQ(tl.usage().busy_s.value(), 1.25);  // compute + regrid
+  EXPECT_DOUBLE_EQ(tl.usage().comm_s.value(), 1.0);   // comm + migrate
+  EXPECT_DOUBLE_EQ(tl.usage().idle_s.value(), 0.5);
+  EXPECT_DOUBLE_EQ(tl.now().value(), 2.75);
   ASSERT_EQ(tl.spans().size(), 5u);
   EXPECT_EQ(tl.spans()[0].kind, SpanKind::kCompute);
   EXPECT_EQ(tl.spans()[0].iteration, 0);
   // Spans are contiguous: each begins where the previous ended.
   for (std::size_t i = 1; i < tl.spans().size(); ++i)
-    EXPECT_DOUBLE_EQ(tl.spans()[i].t0, tl.spans()[i - 1].t1);
+    EXPECT_DOUBLE_EQ(tl.spans()[i].t0.value(), tl.spans()[i - 1].t1.value());
 }
 
 TEST(Timeline, ZeroLengthAdvanceRecordsNothing) {
   RankTimeline tl(2);
-  tl.advance(1.0, SpanKind::kCompute);
-  tl.advance(1.0, SpanKind::kIdle);
+  tl.advance(Seconds{1.0}, SpanKind::kCompute);
+  tl.advance(Seconds{1.0}, SpanKind::kIdle);
   EXPECT_EQ(tl.spans().size(), 1u);
-  EXPECT_THROW(tl.advance(0.5, SpanKind::kIdle), Error);
-  EXPECT_THROW(tl.skip_to(0.5), Error);
+  EXPECT_THROW(tl.advance(Seconds{0.5}, SpanKind::kIdle), Error);
+  EXPECT_THROW(tl.skip_to(Seconds{0.5}), Error);
 }
 
 TEST(MessageSim, SingleMessageMatchesClosedForm) {
   NetworkModel net;
-  const std::vector<real_t> bw = {100.0, 100.0};
-  std::vector<Transfer> ts = {Transfer{0, 1, 1 << 20, 2.0, 0}};
+  const std::vector<MbitsPerSec> bw = {MbitsPerSec{100.0},
+                                       MbitsPerSec{100.0}};
+  std::vector<Transfer> ts = {
+      Transfer{0, 1, Bytes{1 << 20}, Seconds{2.0}, Seconds{0}}};
   simulate_transfers(ts, bw, net);
   // Alone on the wire, the fluid model reduces to transfer_time.
-  EXPECT_NEAR(ts[0].finish_time, 2.0 + net.transfer_time(1 << 20, 100, 100),
+  EXPECT_NEAR(ts[0].finish_time.value(),
+              2.0 + net.transfer_time(Bytes{1 << 20}, MbitsPerSec{100},
+                                      MbitsPerSec{100})
+                        .value(),
               1e-12);
 }
 
 TEST(MessageSim, ZeroByteTransferFinishesAtPostTime) {
   NetworkModel net;
-  const std::vector<real_t> bw = {100.0, 100.0};
-  std::vector<Transfer> ts = {Transfer{0, 1, 0, 3.5, 0}};
+  const std::vector<MbitsPerSec> bw = {MbitsPerSec{100.0},
+                                       MbitsPerSec{100.0}};
+  std::vector<Transfer> ts = {
+      Transfer{0, 1, Bytes{0}, Seconds{3.5}, Seconds{0}}};
   simulate_transfers(ts, bw, net);
-  EXPECT_DOUBLE_EQ(ts[0].finish_time, 3.5);
+  EXPECT_DOUBLE_EQ(ts[0].finish_time.value(), 3.5);
 }
 
 TEST(MessageSim, ConcurrentSendsShareTheSourceNic) {
   NetworkModel net;
-  net.latency_s = 0;
-  net.efficiency = 1.0;
-  const std::vector<real_t> bw = {100.0, 100.0, 100.0, 100.0};
-  const std::int64_t bytes = 1250000;  // 10^7 bits: 0.1 s alone
+  net.latency_s = Seconds{0};
+  net.efficiency = Fraction{1.0};
+  const std::vector<MbitsPerSec> bw(4, MbitsPerSec{100.0});
+  const Bytes bytes{1250000};  // 10^7 bits: 0.1 s alone
   // Rank 0 fans out to ranks 1 and 2 simultaneously: both halve rank 0's
   // bandwidth for their whole lifetime and finish together at 0.2 s.
-  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0},
-                              Transfer{0, 2, bytes, 0, 0}};
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, Seconds{0}, Seconds{0}},
+                              Transfer{0, 2, bytes, Seconds{0}, Seconds{0}}};
   simulate_transfers(ts, bw, net);
-  EXPECT_NEAR(ts[0].finish_time, 0.2, 1e-9);
-  EXPECT_NEAR(ts[1].finish_time, 0.2, 1e-9);
+  EXPECT_NEAR(ts[0].finish_time.value(), 0.2, 1e-9);
+  EXPECT_NEAR(ts[1].finish_time.value(), 0.2, 1e-9);
 
   // Disjoint endpoint pairs do not contend: 0→1 and 2→3 each run at
   // full speed.
-  std::vector<Transfer> free = {Transfer{0, 1, bytes, 0, 0},
-                                Transfer{2, 3, bytes, 0, 0}};
+  std::vector<Transfer> free = {Transfer{0, 1, bytes, Seconds{0}, Seconds{0}},
+                                Transfer{2, 3, bytes, Seconds{0}, Seconds{0}}};
   simulate_transfers(free, bw, net);
-  EXPECT_NEAR(free[0].finish_time, 0.1, 1e-9);
-  EXPECT_NEAR(free[1].finish_time, 0.1, 1e-9);
+  EXPECT_NEAR(free[0].finish_time.value(), 0.1, 1e-9);
+  EXPECT_NEAR(free[1].finish_time.value(), 0.1, 1e-9);
 }
 
 TEST(MessageSim, NicsAreFullDuplex) {
   NetworkModel net;
-  net.latency_s = 0;
-  net.efficiency = 1.0;
-  const std::vector<real_t> bw = {100.0, 100.0};
-  const std::int64_t bytes = 1250000;  // 0.1 s alone
+  net.latency_s = Seconds{0};
+  net.efficiency = Fraction{1.0};
+  const std::vector<MbitsPerSec> bw(2, MbitsPerSec{100.0});
+  const Bytes bytes{1250000};  // 0.1 s alone
   // A symmetric exchange: 0→1 and 1→0 at once.  Each node sends on its tx
   // lane and receives on its rx lane, so neither message slows the other —
   // both finish at the single-message time, not double it.
-  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0},
-                              Transfer{1, 0, bytes, 0, 0}};
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, Seconds{0}, Seconds{0}},
+                              Transfer{1, 0, bytes, Seconds{0}, Seconds{0}}};
   simulate_transfers(ts, bw, net);
-  EXPECT_NEAR(ts[0].finish_time, 0.1, 1e-9);
-  EXPECT_NEAR(ts[1].finish_time, 0.1, 1e-9);
+  EXPECT_NEAR(ts[0].finish_time.value(), 0.1, 1e-9);
+  EXPECT_NEAR(ts[1].finish_time.value(), 0.1, 1e-9);
 }
 
 TEST(MessageSim, StaggeredPostsReleaseBandwidth) {
   NetworkModel net;
-  net.latency_s = 0;
-  net.efficiency = 1.0;
-  const std::vector<real_t> bw = {100.0, 100.0, 100.0};
-  const std::int64_t bytes = 1250000;  // 0.1 s alone
+  net.latency_s = Seconds{0};
+  net.efficiency = Fraction{1.0};
+  const std::vector<MbitsPerSec> bw(3, MbitsPerSec{100.0});
+  const Bytes bytes{1250000};  // 0.1 s alone
   // Second transfer posts when the first is half done: they share for
   // 0.05 s + 0.05 s (first finishes at 0.15 having moved 0.05+0.05+0.05),
   // then the second runs alone.
-  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0},
-                              Transfer{0, 2, bytes, 0.05, 0}};
+  std::vector<Transfer> ts = {
+      Transfer{0, 1, bytes, Seconds{0}, Seconds{0}},
+      Transfer{0, 2, bytes, Seconds{0.05}, Seconds{0}}};
   simulate_transfers(ts, bw, net);
-  EXPECT_GT(ts[0].finish_time, 0.1);   // slowed by the newcomer
-  EXPECT_LT(ts[0].finish_time, 0.2);   // but not halved for its whole life
+  EXPECT_GT(ts[0].finish_time, Seconds{0.1});  // slowed by the newcomer
+  EXPECT_LT(ts[0].finish_time, Seconds{0.2});  // but not halved for life
   EXPECT_GT(ts[1].finish_time, ts[0].finish_time);
   // Total bits moved by rank 0 = 2 × 10^7 at ≤ 10^8 bit/s: at least 0.2 s
   // of wall-clock from the first post.
-  EXPECT_GE(ts[1].finish_time, 0.2 - 1e-9);
+  EXPECT_GE(ts[1].finish_time, Seconds{0.2 - 1e-9});
 }
 
 TEST(MessageSim, LatencyDelaysNetworkEntryOncePerMessage) {
   NetworkModel net;
-  net.latency_s = 0.01;
-  net.efficiency = 1.0;
-  const std::vector<real_t> bw = {100.0, 100.0};
-  const std::int64_t bytes = 1250000;
-  std::vector<Transfer> ts = {Transfer{0, 1, bytes, 0, 0}};
+  net.latency_s = Seconds{0.01};
+  net.efficiency = Fraction{1.0};
+  const std::vector<MbitsPerSec> bw(2, MbitsPerSec{100.0});
+  const Bytes bytes{1250000};
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, Seconds{0}, Seconds{0}}};
   simulate_transfers(ts, bw, net);
-  EXPECT_NEAR(ts[0].finish_time, 0.01 + 0.1, 1e-9);
+  EXPECT_NEAR(ts[0].finish_time.value(), 0.01 + 0.1, 1e-9);
 }
 
 /// The historical O(T²) fluid loop: every event step scans ALL transfers,
@@ -166,33 +174,34 @@ TEST(MessageSim, LatencyDelaysNetworkEntryOncePerMessage) {
 /// in-flight transfers in the same order and must produce bit-identical
 /// finish times.
 void reference_simulate(std::vector<Transfer>& transfers,
-                        const std::vector<real_t>& deliverable_mbps,
+                        const std::vector<MbitsPerSec>& deliverable_mbps,
                         const NetworkModel& net) {
   const auto n = deliverable_mbps.size();
   std::vector<real_t> cap(n, 0);
   for (std::size_t k = 0; k < n; ++k)
-    cap[k] = std::max(NetworkModel::kMinBandwidthMbps, deliverable_mbps[k]) *
-             1.0e6 / 8.0;
+    cap[k] =
+        std::max(NetworkModel::kMinBandwidthMbps, deliverable_mbps[k]).value() *
+        1.0e6 / 8.0;
 
   EventQueue<std::size_t> starts;
   std::vector<real_t> remaining(transfers.size(), 0);
   std::vector<char> active(transfers.size(), 0);
   for (std::size_t i = 0; i < transfers.size(); ++i) {
     Transfer& tr = transfers[i];
-    if (tr.bytes == 0 || tr.src == tr.dst) {
+    if (tr.bytes == Bytes{0} || tr.src == tr.dst) {
       tr.finish_time = tr.post_time;
       continue;
     }
-    remaining[i] = static_cast<real_t>(tr.bytes);
+    remaining[i] = static_cast<real_t>(tr.bytes.value());
     starts.push(tr.post_time + net.latency_s, i);
   }
 
   std::vector<int> tx_degree(n, 0);
   std::vector<int> rx_degree(n, 0);
   std::vector<real_t> rate(transfers.size(), 0);
-  real_t now = 0;
+  Seconds now{0};
   std::size_t n_active = 0;
-  constexpr real_t kInf = std::numeric_limits<real_t>::infinity();
+  constexpr Seconds kInf{std::numeric_limits<real_t>::infinity()};
 
   while (n_active > 0 || !starts.empty()) {
     if (n_active == 0) now = std::max(now, starts.next_time());
@@ -203,24 +212,24 @@ void reference_simulate(std::vector<Transfer>& transfers,
       ++tx_degree[static_cast<std::size_t>(transfers[i].src)];
       ++rx_degree[static_cast<std::size_t>(transfers[i].dst)];
     }
-    real_t dt_finish = kInf;
+    Seconds dt_finish = kInf;
     std::size_t first_done = transfers.size();
     for (std::size_t i = 0; i < transfers.size(); ++i) {
       if (active[i] == 0) continue;
       const auto s = static_cast<std::size_t>(transfers[i].src);
       const auto d = static_cast<std::size_t>(transfers[i].dst);
-      rate[i] = net.efficiency *
+      rate[i] = net.efficiency.value() *
                 std::min(cap[s] / tx_degree[s], cap[d] / rx_degree[d]);
-      const real_t dt = remaining[i] / rate[i];
+      const Seconds dt{remaining[i] / rate[i]};
       if (dt < dt_finish) {
         dt_finish = dt;
         first_done = i;
       }
     }
-    const real_t dt_start = starts.empty() ? kInf : starts.next_time() - now;
-    const real_t dt = std::min(dt_finish, dt_start);
+    const Seconds dt_start = starts.empty() ? kInf : starts.next_time() - now;
+    const Seconds dt = std::min(dt_finish, dt_start);
     for (std::size_t i = 0; i < transfers.size(); ++i)
-      if (active[i] != 0) remaining[i] -= rate[i] * dt;
+      if (active[i] != 0) remaining[i] -= rate[i] * dt.value();
     now += dt;
     if (dt_finish <= dt_start) {
       for (std::size_t i = 0; i < transfers.size(); ++i) {
@@ -240,7 +249,9 @@ void reference_simulate(std::vector<Transfer>& transfers,
 TEST(MessageSim, ActiveListMatchesFullScanReferenceBitExactly) {
   NetworkModel net;  // default latency and efficiency: realistic case
   const int nodes = 6;
-  const std::vector<real_t> bw = {100.0, 80.0, 120.0, 60.0, 100.0, 90.0};
+  const std::vector<MbitsPerSec> bw = {MbitsPerSec{100.0}, MbitsPerSec{80.0},
+                                       MbitsPerSec{120.0}, MbitsPerSec{60.0},
+                                       MbitsPerSec{100.0}, MbitsPerSec{90.0}};
   // A deterministic pseudo-random mix: fan-outs, fan-ins, self/zero-byte
   // messages, staggered posts — enough churn that the active set turns
   // over many times.
@@ -255,9 +266,9 @@ TEST(MessageSim, ActiveListMatchesFullScanReferenceBitExactly) {
     t.src = static_cast<rank_t>(next() % nodes);
     t.dst = static_cast<rank_t>(next() % nodes);
     t.bytes = (next() % 5 == 0)
-                  ? 0
-                  : static_cast<std::int64_t>(1 + next() % 2000000);
-    t.post_time = static_cast<real_t>(next() % 1000) * 0.01;
+                  ? Bytes{0}
+                  : Bytes{static_cast<std::int64_t>(1 + next() % 2000000)};
+    t.post_time = Seconds{static_cast<real_t>(next() % 1000) * 0.01};
     ts.push_back(t);
   }
   std::vector<Transfer> fast = ts;
@@ -303,7 +314,7 @@ TEST(MigrationFlows, MatchAggregatePerRank) {
     std::int64_t incident = 0;
     for (const RankFlow& f : flows)
       if (f.src == k || f.dst == k) incident += f.bytes;
-    EXPECT_EQ(incident, exec.migration_bytes(prev, next, k));
+    EXPECT_EQ(Bytes{incident}, exec.migration_bytes(prev, next, k));
   }
   // Initial scatter: everything leaves rank 0.
   const auto scatter = exec.migration_flows(PartitionResult{}, next);

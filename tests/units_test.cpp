@@ -1,0 +1,150 @@
+/// \file units_test.cpp
+/// Laws of the dimensional types in util/units.hpp: the wrappers must be
+/// representation-transparent (identical floating-point results, in the
+/// same order, as the raw code they replaced), support exactly the
+/// declared arithmetic, and reject everything else at compile time.
+
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <type_traits>
+
+using namespace ssamr;
+
+namespace {
+
+// ---- compile-time laws ----------------------------------------------------
+
+// Construction is explicit in both directions: no silent raw<->typed flow.
+static_assert(!std::is_convertible_v<real_t, Seconds>);
+static_assert(!std::is_convertible_v<Seconds, real_t>);
+static_assert(std::is_constructible_v<Seconds, real_t>);
+
+// Cross-dimension addition/comparison must not compile.
+static_assert(!std::is_invocable_v<std::plus<>, Seconds, Work>);
+static_assert(!std::is_invocable_v<std::minus<>, Bytes, MegaBytes>);
+static_assert(!std::is_invocable_v<std::less<>, Seconds, WorkRate>);
+static_assert(!std::is_invocable_v<std::equal_to<>, Fraction, Percent>);
+
+// Declared cross-dimension products/quotients resolve to the right types.
+static_assert(std::is_same_v<decltype(Work{1} / WorkRate{1}), Seconds>);
+static_assert(std::is_same_v<decltype(WorkRate{1} * Seconds{1}), Work>);
+static_assert(std::is_same_v<decltype(Seconds{1} * WorkRate{1}), Work>);
+static_assert(std::is_same_v<decltype(Work{1} / Seconds{1}), WorkRate>);
+static_assert(std::is_same_v<decltype(Bytes{1} / BytesPerSec{1}), Seconds>);
+static_assert(std::is_same_v<decltype(Bytes{1} / MbitsPerSec{1}), Seconds>);
+static_assert(std::is_same_v<decltype(Seconds{1} / Seconds{1}), real_t>);
+static_assert(std::is_same_v<decltype(Seconds{1} * Fraction{1}), Seconds>);
+static_assert(std::is_same_v<decltype(Fraction{1} * MegaBytes{1}),
+                             MegaBytes>);
+static_assert(std::is_same_v<decltype(Fraction{1} * Fraction{1}), Fraction>);
+
+// Undeclared cross-dimension products must not compile (e.g. nothing
+// multiplies two times, and integer-rep Bytes cannot take a Fraction —
+// the rounding has to be explicit at the call site).
+static_assert(!std::is_invocable_v<std::multiplies<>, Seconds, Seconds>);
+static_assert(!std::is_invocable_v<std::multiplies<>, Bytes, Fraction>);
+static_assert(!std::is_invocable_v<std::divides<>, Seconds, Work>);
+
+// The whole algebra is constexpr, so costs fold at compile time.
+static_assert((Seconds{2.0} + Seconds{3.0}).value() == 5.0);
+static_assert((WorkRate{4.0} * Seconds{2.0}).value() == 8.0);
+static_assert(Work{6.0} / WorkRate{3.0} == Seconds{2.0});
+static_assert(to_bytes_per_sec(MbitsPerSec{8.0}).value() == 1.0e6);
+static_assert(Seconds{1.0} < Seconds{2.0});
+static_assert(Bytes{1} + Bytes{2} == Bytes{3});
+
+// Size/triviality: a Quantity is exactly its representation.
+static_assert(sizeof(Seconds) == sizeof(real_t));
+static_assert(sizeof(Bytes) == sizeof(std::int64_t));
+static_assert(std::is_trivially_copyable_v<Seconds>);
+static_assert(std::is_trivially_copyable_v<Bytes>);
+
+// ---- representation transparency ------------------------------------------
+
+TEST(Units, ArithmeticMatchesRawFloatingPointExactly) {
+  const real_t a = 0.1, b = 0.2, s = 3.7;
+  EXPECT_EQ((Seconds{a} + Seconds{b}).value(), a + b);
+  EXPECT_EQ((Seconds{a} - Seconds{b}).value(), a - b);
+  EXPECT_EQ((Seconds{a} * s).value(), a * s);
+  EXPECT_EQ((s * Seconds{a}).value(), s * a);  // operand order preserved
+  EXPECT_EQ((Seconds{a} / s).value(), a / s);
+  EXPECT_EQ(Seconds{a} / Seconds{b}, a / b);
+  EXPECT_EQ((-Seconds{a}).value(), -a);
+}
+
+TEST(Units, CompoundAssignmentMatchesRaw) {
+  Seconds t{1.5};
+  real_t raw = 1.5;
+  t += Seconds{0.25};
+  raw += 0.25;
+  EXPECT_EQ(t.value(), raw);
+  t -= Seconds{0.1};
+  raw -= 0.1;
+  EXPECT_EQ(t.value(), raw);
+  t *= 3.0;
+  raw *= 3.0;
+  EXPECT_EQ(t.value(), raw);
+  t /= 7.0;
+  raw /= 7.0;
+  EXPECT_EQ(t.value(), raw);
+}
+
+TEST(Units, FractionScalingKeepsDimensionAndOrder) {
+  const Fraction f{0.3};
+  const Seconds t{11.0};
+  EXPECT_EQ((t * f).value(), t.value() * f.value());
+  EXPECT_EQ((f * t).value(), f.value() * t.value());
+  EXPECT_EQ((t / f).value(), t.value() / f.value());
+  EXPECT_EQ((Fraction{0.5} * Fraction{0.25}).value(), 0.125);
+}
+
+TEST(Units, CrossDimensionOpsMatchTheCostModelFormulas) {
+  const Work load{12345.0};
+  const WorkRate rate{512.0};
+  EXPECT_EQ((load / rate).value(), load.value() / rate.value());
+  EXPECT_EQ((rate * (load / rate)).value(),
+            rate.value() * (load.value() / rate.value()));
+  EXPECT_EQ((load / Seconds{3.0}).value(), load.value() / 3.0);
+
+  // Bytes over Mbit/s must reproduce the historical expression
+  //   bytes * 8.0 / (mbps * 1.0e6)
+  // term for term, so transfer times stay bit-identical.
+  const Bytes bytes{1 << 20};
+  const MbitsPerSec link{100.0};
+  EXPECT_EQ((bytes / link).value(),
+            static_cast<real_t>(bytes.value()) * 8.0 /
+                (link.value() * 1.0e6));
+  EXPECT_EQ((bytes / to_bytes_per_sec(link)).value(),
+            static_cast<real_t>(bytes.value()) /
+                (link.value() * 1.0e6 / 8.0));
+  EXPECT_EQ(drained_bytes(BytesPerSec{125.0}, Seconds{2.0}), 250.0);
+}
+
+TEST(Units, IntegerBytesAreExact) {
+  const Bytes big{(std::int64_t{1} << 53) + 1};  // not representable in double
+  EXPECT_EQ((big + Bytes{1}).value(), (std::int64_t{1} << 53) + 2);
+  EXPECT_EQ(Bytes{}.value(), 0);
+  EXPECT_EQ((Bytes{10} / std::int64_t{4}).value(), 2);  // integer division
+}
+
+TEST(Units, ComparisonsAreTotalWithinADimension) {
+  EXPECT_LT(Seconds{1.0}, Seconds{2.0});
+  EXPECT_GE(Seconds{2.0}, Seconds{2.0});
+  EXPECT_EQ(Work{5.0}, Work{5.0});
+  EXPECT_NE(Work{5.0}, Work{6.0});
+  const Seconds nan{std::numeric_limits<real_t>::quiet_NaN()};
+  EXPECT_FALSE(nan == nan);  // IEEE semantics pass through untouched
+}
+
+TEST(Units, DefaultConstructionIsZero) {
+  EXPECT_EQ(Seconds{}.value(), 0.0);
+  EXPECT_EQ(Percent{}.value(), 0.0);
+  EXPECT_EQ(Count{}.value(), 0);
+}
+
+}  // namespace

@@ -75,9 +75,31 @@ fi
 # verdicts.
 if command -v python3 >/dev/null 2>&1; then
   python3 tools/ssamr_lint.py --check-fixtures tests/lint_fixtures || fail=1
-  python3 tools/ssamr_lint.py -p build || fail=1
+  python3 tools/ssamr_lint.py -p build \
+    --timing-out build/lint_rule_timing.json || fail=1
 else
   echo "note: python3 not found — skipping ssamr_lint.py"
+fi
+
+# ---- 4. architecture layering ----------------------------------------------
+# The src/ include graph must stay a DAG that matches tools/layering.toml:
+# every directory in a declared layer, every edge declared and pointing
+# strictly downward, includes in canonical src-relative form.  Emits the
+# graph (DOT; SVG when graphviz is installed) as a build artifact.  When
+# python3 is missing, fall back to the one textual invariant grep can
+# express — no quoted include may escape src/ with "..".
+if command -v python3 >/dev/null 2>&1; then
+  mkdir -p build
+  python3 tools/ssamr_lint.py --layering \
+    --emit-graph build/include_graph.dot \
+    --timing-out build/lint_layering_timing.json || fail=1
+else
+  echo "note: python3 not found — textual layering fallback (\"..\" includes only)"
+  if grep -rnE '#[[:space:]]*include[[:space:]]*"\.\.' src \
+        --include='*.cpp' --include='*.hpp'; then
+    echo "error: parent-relative include escapes the src/ layering" >&2
+    fail=1
+  fi
 fi
 
 exit "${fail}"

@@ -40,6 +40,32 @@ the line above):
                   the library must share ThreadPool::global() (tests use
                   ThreadPoolOverride), or nested parallelism deadlocks
                   and thread counts stop honoring SSAMR_THREADS.
+  raw-double-cost-api
+                  Bare double/real_t/float parameter or return in a
+                  function signature of a migrated cost-model header
+                  (the [cost-api] list in tools/layering.toml).  Cost
+                  quantities carry their dimension via util/units.hpp;
+                  only the declared serialization-boundary files are
+                  exempt.  Dimensionless collections
+                  (std::vector<real_t>) do not match.
+  narrowing-unit  static_cast to a unit type, or re-wrapping a
+                  quantity's .value() in a unit constructor, outside the
+                  seam src/util/units.hpp.  Scale changes between units
+                  go through the named conversions in the seam so the
+                  factors exist exactly once.
+
+Architecture conformance (tools/layering.toml):
+
+  tools/ssamr_lint.py --layering
+      Build the directory-level include graph of src/ and fail on
+      (a) include cycles, (b) edges not declared in [edges],
+      (c) declared or actual edges that point upward in the [layers]
+      order, (d) include hygiene (non-src-relative quoted includes,
+      includes of .cpp files or nonexistent files).
+      --emit-graph PATH writes the graph as Graphviz DOT (and renders
+      an SVG next to it when `dot` is installed); --drop-edge A:B
+      removes a declared edge first, which is how the negative ctest
+      proves the gate can fail.
 
 Usage:
   tools/ssamr_lint.py [-p BUILDDIR] [--backend auto|libclang|textual] [FILES...]
@@ -49,6 +75,12 @@ Usage:
       Self-test: each fixture in DIR declares its expected findings with
       `// expect: <rule>` comments; assert the rule set fires exactly
       there and nowhere else.  Exits non-zero on any mismatch.
+  tools/ssamr_lint.py --layering [--emit-graph DOT] [--drop-edge A:B]
+      Architecture conformance against tools/layering.toml.
+
+Every mode accepts --timing-out PATH to write a JSON artifact with the
+wall time spent per rule (CI keeps these so lint cost regressions show
+up in review).
 """
 
 from __future__ import annotations
@@ -57,11 +89,15 @@ import argparse
 import json
 import os
 import re
+import shutil
+import subprocess
 import sys
+import time
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
+DEFAULT_CONFIG = REPO / "tools" / "layering.toml"
 
 THREAD_SAFETY_SEAM = "util/thread_safety.hpp"
 WALLCLOCK_SEAM = "util/wallclock.hpp"
@@ -74,6 +110,10 @@ RULES = {
         "unordered-container iteration feeding deterministic output",
     "float-cast": "float->int static_cast without adjacent clamp/guard",
     "pool-ctor": "ThreadPool construction outside util/ and tests/",
+    "raw-double-cost-api":
+        "bare double/real_t in a cost-model signature (use units.hpp types)",
+    "narrowing-unit":
+        "unit cast/re-wrap outside the util/units.hpp seam",
 }
 
 SUPPRESS_RE = re.compile(r"ssamr-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -112,6 +152,63 @@ POOL_CTOR_RE = re.compile(
     r"\bThreadPool\b\s*(?:\w+\s*)?[({]"
     r"|\bmake_(?:unique|shared)\s*<\s*ThreadPool\s*>")
 GUARD_WINDOW = 5  # lines above a cast searched for a clamp/guard
+
+# raw-double-cost-api: a floating return type at declaration position ...
+RAW_RETURN_RE = re.compile(
+    r"(?m)^\s*(?:\[\[nodiscard\]\]\s*)?"
+    r"(?:(?:static|virtual|constexpr|inline|explicit|friend)\s+)*"
+    r"(?:const\s+)?(real_t|double|float)\b[&\s]+"
+    r"(~?\w+)\s*\(")
+# ... and a parameter list of a declaration/definition (terminated by
+# ';', '{' or '=', which excludes plain calls mid-expression).
+FUNC_DECL_RE = re.compile(
+    r"\b(\w+)\s*\(((?:[^()]|\([^()]*\))*)\)\s*"
+    r"(?:const\b\s*)?(?:noexcept\b\s*)?(?:->[^;{]+)?[;{=]")
+RAW_PARAM_RE = re.compile(r"^\s*(?:const\s+)?(real_t|double|float)\b")
+NOT_A_FUNCTION = {"if", "for", "while", "switch", "catch", "return",
+                  "sizeof", "do", "else", "new", "delete", "alignof",
+                  "decltype", "static_assert"}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.M)
+
+
+def load_config(path):
+    """Parse tools/layering.toml.  Returns None (with a notice) when the
+    file or tomllib is unavailable, which disables the config-driven
+    rules rather than failing unrelated lint runs."""
+    try:
+        import tomllib
+    except ImportError:
+        print("note: tomllib unavailable — layering/units rules skipped",
+              file=sys.stderr)
+        return None
+    path = Path(path)
+    if not path.is_file():
+        print(f"note: {path} not found — layering/units rules skipped",
+              file=sys.stderr)
+        return None
+    with open(path, "rb") as fh:
+        return tomllib.load(fh)
+
+
+TIMINGS = {}
+
+
+def timed(rule, fn, *args):
+    t0 = time.perf_counter()
+    try:
+        return fn(*args)
+    finally:
+        TIMINGS[rule] = TIMINGS.get(rule, 0.0) + (time.perf_counter() - t0)
+
+
+def write_timings(path, backend, nfiles):
+    artifact = {
+        "backend": backend,
+        "files": nfiles,
+        "timings_s": {k: round(v, 6) for k, v in sorted(TIMINGS.items())},
+    }
+    Path(path).write_text(json.dumps(artifact, indent=2) + "\n")
 
 
 class Finding:
@@ -322,42 +419,161 @@ def operand_is_floating_textual(ctx: FileContext, operand: str, line: int,
 # Rules shared by both backends (pure text, comment/string stripped)
 
 
-def check_token_rules(ctx: FileContext, findings):
-    if not ctx.in_src():
+def check_mutex_seam(ctx: FileContext, findings):
+    if ctx.is_seam(THREAD_SAFETY_SEAM):
         return
     for idx, line in enumerate(ctx.lines, start=1):
-        if not ctx.is_seam(THREAD_SAFETY_SEAM):
-            for tok in re.findall(r"std\s*::\s*([a-z_]+)", line):
-                if tok in MUTEX_TOKENS:
-                    findings.append(Finding(
-                        ctx.rel, idx, "mutex-seam",
-                        f"std::{tok} outside util/thread_safety.hpp — use "
-                        "the annotated Mutex/MutexLock/CondVar"))
-                    break
-            if re.search(r"no_thread_safety_analysis"
-                         r"|SSAMR_NO_THREAD_SAFETY_ANALYSIS", line):
+        for tok in re.findall(r"std\s*::\s*([a-z_]+)", line):
+            if tok in MUTEX_TOKENS:
                 findings.append(Finding(
                     ctx.rel, idx, "mutex-seam",
-                    "thread-safety-analysis escape outside "
-                    "util/thread_safety.hpp"))
+                    f"std::{tok} outside util/thread_safety.hpp — use "
+                    "the annotated Mutex/MutexLock/CondVar"))
+                break
+        if re.search(r"no_thread_safety_analysis"
+                     r"|SSAMR_NO_THREAD_SAFETY_ANALYSIS", line):
+            findings.append(Finding(
+                ctx.rel, idx, "mutex-seam",
+                "thread-safety-analysis escape outside "
+                "util/thread_safety.hpp"))
+
+
+def check_rand(ctx: FileContext, findings):
+    for idx, line in enumerate(ctx.lines, start=1):
         if re.search(r"\b(?:std\s*::\s*)?s?rand\s*\(", line) or \
                 re.search(r"\brandom_device\b", line):
             findings.append(Finding(
                 ctx.rel, idx, "rand",
                 "nondeterministic randomness — seed util/rng.hpp instead"))
-        if not ctx.is_seam(WALLCLOCK_SEAM):
-            for tok in CLOCK_TOKENS:
-                if re.search(rf"\b{tok}\b", line):
-                    findings.append(Finding(
-                        ctx.rel, idx, "clock",
-                        f"{tok} outside util/wallclock.hpp — the library "
-                        "runs on virtual time"))
-                    break
-        if not ctx.pool_ctor_allowed() and POOL_CTOR_RE.search(line):
+
+
+def check_clock(ctx: FileContext, findings):
+    if ctx.is_seam(WALLCLOCK_SEAM):
+        return
+    for idx, line in enumerate(ctx.lines, start=1):
+        for tok in CLOCK_TOKENS:
+            if re.search(rf"\b{tok}\b", line):
+                findings.append(Finding(
+                    ctx.rel, idx, "clock",
+                    f"{tok} outside util/wallclock.hpp — the library "
+                    "runs on virtual time"))
+                break
+
+
+def check_pool_ctor(ctx: FileContext, findings):
+    if ctx.pool_ctor_allowed():
+        return
+    for idx, line in enumerate(ctx.lines, start=1):
+        if POOL_CTOR_RE.search(line):
             findings.append(Finding(
                 ctx.rel, idx, "pool-ctor",
                 "ThreadPool constructed outside util//tests — use "
                 "ThreadPool::global() (tests: ThreadPoolOverride)"))
+
+
+def check_token_rules(ctx: FileContext, findings):
+    if not ctx.in_src():
+        return
+    timed("mutex-seam", check_mutex_seam, ctx, findings)
+    timed("rand", check_rand, ctx, findings)
+    timed("clock", check_clock, ctx, findings)
+    timed("pool-ctor", check_pool_ctor, ctx, findings)
+
+
+# --------------------------------------------------------------------------
+# Units rules (config-driven, shared by both backends): the cost-model
+# dimensional-safety contract from tools/layering.toml.
+
+
+def balanced_region(text: str, open_idx: int) -> str:
+    """Content of the bracket pair opening at text[open_idx] ('(' or '{')."""
+    open_c = text[open_idx]
+    close_c = ")" if open_c == "(" else "}"
+    depth = 0
+    for j in range(open_idx, len(text)):
+        if text[j] == open_c:
+            depth += 1
+        elif text[j] == close_c:
+            depth -= 1
+            if depth == 0:
+                return text[open_idx + 1:j]
+    return text[open_idx + 1:]
+
+
+def split_params(s: str):
+    """Split a parameter list at depth-0 commas (angle brackets counted so
+    template arguments stay whole)."""
+    parts, depth, cur = [], 0, []
+    for c in s:
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur))
+            cur = []
+        else:
+            cur.append(c)
+    if cur:
+        parts.append("".join(cur))
+    return parts
+
+
+def check_raw_double_api(ctx: FileContext, cfg, findings):
+    ca = (cfg or {}).get("cost-api", {})
+    if ctx.rel not in set(ca.get("headers", ())) or \
+            ctx.rel in set(ca.get("boundary", ())):
+        return
+    for m in RAW_RETURN_RE.finditer(ctx.stripped):
+        line = ctx.stripped.count("\n", 0, m.start(1)) + 1
+        findings.append(Finding(
+            ctx.rel, line, "raw-double-cost-api",
+            f"bare {m.group(1)} return in cost-model signature "
+            f"'{m.group(2)}' — return a units.hpp type"))
+    for m in FUNC_DECL_RE.finditer(ctx.stripped):
+        name, params = m.group(1), m.group(2)
+        if name in NOT_A_FUNCTION or not params.strip():
+            continue
+        for p in split_params(params):
+            pm = RAW_PARAM_RE.match(p)
+            if pm:
+                line = ctx.stripped.count("\n", 0, m.start()) + 1
+                findings.append(Finding(
+                    ctx.rel, line, "raw-double-cost-api",
+                    f"bare {pm.group(1)} parameter in cost-model signature "
+                    f"'{name}' — take a units.hpp type"))
+                break
+
+
+def check_narrowing_unit(ctx: FileContext, cfg, findings):
+    units = (cfg or {}).get("units", {})
+    types = units.get("types", ())
+    if not types or not ctx.in_src() or ctx.rel == units.get("seam"):
+        return
+    alt = "|".join(re.escape(t) for t in types)
+    for m in re.finditer(
+            rf"static_cast\s*<\s*(?:ssamr\s*::\s*)?({alt})\s*>",
+            ctx.stripped):
+        line = ctx.stripped.count("\n", 0, m.start()) + 1
+        findings.append(Finding(
+            ctx.rel, line, "narrowing-unit",
+            f"static_cast to unit type {m.group(1)} outside units.hpp — "
+            "use the named conversions in the seam"))
+    for m in re.finditer(rf"\b({alt})\s*([({{])", ctx.stripped):
+        inner = balanced_region(ctx.stripped, m.end() - 1)
+        if not re.search(r"\.\s*value\s*\(", inner):
+            continue
+        line = ctx.stripped.count("\n", 0, m.start()) + 1
+        findings.append(Finding(
+            ctx.rel, line, "narrowing-unit",
+            f"re-wrapping a quantity's .value() in {m.group(1)} outside "
+            "units.hpp — convert through the seam or hoist the raw value "
+            "to a named seam variable"))
+
+
+def check_units_rules(ctx: FileContext, cfg, findings):
+    timed("raw-double-cost-api", check_raw_double_api, ctx, cfg, findings)
+    timed("narrowing-unit", check_narrowing_unit, ctx, cfg, findings)
 
 
 # --------------------------------------------------------------------------
@@ -408,10 +624,11 @@ def check_unordered_iter_textual(ctx: FileContext, findings):
                 break
 
 
-def lint_file_textual(ctx: FileContext, findings):
+def lint_file_textual(ctx: FileContext, cfg, findings):
     check_token_rules(ctx, findings)
-    check_float_cast_textual(ctx, findings)
-    check_unordered_iter_textual(ctx, findings)
+    timed("float-cast", check_float_cast_textual, ctx, findings)
+    timed("unordered-iter", check_unordered_iter_textual, ctx, findings)
+    check_units_rules(ctx, cfg, findings)
 
 
 # --------------------------------------------------------------------------
@@ -512,12 +729,13 @@ def check_ast_rules(cindex, ctx_by_path, cursor, fn_cursor, findings):
         check_ast_rules(cindex, ctx_by_path, child, fn_cursor, findings)
 
 
-def lint_libclang(cindex, tus, ctx_by_path, findings):
+def lint_libclang(cindex, tus, ctx_by_path, cfg, findings):
     """tus: list of (main_file_path, compile_args)."""
     init_type_kinds(cindex)
     index = cindex.Index.create()
     for ctx in ctx_by_path.values():
         check_token_rules(ctx, findings)
+        check_units_rules(ctx, cfg, findings)
     seen_tu_errors = []
     for path, args in tus:
         try:
@@ -564,9 +782,10 @@ def default_args():
     return ["-xc++", f"-std=c++20", "-I", str(SRC)]
 
 
-def collect_findings(files, backend, build_dir, pretend=None):
+def collect_findings(files, backend, build_dir, pretend=None, cfg=None):
     """files: list of Paths.  pretend: map Path -> pretend repo-relative
-    path (fixture mode).  Returns (findings, backend_used)."""
+    path (fixture mode).  cfg: parsed tools/layering.toml (or None).
+    Returns (findings, backend_used)."""
     ctx_by_path = {}
     for f in files:
         rp = pretend.get(f) if pretend else None
@@ -592,11 +811,11 @@ def collect_findings(files, backend, build_dir, pretend=None):
         # (already applied); AST rules need a TU, so parse headers directly.
         for h in headers_only:
             tus.append((h.resolve(), default_args()))
-        lint_libclang(cindex, tus, ctx_by_path, findings)
+        lint_libclang(cindex, tus, ctx_by_path, cfg, findings)
         used = "libclang"
     else:
         for ctx in ctx_by_path.values():
-            lint_file_textual(ctx, findings)
+            lint_file_textual(ctx, cfg, findings)
         used = "textual"
 
     kept, seen = [], set()
@@ -621,13 +840,180 @@ def default_file_set(build_dir):
 def run_lint(args):
     files = [Path(f) for f in args.files] if args.files \
         else default_file_set(args.build)
-    findings, used = collect_findings(files, args.backend, args.build)
+    cfg = load_config(args.config)
+    findings, used = collect_findings(files, args.backend, args.build,
+                                      cfg=cfg)
     for fd in findings:
         print(fd)
     n = len(findings)
     print(f"ssamr_lint ({used} backend): {len(files)} files, "
           f"{n} finding{'s' if n != 1 else ''}", file=sys.stderr)
+    if args.timing_out:
+        write_timings(args.timing_out, used, len(files))
     return 1 if findings else 0
+
+
+# --------------------------------------------------------------------------
+# Architecture conformance: the include-graph layering gate
+
+
+def scan_include_graph():
+    """Scan src/ quoted includes.  Returns (dirs, edges, hygiene) where
+    edges maps (from_dir, to_dir) -> [provenance strings] for cross-dir
+    edges, and hygiene lists malformed includes."""
+    dirs, edges, hygiene = set(), {}, []
+    for f in sorted(SRC.rglob("*.cpp")) + sorted(SRC.rglob("*.hpp")):
+        rel = f.relative_to(SRC)
+        if len(rel.parts) < 2:
+            continue  # no top-level src files today; nothing to attribute
+        d = rel.parts[0]
+        dirs.add(d)
+        text = f.read_text(encoding="utf-8", errors="replace")
+        for m in INCLUDE_RE.finditer(text):
+            inc = m.group(1)
+            site = f"src/{rel}:{text.count(chr(10), 0, m.start()) + 1}"
+            if inc.startswith(("..", "/", "./")) or "\\" in inc:
+                hygiene.append(f"{site}: non-canonical include \"{inc}\" — "
+                               "quoted includes are src-relative")
+                continue
+            if "/" not in inc:
+                hygiene.append(f"{site}: include \"{inc}\" must carry its "
+                               f"directory (\"{d}/{inc}\")")
+                continue
+            if inc.endswith(".cpp"):
+                hygiene.append(f"{site}: include of a translation unit "
+                               f"\"{inc}\"")
+                continue
+            if not (SRC / inc).is_file():
+                hygiene.append(f"{site}: include of nonexistent "
+                               f"\"{inc}\"")
+                continue
+            tgt = inc.split("/")[0]
+            if tgt != d:
+                edges.setdefault((d, tgt), []).append(site)
+    return dirs, edges, hygiene
+
+
+def find_cycle(adj):
+    """One cycle in adj (dir -> set of dirs), as a node list, or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in adj}
+    stack = []
+
+    def dfs(n):
+        color[n] = GREY
+        stack.append(n)
+        for s in sorted(adj.get(n, ())):
+            if color.get(s, WHITE) == GREY:
+                return stack[stack.index(s):] + [s]
+            if color.get(s, WHITE) == WHITE:
+                cyc = dfs(s)
+                if cyc:
+                    return cyc
+        stack.pop()
+        color[n] = BLACK
+        return None
+
+    for n in sorted(adj):
+        if color[n] == WHITE:
+            cyc = dfs(n)
+            if cyc:
+                return cyc
+    return None
+
+
+def emit_dot(path, order, edges):
+    lines = ["// Directory-level include graph of src/ — generated by",
+             "// tools/ssamr_lint.py --emit-graph; layers from "
+             "tools/layering.toml.",
+             "digraph ssamr_includes {",
+             "  rankdir=BT;",
+             "  node [shape=box, fontname=\"Helvetica\"];"]
+    for group in order:
+        names = "; ".join(f'"{d}"' for d in group)
+        lines.append(f"  {{ rank=same; {names}; }}")
+    for (a, b), sites in sorted(edges.items()):
+        lines.append(f'  "{a}" -> "{b}" [tooltip="{len(sites)} include(s)"];')
+    lines.append("}")
+    out = Path(path)
+    out.write_text("\n".join(lines) + "\n")
+    dot = shutil.which("dot")
+    if dot:
+        svg = out.with_suffix(".svg")
+        subprocess.run([dot, "-Tsvg", str(out), "-o", str(svg)], check=False)
+        print(f"include graph: {out} (rendered {svg})")
+    else:
+        print(f"include graph: {out} (graphviz `dot` not installed — "
+              "textual DOT only)")
+
+
+def run_layering(args):
+    cfg = load_config(args.config)
+    if cfg is None:
+        print("error: --layering needs a readable config", file=sys.stderr)
+        return 2
+    order = cfg.get("layers", {}).get("order", [])
+    layer_of = {d: i for i, group in enumerate(order) for d in group}
+    declared = {(a, b)
+                for a, targets in cfg.get("edges", {}).items()
+                for b in targets}
+    for spec in args.drop_edge or ():
+        a, sep, b = spec.partition(":")
+        if not sep or (a, b) not in declared:
+            print(f"error: --drop-edge {spec}: no declared edge "
+                  f"'{a} -> {b}' in {args.config}", file=sys.stderr)
+            return 2
+        declared.discard((a, b))
+
+    problems = []
+    for a, b in sorted(declared):
+        if a not in layer_of:
+            problems.append(f"[edges] source '{a}' is not in [layers].order")
+        elif b not in layer_of:
+            problems.append(f"[edges] target '{b}' is not in [layers].order")
+        elif layer_of[b] >= layer_of[a]:
+            problems.append(
+                f"declared back-edge {a} -> {b}: '{b}' is not in a "
+                f"strictly lower layer than '{a}'")
+
+    dirs, edges, hygiene = timed("layering", scan_include_graph)
+    problems.extend(hygiene)
+    for d in sorted(dirs):
+        if d not in layer_of:
+            problems.append(f"src/{d}/ is not assigned to a layer in "
+                            f"{args.config}")
+    for (a, b), sites in sorted(edges.items()):
+        if (a, b) not in declared:
+            problems.append(
+                f"undeclared include edge {a} -> {b} (first site "
+                f"{sites[0]}) — declare it in [edges] of {args.config} "
+                "or remove the include")
+        elif layer_of.get(b, -1) >= layer_of.get(a, len(order)):
+            problems.append(f"back-edge include {a} -> {b} at {sites[0]}")
+
+    adj = {}
+    for (a, b) in edges:
+        adj.setdefault(a, set()).add(b)
+        adj.setdefault(b, set())
+    cyc = find_cycle(adj)
+    if cyc:
+        problems.append("include cycle: " + " -> ".join(cyc))
+
+    unused = sorted(declared - set(edges))
+    for a, b in unused:
+        print(f"note: declared edge {a} -> {b} currently unused")
+
+    if args.emit_graph:
+        emit_dot(args.emit_graph, order, edges)
+    for p in problems:
+        print(f"layering: {p}")
+    n = len(problems)
+    print(f"ssamr_lint layering: {len(dirs)} directories, "
+          f"{len(edges)} include edges, {n} problem{'s' if n != 1 else ''}",
+          file=sys.stderr)
+    if args.timing_out:
+        write_timings(args.timing_out, "layering", len(dirs))
+    return 1 if problems else 0
 
 
 def run_check_fixtures(args):
@@ -653,7 +1039,8 @@ def run_check_fixtures(args):
                     expected.add((pretend[f], idx, rule))
 
     findings, used = collect_findings(fixtures, args.backend, args.build,
-                                      pretend=pretend)
+                                      pretend=pretend,
+                                      cfg=load_config(args.config))
     actual = {fd.key() for fd in findings}
     missing = expected - actual
     unexpected = actual - expected
@@ -671,6 +1058,8 @@ def run_check_fixtures(args):
     status = "ok" if ok else "FAILED"
     print(f"ssamr_lint fixtures ({used} backend): {len(fixtures)} files, "
           f"{len(expected)} expected findings — {status}")
+    if args.timing_out:
+        write_timings(args.timing_out, used, len(fixtures))
     return 0 if ok else 1
 
 
@@ -685,12 +1074,27 @@ def main():
     ap.add_argument("--check-fixtures", metavar="DIR",
                     help="self-test against a fixture directory")
     ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--config", type=Path, default=DEFAULT_CONFIG,
+                    help="layering/units configuration "
+                    "(default: tools/layering.toml)")
+    ap.add_argument("--layering", action="store_true",
+                    help="check the src/ include graph against --config")
+    ap.add_argument("--emit-graph", metavar="DOT",
+                    help="with --layering: write the include graph as "
+                    "Graphviz DOT (SVG too when `dot` exists)")
+    ap.add_argument("--drop-edge", metavar="FROM:TO", action="append",
+                    help="with --layering: pretend a declared edge is "
+                    "absent (negative test of the gate)")
+    ap.add_argument("--timing-out", metavar="JSON",
+                    help="write per-rule wall-time JSON artifact")
     args = ap.parse_args()
 
     if args.list_rules:
         for rule, desc in RULES.items():
             print(f"{rule:16s} {desc}")
         return 0
+    if args.layering:
+        return run_layering(args)
     if args.check_fixtures:
         return run_check_fixtures(args)
     return run_lint(args)

@@ -65,6 +65,52 @@ void BM_MultiAxisPartition(benchmark::State& state) {
 }
 BENCHMARK(BM_MultiAxisPartition)->Arg(4)->Arg(32);
 
+void BM_KnapsackPartition(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto caps = caps_for(nprocs);
+  const WorkModel work;
+  KnapsackPartitioner p;
+  for (auto _ : state) {
+    auto r = p.partition(paper_boxes(), caps, work);
+    benchmark::DoNotOptimize(r.assignments.data());
+  }
+}
+BENCHMARK(BM_KnapsackPartition)->Arg(4)->Arg(32);
+
+void BM_SfcKnapsackPartition(benchmark::State& state) {
+  const int nprocs = static_cast<int>(state.range(0));
+  const auto caps = caps_for(nprocs);
+  const WorkModel work;
+  SfcKnapsackHybrid p;
+  for (auto _ : state) {
+    auto r = p.partition(paper_boxes(), caps, work);
+    benchmark::DoNotOptimize(r.assignments.data());
+  }
+}
+BENCHMARK(BM_SfcKnapsackPartition)->Arg(4)->Arg(32);
+
+// The dual-constraint hot path: box pricing scans the particle field, so
+// gate the particle-coupled partition cost separately.
+void BM_KnapsackPartitionParticles(benchmark::State& state) {
+  const auto caps = caps_for(8);
+  const SyntheticAmrTrace trace([] {
+    TraceConfig cfg = exp::paper_trace_config();
+    cfg.particles.count = 4096;
+    return cfg;
+  }());
+  const ParticleField field = trace.particles_at_epoch(10);
+  WorkModel work;
+  work.cost_per_particle = Work{50.0};
+  work.particles = &field;
+  KnapsackPartitioner p;
+  for (auto _ : state) {
+    auto r = p.partition(paper_boxes(), caps, work);
+    benchmark::DoNotOptimize(r.assignments.data());
+  }
+  state.counters["particles"] = static_cast<double>(field.size());
+}
+BENCHMARK(BM_KnapsackPartitionParticles);
+
 void BM_ImbalanceMetric(benchmark::State& state) {
   HeterogeneousPartitioner p;
   const auto caps = caps_for(8);

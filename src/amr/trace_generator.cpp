@@ -37,6 +37,11 @@ real_t SyntheticAmrTrace::interface_position(int epoch) const {
                    margin);
 }
 
+ParticleField SyntheticAmrTrace::particles_at_epoch(int epoch) const {
+  return ParticleField::gaussian_cloud(cfg_.domain, cfg_.particles,
+                                       interface_position(epoch));
+}
+
 BoxList SyntheticAmrTrace::boxes_at_epoch(int epoch) const {
   BoxList out;
   out.push_back(cfg_.domain);

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "amr/cluster_br.hpp"
+#include "amr/particles.hpp"
 #include "geom/box.hpp"
 #include "geom/box_list.hpp"
 #include "util/types.hpp"
@@ -48,6 +49,11 @@ struct TraceConfig {
   /// level being flagged.
   real_t band_halfwidth = 2.0;
   ClusterConfig cluster;
+  /// Optional particle cloud riding the interface (count 0 = no particles).
+  /// The cloud is regenerated from the same seed at every epoch with its
+  /// center at the interface position, so it drifts coherently with the
+  /// refined band (a shocked tracer-particle sheet).
+  ParticleCloudConfig particles;
 };
 
 /// Generates the hierarchy's composite box list at any regrid epoch.
@@ -63,6 +69,10 @@ class SyntheticAmrTrace {
   /// Interface x-position (fraction of x-extent) at an epoch, after
   /// reflections.
   real_t interface_position(int epoch) const;
+
+  /// The particle cloud at a regrid epoch, centered on the interface.
+  /// Empty when config().particles.count == 0.
+  ParticleField particles_at_epoch(int epoch) const;
 
   const TraceConfig& config() const { return cfg_; }
 

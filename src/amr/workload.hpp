@@ -7,12 +7,27 @@
 /// the paper: refined grids "not only have a larger number of grid elements
 /// but are also updated more frequently").  The partitioners distribute
 /// exactly this quantity.
+///
+/// The model is dual-constraint (AMReX load-balancing study, PAPERS.md):
+/// a box's cost is its cell-update cost plus the cost of the particles it
+/// covers, both priced in `Work` units:
+///
+///   cost(b) = cells(b) · ratio^level · cost_per_cell
+///           + particles_in(b) · ratio^level · cost_per_particle
+///
+/// With no particle field attached the particle term vanishes and the
+/// arithmetic is exactly the historical cells-only expression, so existing
+/// golden artifacts are unaffected.  Particle counts are exactly additive
+/// under same-level box splits (see amr/particles.hpp), so the audit's
+/// W_k-conservation invariants hold for the dual-constraint cost too.
 
 #include <vector>
 
+#include "amr/particles.hpp"
 #include "geom/box.hpp"
 #include "geom/box_list.hpp"
 #include "util/types.hpp"
+#include "util/units.hpp"
 
 namespace ssamr {
 
@@ -22,10 +37,30 @@ struct WorkModel {
   coord_t ratio = 2;
   /// Work units per cell update (scales everything uniformly; 1 = one cell
   /// update is one unit).
-  real_t cost_per_cell = 1.0;
+  Work cost_per_cell{1.0};
+  /// Work units per particle update; only priced when a particle field is
+  /// attached.
+  Work cost_per_particle{0.0};
+  /// Optional particle field (not owned; must outlive the model's use).
+  /// Null means cells-only cost, bit-identical to the historical model.
+  const ParticleField* particles = nullptr;
+
+  /// True when the particle term contributes to box costs.
+  bool has_particles() const {
+    return particles != nullptr && !particles->empty() &&
+           cost_per_particle > Work{0};
+  }
 };
 
-/// Work of one box per coarsest timestep: cells · ratio^level · cost.
+/// Dual-constraint cost of one box per coarsest timestep.
+Work box_cost(const Box& b, const WorkModel& m);
+
+/// Total cost of a box list.
+Work total_cost(const BoxList& boxes, const WorkModel& m);
+
+/// Work of one box per coarsest timestep: cells · ratio^level · cost
+/// (+ particle term when a field is attached).  Raw-valued view of
+/// box_cost for the partitioner arithmetic.
 real_t box_work(const Box& b, const WorkModel& m);
 
 /// Total work of a box list.

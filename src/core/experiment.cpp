@@ -187,7 +187,7 @@ RuntimeConfig paper_runtime_config(int iterations, int sensing_interval) {
   cfg.sensing.interval = sensing_interval;
   cfg.weights = CapacityWeights::equal();
   cfg.work.ratio = 2;
-  cfg.work.cost_per_cell = 1.0;
+  cfg.work.cost_per_cell = Work{1.0};
   cfg.monitor.probe_cost_s = Seconds{1.0};
   cfg.monitor.noise.cpu_sigma = 0.05;
   cfg.monitor.noise.memory_sigma = 0.02;

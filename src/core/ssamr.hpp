@@ -19,6 +19,7 @@
 #include "amr/flux_register.hpp"    // IWYU pragma: export
 #include "amr/hierarchy.hpp"        // IWYU pragma: export
 #include "amr/integrator.hpp"       // IWYU pragma: export
+#include "amr/particles.hpp"        // IWYU pragma: export
 #include "amr/richardson.hpp"       // IWYU pragma: export
 #include "amr/trace_generator.hpp"  // IWYU pragma: export
 #include "amr/workload.hpp"         // IWYU pragma: export
@@ -33,9 +34,12 @@
 #include "partition/grace_default.hpp"  // IWYU pragma: export
 #include "partition/greedy.hpp"         // IWYU pragma: export
 #include "partition/heterogeneous.hpp"  // IWYU pragma: export
+#include "partition/knapsack.hpp"       // IWYU pragma: export
 #include "partition/metrics.hpp"        // IWYU pragma: export
 #include "partition/multiaxis.hpp"      // IWYU pragma: export
 #include "partition/sfc_heterogeneous.hpp"  // IWYU pragma: export
+#include "partition/sfc_knapsack.hpp"   // IWYU pragma: export
+#include "partition/zoo.hpp"            // IWYU pragma: export
 #include "runtime/runtime.hpp"          // IWYU pragma: export
 #include "sim/chrome_trace.hpp"         // IWYU pragma: export
 #include "sim/exec_model.hpp"           // IWYU pragma: export

@@ -23,12 +23,19 @@ PartitionResult HeterogeneousPartitioner::partition(
   SSAMR_REQUIRE(cap_sum > 0, "capacities must not all be zero");
   const std::size_t nproc = capacities.size();
 
-  // Sort boxes ascending by work.
-  std::vector<Box> ordered(boxes.begin(), boxes.end());
-  std::stable_sort(ordered.begin(), ordered.end(),
-                   [&](const Box& a, const Box& b) {
-                     return box_work(a, work) < box_work(b, work);
+  // Sort boxes ascending by work.  Price each box once up front — under a
+  // particle-coupled model box_work scans the particle field, which the
+  // sort comparator must not re-trigger per comparison.
+  std::vector<real_t> works = per_box_work(boxes, work);
+  std::vector<std::size_t> perm(boxes.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return works[a] < works[b];
                    });
+  std::vector<Box> ordered;
+  ordered.reserve(boxes.size());
+  for (std::size_t i : perm) ordered.push_back(boxes[i]);
 
   // Sort processors ascending by capacity; targets L_k = C_k · L
   // (capacities renormalized defensively).

@@ -21,7 +21,8 @@ BoxList PartitionResult::boxes_of(rank_t rank) const {
 
 namespace {
 
-/// Work of one index-space plane of `b` perpendicular to `axis`.
+/// Work of one index-space plane of `b` perpendicular to `axis`, cells
+/// only — valid when the model has no particle term.
 real_t plane_work(const Box& b, int axis, const WorkModel& work) {
   const IntVec e = b.extent();
   std::int64_t cells_per_plane = 1;
@@ -31,7 +32,15 @@ real_t plane_work(const Box& b, int axis, const WorkModel& work) {
   for (level_t l = 0; l < b.level(); ++l)
     updates *= static_cast<real_t>(work.ratio);
   return static_cast<real_t>(cells_per_plane) * updates *
-         work.cost_per_cell;
+         work.cost_per_cell.value();
+}
+
+/// Exact work of the first `planes` planes of `b` along `axis` under a
+/// particle-coupled model (particle density varies across planes, so the
+/// uniform plane_work estimate does not apply).
+real_t prefix_work(const Box& b, int axis, coord_t planes,
+                   const WorkModel& work) {
+  return box_work(b.split(axis, planes).first, work);
 }
 
 /// Best split of `b` along `axis` for a first-piece work target.  Returns
@@ -41,6 +50,26 @@ coord_t planes_for_target(const Box& b, int axis, real_t target_work,
                           const WorkModel& work, coord_t min_size) {
   const coord_t n = b.extent()[axis];
   if (n < 2 * min_size) return 0;
+
+  if (work.has_particles()) {
+    if (!(box_work(b, work) > 0)) return 0;
+    // Prefix work is monotone non-decreasing in the plane count (cell and
+    // particle costs are non-negative), so binary-search the largest
+    // admissible cut whose first piece stays within the target; when even
+    // the smallest admissible piece exceeds it, take that smallest piece
+    // (mirrors the floating-point clamp below).
+    coord_t lo = min_size, hi = n - min_size;
+    if (prefix_work(b, axis, lo, work) > target_work) return lo;
+    while (lo < hi) {
+      const coord_t mid = lo + (hi - lo + 1) / 2;
+      if (prefix_work(b, axis, mid, work) <= target_work)
+        lo = mid;
+      else
+        hi = mid - 1;
+    }
+    return lo;
+  }
+
   const real_t pw = plane_work(b, axis, work);
   if (!(pw > 0)) return 0;
   // Clamp in floating point BEFORE converting: target_work / pw can exceed
@@ -79,8 +108,10 @@ std::optional<std::pair<Box, Box>> split_for_work(
     const coord_t planes =
         planes_for_target(b, axis, target_work, work, min_size);
     if (planes == 0) continue;
-    const real_t piece = plane_work(b, axis, work) *
-                         static_cast<real_t>(planes);
+    const real_t piece = work.has_particles()
+                             ? prefix_work(b, axis, planes, work)
+                             : plane_work(b, axis, work) *
+                                   static_cast<real_t>(planes);
     real_t err = std::abs(piece - target_work);
     // Penalize overshoot slightly: undershoot leaves the remainder for the
     // next processor, overshoot overloads this one.

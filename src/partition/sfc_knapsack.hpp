@@ -1,0 +1,37 @@
+#pragma once
+/// \file sfc_knapsack.hpp
+/// SFC-ordered knapsack hybrid (AMReX "sfc+knapsack" strategy).
+///
+/// Pure knapsack packing balances well but scatters each rank's boxes
+/// across the domain; pure SFC cutting keeps locality but can only place
+/// segment boundaries where the capacity-proportional prefix says, however
+/// lumpy the boxes there are.  The hybrid does both: boxes are laid out
+/// along the composite space-filling curve, segment boundaries start at
+/// the capacity-proportional prefix targets, and a bounded refinement pass
+/// then shifts whole boxes across *adjacent* boundaries whenever that
+/// strictly lowers the peak relative load W_k / C_k.  Every rank always
+/// owns a contiguous SFC segment (rank k is the k-th segment along the
+/// curve) and no box is ever split — both properties are asserted by the
+/// differential tests.
+
+#include "partition/partitioner.hpp"
+#include "sfc/sfc_index.hpp"
+
+namespace ssamr {
+
+/// Contiguous SFC segments with knapsack-style boundary refinement.
+class SfcKnapsackHybrid final : public Partitioner {
+ public:
+  explicit SfcKnapsackHybrid(SfcConfig sfc = {});
+
+  PartitionResult partition(const BoxList& boxes,
+                            const std::vector<real_t>& capacities,
+                            const WorkModel& work) const override;
+
+  std::string name() const override { return "SfcKnapsackHybrid"; }
+
+ private:
+  SfcConfig sfc_;
+};
+
+}  // namespace ssamr

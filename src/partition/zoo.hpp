@@ -1,0 +1,49 @@
+#pragma once
+/// \file zoo.hpp
+/// The partitioner zoo: every registered scheme with capability metadata.
+///
+/// The differential/property test harness (tests/partition_differential_test)
+/// and the partitioner-matrix experiment (bench/exp_partitioner_matrix) both
+/// need "every partitioner we have, on identical inputs".  This registry is
+/// that single source of truth: one entry per scheme, carrying the
+/// capability flags the harness needs to know which properties apply —
+/// e.g. permutation equivariance only holds for schemes that match work to
+/// capacity *values* rather than to rank positions, and SFC contiguity only
+/// for schemes that hand each rank one curve segment.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "partition/partitioner.hpp"
+
+namespace ssamr {
+
+/// One registered partitioner with the properties the harness may assert.
+struct ZooEntry {
+  /// Stable short identifier (CLI / CSV key), e.g. "knapsack".
+  std::string id;
+  /// True when the scheme reads the capacity values (a capacity-blind
+  /// scheme only uses capacities.size()).
+  bool capacity_aware = false;
+  /// True when the scheme may split boxes to hit its targets.
+  bool splits_boxes = false;
+  /// True when every rank owns a contiguous segment of the composite SFC
+  /// order, with rank k the k-th segment along the curve.
+  bool sfc_contiguous = false;
+  /// True when permuting the capacity vector (all values distinct) permutes
+  /// `assigned_work` and `target_work` identically — i.e. assignment
+  /// depends on capacity values, not rank positions.
+  bool permutation_equivariant = false;
+  /// Construct a fresh instance of the scheme.
+  std::function<std::unique_ptr<Partitioner>()> make;
+};
+
+/// All registered partitioners, in stable registration order.
+const std::vector<ZooEntry>& partitioner_zoo();
+
+/// Construct the scheme registered under `id`; throws on unknown ids.
+std::unique_ptr<Partitioner> make_partitioner(const std::string& id);
+
+}  // namespace ssamr

@@ -142,6 +142,9 @@ void AdaptiveRuntime::stage_repartition(RunTrace& trace, Seconds& t,
                                         PartitionResult& current) {
   const BoxList boxes = source_.boxes_for_regrid(regrid_index);
   SSAMR_REQUIRE(!boxes.empty(), "workload source produced no boxes");
+  // Attach the regrid's particle field (if any) so the dual-constraint
+  // cost prices cells + particles; nullptr leaves the cells-only model.
+  cfg_.work.particles = source_.particles_for_regrid(regrid_index);
   PartitionResult next = partitioner_.partition(boxes, capacities_, cfg_.work);
   // Audit every regrid's distribution before acting on it: coverage,
   // disjointness, split legality and Eq. 1 work tracking.

@@ -36,6 +36,14 @@ class WorkloadSource {
   virtual ~WorkloadSource() = default;
   /// Boxes for the `regrid_index`-th regrid (0-based, called in order).
   virtual BoxList boxes_for_regrid(int regrid_index) = 0;
+  /// Particle field coupled to the same regrid, or nullptr when the
+  /// workload carries no particles (the default).  The pointer must stay
+  /// valid until the next boxes_for_regrid/particles_for_regrid call; the
+  /// runtime attaches it to the work model for the repartition.
+  virtual const ParticleField* particles_for_regrid(int regrid_index) {
+    (void)regrid_index;
+    return nullptr;
+  }
 };
 
 /// WorkloadSource over the deterministic synthetic SAMR trace.
@@ -45,9 +53,15 @@ class TraceWorkloadSource final : public WorkloadSource {
   BoxList boxes_for_regrid(int regrid_index) override {
     return trace_.boxes_at_epoch(regrid_index);
   }
+  const ParticleField* particles_for_regrid(int regrid_index) override {
+    if (trace_.config().particles.count == 0) return nullptr;
+    particles_ = trace_.particles_at_epoch(regrid_index);
+    return &particles_;
+  }
 
  private:
   SyntheticAmrTrace trace_;
+  ParticleField particles_;
 };
 
 /// WorkloadSource over a live Berger–Oliger integration: advances the real

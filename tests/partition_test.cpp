@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <numeric>
@@ -12,15 +13,19 @@
 #include "geom/box_algebra.hpp"
 #include "partition/grace_default.hpp"
 #include "partition/heterogeneous.hpp"
+#include "partition/knapsack.hpp"
 #include "partition/metrics.hpp"
 #include "partition/greedy.hpp"
 #include "partition/multiaxis.hpp"
+#include "partition/partition_audit.hpp"
 #include "partition/sfc_heterogeneous.hpp"
+#include "partition/sfc_knapsack.hpp"
+#include "sfc/sfc_index.hpp"
 
 namespace ssamr {
 namespace {
 
-const WorkModel kWork{2, 1.0};
+const WorkModel kWork{2, Work{1.0}};
 
 BoxList uniform_grid_boxes(coord_t n_per_axis, coord_t box_size,
                            level_t level = 0) {
@@ -79,7 +84,7 @@ TEST(SplitForWork, HugeTargetOverTinyPlaneWorkClampsWithoutOverflow) {
   const Box b = Box::from_extent(IntVec(0, 0, 0), IntVec(64, 4, 4));
   PartitionConstraints c;
   c.min_box_size = 2;
-  const WorkModel tiny{2, 1e-300};
+  const WorkModel tiny{2, Work{1e-300}};
   const auto pieces = split_for_work(b, 1.0e300, tiny, c);
   ASSERT_TRUE(pieces.has_value());
   EXPECT_EQ(pieces->first.extent().x, 62);
@@ -97,7 +102,7 @@ TEST(SplitForWork, ZeroPlaneWorkRefusesInsteadOfDividingByZero) {
   const Box b = Box::from_extent(IntVec(0, 0, 0), IntVec(64, 4, 4));
   PartitionConstraints c;
   c.min_box_size = 2;
-  const WorkModel zero{2, 0.0};
+  const WorkModel zero{2, Work{0.0}};
   EXPECT_FALSE(split_for_work(b, 100.0, zero, c).has_value());
   EXPECT_FALSE(split_for_work(b, 0.0, zero, c).has_value());
 }
@@ -283,6 +288,10 @@ std::vector<PartitionerCase> make_cases() {
                      "sfc_heterogeneous"});
     cases.push_back({std::make_shared<GreedyPartitioner>(), caps,
                      "greedy"});
+    cases.push_back({std::make_shared<KnapsackPartitioner>(), caps,
+                     "knapsack"});
+    cases.push_back({std::make_shared<SfcKnapsackHybrid>(), caps,
+                     "sfc_knapsack"});
   }
   return cases;
 }
@@ -415,6 +424,117 @@ TEST(SfcHeterogeneous, BalancesLikeHeterogeneousWithBetterLocality) {
             effective_imbalance_pct(rs) + 5.0);
   // ...with no more communication than the size-sorted scheme.
   EXPECT_LE(partition_comm_cells(rh, 1), partition_comm_cells(rs, 1));
+}
+
+TEST(Knapsack, HandComputableTwoRankFixture) {
+  // Works {64, 128, 192} on capacities {1/3, 2/3}.  LPT: 192 lands on the
+  // fast rank (rel 288 vs 576), 128 on the slow rank (384 vs 480), 64 on
+  // the fast rank (576 vs 384).  Both relative loads are then exactly 384,
+  // and no exchange improves the peak, so the refinement keeps the seed:
+  // assigned work {128, 256}.
+  BoxList boxes;
+  boxes.push_back(Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4)));
+  boxes.push_back(Box::from_extent(IntVec(16, 0, 0), IntVec(8, 4, 4)));
+  boxes.push_back(Box::from_extent(IntVec(32, 0, 0), IntVec(12, 4, 4)));
+  KnapsackPartitioner p;
+  const auto r = p.partition(boxes, {1.0 / 3.0, 2.0 / 3.0}, kWork);
+  EXPECT_EQ(r.splits, 0);
+  ASSERT_EQ(r.assignments.size(), 3u);
+  EXPECT_EQ(r.assignments[0].owner, 1);  // 64
+  EXPECT_EQ(r.assignments[1].owner, 0);  // 128
+  EXPECT_EQ(r.assignments[2].owner, 1);  // 192
+  ASSERT_EQ(r.assigned_work.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.assigned_work[0], 128.0);
+  EXPECT_DOUBLE_EQ(r.assigned_work[1], 256.0);
+}
+
+TEST(Knapsack, ExchangeRefinementBeatsPlainLpt) {
+  // Works {5, 5, 4, 4, 4} on two equal ranks: the LPT seed ends at
+  // {5+4+4, 5+4} = {13, 9} and no single move improves it (LPT seeds are
+  // jump-optimal) — but swapping a 5 against a 4 reaches {12, 10}.  This
+  // is exactly what separates the knapsack scheme from GreedyPartitioner.
+  BoxList boxes;
+  const coord_t cells[] = {5, 5, 4, 4, 4};
+  for (coord_t i = 0; i < 5; ++i)
+    boxes.push_back(Box::from_extent(IntVec(i * 8, 0, 0),
+                                     IntVec(cells[i], 1, 1)));
+  const std::vector<real_t> caps{0.5, 0.5};
+  KnapsackPartitioner knapsack;
+  GreedyPartitioner greedy;
+  const auto rk = knapsack.partition(boxes, caps, kWork);
+  const auto rg = greedy.partition(boxes, caps, kWork);
+  EXPECT_DOUBLE_EQ(rg.assigned_work[0], 13.0);
+  EXPECT_DOUBLE_EQ(rg.assigned_work[1], 9.0);
+  EXPECT_DOUBLE_EQ(rk.assigned_work[0], 12.0);
+  EXPECT_DOUBLE_EQ(rk.assigned_work[1], 10.0);
+  const auto peak = [&](const PartitionResult& r) {
+    return std::max(r.assigned_work[0] / caps[0],
+                    r.assigned_work[1] / caps[1]);
+  };
+  EXPECT_LT(peak(rk), peak(rg));
+}
+
+TEST(Knapsack, ZeroCapacityRankGetsNothing) {
+  KnapsackPartitioner p;
+  const BoxList boxes = uniform_grid_boxes(3, 4);
+  const auto r = p.partition(boxes, {0.0, 0.5, 0.5}, kWork);
+  EXPECT_DOUBLE_EQ(r.assigned_work[0], 0.0);
+}
+
+TEST(SfcKnapsack, ContiguousCurveSegmentsNeverSplit) {
+  // The hybrid refines only segment boundaries, so whatever the capacity
+  // skew, each rank owns one contiguous SFC segment (rank order along the
+  // curve) and no box is ever split.
+  const BoxList boxes = uniform_grid_boxes(4, 8);
+  const std::vector<real_t> caps{0.05, 0.15, 0.3, 0.5};
+  SfcKnapsackHybrid p;
+  const auto r = p.partition(boxes, caps, kWork);
+  EXPECT_EQ(r.splits, 0);
+  ASSERT_EQ(r.assignments.size(), boxes.size());
+
+  const auto perm = sfc_order(boxes.boxes(), SfcConfig{});
+  std::vector<rank_t> owner_at(perm.size(), -1);
+  for (const auto& a : r.assignments) {
+    std::size_t input = boxes.size();
+    for (std::size_t i = 0; i < boxes.size(); ++i)
+      if (boxes[i] == a.box) {
+        input = i;
+        break;
+      }
+    ASSERT_LT(input, boxes.size());
+    for (std::size_t pos = 0; pos < perm.size(); ++pos)
+      if (perm[pos] == input) owner_at[pos] = a.owner;
+  }
+  for (std::size_t pos = 1; pos < owner_at.size(); ++pos)
+    EXPECT_GE(owner_at[pos], owner_at[pos - 1]) << "curve pos " << pos;
+}
+
+TEST(SfcKnapsack, RefinementTracksSkewedCapacities) {
+  // On a fine-grained uniform workload the boundary refinement should land
+  // each segment near its capacity-proportional share.
+  const BoxList boxes = uniform_grid_boxes(8, 4);  // 64 small boxes
+  const std::vector<real_t> caps{0.16, 0.19, 0.31, 0.34};
+  SfcKnapsackHybrid p;
+  const auto r = p.partition(boxes, caps, kWork);
+  const real_t total = total_work(boxes, kWork);
+  for (std::size_t k = 0; k < caps.size(); ++k)
+    EXPECT_NEAR(r.assigned_work[k] / total, caps[k], 0.05);
+}
+
+TEST(PartitionAudit, RejectsIntentionallyOverlappingAssignment) {
+  // Negative control for the whole harness: hand the auditor an assignment
+  // that claims the first box twice and drops the second entirely — it
+  // must reject it, proving coverage/disjointness failures cannot pass.
+  BoxList boxes;
+  boxes.push_back(Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4)));
+  boxes.push_back(Box::from_extent(IntVec(8, 0, 0), IntVec(4, 4, 4)));
+  PartitionResult forged;
+  forged.assignments = {{boxes[0], 0}, {boxes[0], 1}};
+  forged.assigned_work = {64.0, 64.0};
+  forged.target_work = {64.0, 64.0};
+  const audit::AuditReport report = audit::validate_partition(
+      boxes, forged, {0.5, 0.5}, kWork, PartitionConstraints{});
+  EXPECT_FALSE(report.ok());
 }
 
 TEST(MultiAxis, ReducesImbalanceVersusLongestAxisOnly) {

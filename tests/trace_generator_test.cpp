@@ -127,7 +127,7 @@ TEST(SyntheticTrace, RejectsBadConfig) {
 }
 
 TEST(WorkModel, BoxWorkScalesWithLevel) {
-  const WorkModel wm{2, 1.0};
+  const WorkModel wm{2, Work{1.0}};
   const Box c = Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0);
   const Box f = Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 2);
   EXPECT_DOUBLE_EQ(box_work(c, wm), 64.0);
@@ -135,7 +135,7 @@ TEST(WorkModel, BoxWorkScalesWithLevel) {
 }
 
 TEST(WorkModel, CostPerCellScalesLinearly) {
-  const WorkModel wm{2, 2.5};
+  const WorkModel wm{2, Work{2.5}};
   const Box b = Box::from_extent(IntVec(0, 0, 0), IntVec(2, 2, 2), 1);
   EXPECT_DOUBLE_EQ(box_work(b, wm), 8.0 * 2.0 * 2.5);
 }

@@ -1,0 +1,276 @@
+/// \file exp_scale.cpp
+/// Distributed-metadata scale sweep: P = 128 / 1024 / 4096 / 16384 under
+/// the event execution model (DESIGN.md §11, ROADMAP open item 1).
+///
+/// Each cluster size runs the same per-rank workload shape — four 8³
+/// level-0 boxes per rank on a cube-ish lattice, every eighth box carrying
+/// a refined child — so total box count grows linearly with P while the
+/// local problem stays fixed.  The sweep drives the EventExecutor directly
+/// (partition → iterate → periodic regrid/repartition with a rotated
+/// capacity pattern → migrate), exercising every scale-path layer at once:
+/// the distributed prefix-sum partitioner, SFC-keyed neighbor discovery
+/// behind the comm metrics, and the indexed fluid network simulator.
+///
+/// The CSV (results/exp_scale.csv, golden-pinned) holds only deterministic
+/// quantities: box/assignment/flow/event counts, local-view halo sizes,
+/// key-index query statistics and the final virtual time.  Wall-clock
+/// figures — partition seconds and network events processed per second —
+/// go to stdout only, and the microbench twin (bench_scale.cpp) gates them
+/// in CI via tools/bench_check.py.
+///
+/// Flags / environment:
+///   SSAMR_EXP_ITERS     iterations per cluster size (default 40)
+///   SSAMR_SCALE_MAX_P   cap on the sweep (default 16384; lower it for a
+///                       quick local run, e.g. 1024)
+///   SSAMR_SCALE_CHECK   when 1, enforce the scaling acceptance bounds —
+///                       events/sec at the largest P within 2× of the
+///                       P = 128 rate, and partition time growing
+///                       sublinearly in total box count — exiting non-zero
+///                       on violation.
+///   SSAMR_SCALE_FLOOR   events/sec ratio floor for the check, ×100
+///                       (default 50, i.e. within 2×).  The achievable
+///                       ratio is machine-dependent — a single-process
+///                       sweep holds all P ranks' simulator state in one
+///                       address space, so the large-P rate is bounded by
+///                       the last-level cache, not the algorithm (see
+///                       EXPERIMENTS.md) — so CI boxes may need a lower
+///                       floor to make the check a useful regression trap.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "capacity/capacity.hpp"
+#include "core/experiment.hpp"
+#include "hdda/local_view.hpp"
+#include "partition/distributed_sfc.hpp"
+#include "partition/metrics.hpp"
+#include "sfc/key_index.hpp"
+#include "sim/event_executor.hpp"
+#include "util/csv.hpp"
+#include "util/wallclock.hpp"
+
+using namespace ssamr;
+
+namespace {
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != v && *end == '\0') ? static_cast<int>(parsed) : fallback;
+}
+
+/// Four 8³ level-0 boxes per rank on a cube-ish lattice; every eighth box
+/// carries a half-depth refined child.  Linear in P, fixed per-rank shape.
+BoxList scale_workload(int nprocs) {
+  const std::int64_t nboxes = 4 * static_cast<std::int64_t>(nprocs);
+  coord_t side = 1;
+  while (static_cast<std::int64_t>(side) * side * side < nboxes) ++side;
+  BoxList boxes;
+  std::int64_t placed = 0;
+  for (coord_t k = 0; k < side && placed < nboxes; ++k)
+    for (coord_t j = 0; j < side && placed < nboxes; ++j)
+      for (coord_t i = 0; i < side && placed < nboxes; ++i) {
+        boxes.push_back(Box::from_extent(IntVec(i * 8, j * 8, k * 8),
+                                         IntVec(8, 8, 8), 0));
+        if (placed % 8 == 0)
+          boxes.push_back(Box::from_extent(
+              IntVec(i * 16, j * 16, k * 16), IntVec(8, 8, 4), 1));
+        ++placed;
+      }
+  return boxes;
+}
+
+/// Relative capacities of the cluster's t = 0 state (Eq. 1, equal weights).
+std::vector<real_t> capacities_at_start(const Cluster& cluster) {
+  std::vector<ResourceEstimate> est;
+  est.reserve(static_cast<std::size_t>(cluster.size()));
+  for (rank_t k = 0; k < cluster.size(); ++k) {
+    const NodeState s = cluster.state_at(k, Seconds{0});
+    est.push_back(
+        ResourceEstimate{s.cpu_available, s.memory_free_mb, s.bandwidth_mbps});
+  }
+  return CapacityCalculator().relative_capacities(est);
+}
+
+struct ScaleRow {
+  int nprocs = 0;
+  std::int64_t boxes = 0;
+  std::int64_t assignments = 0;
+  std::int64_t splits = 0;
+  std::int64_t ghost_flows = 0;
+  std::int64_t events = 0;
+  std::int64_t halo_links = 0;
+  std::int64_t halo_max = 0;
+  std::int64_t index_candidates = 0;
+  std::int64_t index_hits = 0;
+  Seconds virtual_time{0};
+  // Wall-clock (stdout + bench gate only; never in the CSV).
+  double partition_seconds = 0;
+  double advance_seconds = 0;
+};
+
+ScaleRow run_scale(int nprocs, int iterations) {
+  ScaleRow row;
+  row.nprocs = nprocs;
+
+  Cluster cluster = Cluster::heterogeneous(nprocs, {1.0, 0.75, 1.5, 1.25});
+  const ExecutorConfig ecfg;
+  sim::EventExecutor exec(cluster, ecfg);
+
+  const BoxList boxes = scale_workload(nprocs);
+  row.boxes = static_cast<std::int64_t>(boxes.size());
+  std::vector<real_t> caps = capacities_at_start(cluster);
+  const DistributedSfcPartitioner partitioner(SfcConfig{}, /*shards=*/64);
+  const WorkModel work;
+
+  int partitions = 0;
+  const auto partition_now = [&](const std::vector<real_t>& c) {
+    const double w0 = wallclock_seconds();
+    PartitionResult r = partitioner.partition(boxes, c, work);
+    row.partition_seconds += wallclock_seconds() - w0;
+    ++partitions;
+    return r;
+  };
+
+  PartitionResult current = partition_now(caps);
+  row.assignments = static_cast<std::int64_t>(current.assignments.size());
+  row.splits = current.splits;
+  row.ghost_flows = static_cast<std::int64_t>(
+      pairwise_comm_bytes(current, ecfg.ghost, ecfg.ncomp).size());
+
+  Seconds t{0};
+  // One untimed warm-up advance: the executor fills its per-topology
+  // caches (ghost-flow plans, simulator workspace) on first contact, a
+  // one-time cost that would otherwise be billed to the first timed
+  // iteration — at P = 16384 it is most of that iteration.  Events are
+  // counted over the timed window only, so the throughput figure divides
+  // matching numerators and denominators.
+  t += exec.advance(current, t, /*iter=*/0).elapsed;
+  const auto warm_events = static_cast<std::int64_t>(exec.events_processed());
+  const double adv0 = wallclock_seconds();
+  for (int iter = 0; iter < iterations; ++iter) {
+    if (iter > 0 && iter % 10 == 0) {
+      t += exec.regrid(t, boxes.size(), iter);
+      // Rotate the capacity pattern one rank: quantile cuts shift, boxes
+      // change owners, and the migration path runs at full scale.
+      std::rotate(caps.begin(), caps.begin() + 1, caps.end());
+      PartitionResult next = partition_now(caps);
+      t += exec.migrate(current, next, t);
+      current = std::move(next);
+    }
+    const StepCost cost = exec.advance(current, t, iter);
+    t += cost.elapsed;
+  }
+  row.advance_seconds = wallclock_seconds() - adv0;
+  row.partition_seconds /= partitions;
+  row.events =
+      static_cast<std::int64_t>(exec.events_processed()) - warm_events;
+  row.virtual_time = t;
+
+  // Local-view halo statistics of the final layout, via the shared key
+  // index (its query counters land in the CSV as the determinism pin on
+  // the near-linear discovery cost).
+  std::vector<Box> owned_boxes;
+  std::vector<rank_t> owners;
+  owned_boxes.reserve(current.assignments.size());
+  for (const auto& a : current.assignments) {
+    owned_boxes.push_back(a.box);
+    owners.push_back(a.owner);
+  }
+  const SfcKeyIndex index(owned_boxes);
+  const auto views =
+      build_local_views(owned_boxes, owners, nprocs, ecfg.ghost, index);
+  for (const LocalBoxView& v : views) {
+    row.halo_links += static_cast<std::int64_t>(v.links.size());
+    row.halo_max =
+        std::max(row.halo_max, static_cast<std::int64_t>(v.halo.size()));
+  }
+  row.index_candidates = index.stats().candidates;
+  row.index_hits = index.stats().hits;
+  return row;
+}
+
+std::string fmt_seconds(Seconds s) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(6) << s.value();
+  return os.str();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== exp_scale: distributed-metadata sweep under the event"
+               " model ===\n\n";
+  const int iterations = exp::run_iterations(40);
+  const int max_p = env_int("SSAMR_SCALE_MAX_P", 16384);
+
+  std::vector<int> sweep;
+  for (const int p : {128, 1024, 4096, 16384})
+    if (p <= max_p) sweep.push_back(p);
+  if (sweep.empty()) sweep.push_back(128);
+
+  CsvWriter csv(exp::results_path("exp_scale.csv"),
+                {"p", "boxes", "assignments", "splits", "ghost_flows",
+                 "events", "halo_links", "halo_max", "index_candidates",
+                 "index_hits", "virtual_time_s"});
+
+  std::vector<ScaleRow> rows;
+  for (const int p : sweep) {
+    ScaleRow row = run_scale(p, iterations);
+    csv.add_row({std::to_string(row.nprocs), std::to_string(row.boxes),
+                 std::to_string(row.assignments), std::to_string(row.splits),
+                 std::to_string(row.ghost_flows), std::to_string(row.events),
+                 std::to_string(row.halo_links), std::to_string(row.halo_max),
+                 std::to_string(row.index_candidates),
+                 std::to_string(row.index_hits),
+                 fmt_seconds(row.virtual_time)});
+    const double evps =
+        row.advance_seconds > 0 ? row.events / row.advance_seconds : 0;
+    std::cout << "P = " << std::setw(5) << row.nprocs << "  boxes = "
+              << std::setw(6) << row.boxes << "  events = " << std::setw(9)
+              << row.events << "  partition = " << std::fixed
+              << std::setprecision(4) << row.partition_seconds
+              << " s  events/s = " << std::setprecision(0) << evps << '\n';
+    rows.push_back(row);
+  }
+
+  std::cout << "\nwrote " << exp::results_path("exp_scale.csv") << '\n';
+
+  if (env_int("SSAMR_SCALE_CHECK", 0) != 0 && rows.size() >= 2) {
+    const ScaleRow& small = rows.front();
+    const ScaleRow& big = rows.back();
+    const double evps_small = small.events / small.advance_seconds;
+    const double evps_big = big.events / big.advance_seconds;
+    const double floor = env_int("SSAMR_SCALE_FLOOR", 50) / 100.0;
+    const double boxes_ratio =
+        static_cast<double>(big.boxes) / static_cast<double>(small.boxes);
+    const double part_ratio = big.partition_seconds / small.partition_seconds;
+    int failures = 0;
+    std::cout << "\nscale check: events/s ratio "
+              << std::setprecision(3) << evps_big / evps_small
+              << " (floor " << floor << "), partition-time ratio "
+              << part_ratio << " vs box ratio " << boxes_ratio << '\n';
+    if (evps_big < floor * evps_small) {
+      std::cerr << "SCALE CHECK FAILED: events/sec at P = " << big.nprocs
+                << " fell below half the P = " << small.nprocs << " rate\n";
+      ++failures;
+    }
+    if (part_ratio >= boxes_ratio) {
+      std::cerr << "SCALE CHECK FAILED: partition time grew superlinearly"
+                   " in total box count\n";
+      ++failures;
+    }
+    if (failures > 0) return 1;
+    std::cout << "scale check passed\n";
+  }
+  return 0;
+}

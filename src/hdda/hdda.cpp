@@ -81,4 +81,23 @@ std::vector<HddaEntry> Hdda::ordered_entries() const {
   return out;
 }
 
+LocalBoxView Hdda::local_view(rank_t rank, coord_t ghost) const {
+  SSAMR_REQUIRE(rank >= 0, "rank must be non-negative");
+  const std::vector<HddaEntry> entries = ordered_entries();
+  std::vector<Box> boxes;
+  std::vector<rank_t> owners;
+  boxes.reserve(entries.size());
+  owners.reserve(entries.size());
+  rank_t max_owner = rank;
+  for (const HddaEntry& e : entries) {
+    boxes.push_back(e.box);
+    // Unowned entries (-1) are parked on rank 0 so the view builder's
+    // range check holds; they still count as remote halo for rank > 0.
+    owners.push_back(e.owner < 0 ? rank_t{0} : e.owner);
+    max_owner = std::max(max_owner, owners.back());
+  }
+  return build_local_views(boxes, owners, max_owner + 1,
+                           ghost)[static_cast<std::size_t>(rank)];
+}
+
 }  // namespace ssamr

@@ -23,6 +23,7 @@
 
 #include "geom/box.hpp"
 #include "hash/extendible_hash.hpp"
+#include "hdda/local_view.hpp"
 #include "sfc/sfc_index.hpp"
 #include "util/types.hpp"
 
@@ -75,7 +76,17 @@ class Hdda {
   std::int64_t bytes_on(rank_t rank) const;
 
   /// Every entry, sorted by hierarchical index (composite SFC order).
+  /// This materializes the *global* metadata and is intended for audits,
+  /// debugging and small-P paths; scale-path consumers use local_view().
   std::vector<HddaEntry> ordered_entries() const;
+
+  /// Rank-local view of the array: the boxes `rank` owns plus the
+  /// Morton-keyed halo of same-level neighbor boxes within `ghost` cells
+  /// that other ranks own (DESIGN.md §11).  Box ids refer to positions in
+  /// ordered_entries(), so views are stable for a fixed contents snapshot.
+  /// Builds a fresh key index per call — callers iterating many ranks
+  /// should use build_local_views (hdda/local_view.hpp) directly.
+  LocalBoxView local_view(rank_t rank, coord_t ghost) const;
 
   /// Curve configuration in force.
   const SfcConfig& config() const { return cfg_; }

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <utility>
 
-#include "geom/box_algebra.hpp"
+#include "hdda/local_view.hpp"
+#include "sfc/key_index.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -50,17 +54,65 @@ std::int64_t shell_overlap_cells(const Box& a, const Box& b, coord_t ghost) {
   const Box inner = a.intersection(b);
   return overlap.cells() - inner.cells();
 }
+
+/// (src, dst) -> cells, sorted ascending by pair.
+using FlowCells = std::vector<std::pair<std::pair<rank_t, rank_t>, std::int64_t>>;
+
+/// Directed cross-owner ghost-shell cells keyed by (src, dst), discovered
+/// through rank-local box views (each view links its owned boxes to the
+/// remote same-level boxes within `ghost` cells) instead of the historical
+/// all-pairs scan.  Every cross-owner pair with a non-empty shell overlap
+/// appears in exactly one view's link list, and the per-pair counts are
+/// integers, so the accumulated totals are identical to the O(N²) loop.
+FlowCells ghost_flow_cells(const PartitionResult& r, coord_t ghost) {
+  const auto& as = r.assignments;
+  std::vector<Box> boxes;
+  std::vector<rank_t> owners;
+  boxes.reserve(as.size());
+  owners.reserve(as.size());
+  rank_t max_owner = 0;
+  for (const BoxAssignment& a : as) {
+    boxes.push_back(a.box);
+    owners.push_back(a.owner);
+    max_owner = std::max(max_owner, a.owner);
+  }
+  // Per-link contributions, then a sort-and-merge: far cheaper than an
+  // ordered-map upsert per link, and the merged output is sorted by
+  // (src, dst) exactly as the map iteration was.
+  FlowCells cells;
+  const SfcKeyIndex index(boxes);
+  for (const LocalBoxView& view :
+       build_local_views(boxes, owners, max_owner + 1, ghost, index,
+                         HaloPolicy::kLinksOnly))
+    for (const NeighborLink& l : view.links) {
+      // Box l.owned's ghost shell filled from box l.neighbor: data flows
+      // owner(neighbor) -> view.rank.
+      const std::int64_t c =
+          shell_overlap_cells(boxes[l.owned], boxes[l.neighbor], ghost);
+      if (c > 0) cells.push_back({{owners[l.neighbor], view.rank}, c});
+    }
+  std::sort(cells.begin(), cells.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < cells.size();) {
+    std::size_t j = i + 1;
+    while (j < cells.size() && cells[j].first == cells[i].first) {
+      cells[i].second += cells[j].second;
+      ++j;
+    }
+    cells[out++] = cells[i];
+    i = j;
+  }
+  cells.resize(out);
+  return cells;
+}
+
 }  // namespace
 
 std::int64_t partition_comm_cells(const PartitionResult& r, coord_t ghost) {
   SSAMR_REQUIRE(ghost >= 0, "ghost width must be non-negative");
   std::int64_t total = 0;
-  const auto& as = r.assignments;
-  for (std::size_t i = 0; i < as.size(); ++i)
-    for (std::size_t j = 0; j < as.size(); ++j) {
-      if (i == j || as[i].owner == as[j].owner) continue;
-      total += shell_overlap_cells(as[i].box, as[j].box, ghost);
-    }
+  for (const auto& [pair, cells] : ghost_flow_cells(r, ghost)) total += cells;
   return total;
 }
 
@@ -68,13 +120,8 @@ std::int64_t rank_comm_bytes(const PartitionResult& r, rank_t rank,
                              coord_t ghost, int ncomp) {
   SSAMR_REQUIRE(ncomp >= 1, "ncomp must be >= 1");
   std::int64_t cells = 0;
-  const auto& as = r.assignments;
-  for (std::size_t i = 0; i < as.size(); ++i)
-    for (std::size_t j = 0; j < as.size(); ++j) {
-      if (i == j || as[i].owner == as[j].owner) continue;
-      if (as[i].owner != rank && as[j].owner != rank) continue;
-      cells += shell_overlap_cells(as[i].box, as[j].box, ghost);
-    }
+  for (const auto& [pair, c] : ghost_flow_cells(r, ghost))
+    if (pair.first == rank || pair.second == rank) cells += c;
   return cells * ncomp * static_cast<std::int64_t>(sizeof(real_t));
 }
 
@@ -83,26 +130,57 @@ std::vector<RankFlow> pairwise_comm_bytes(const PartitionResult& r,
   SSAMR_REQUIRE(ghost >= 0, "ghost width must be non-negative");
   SSAMR_REQUIRE(ncomp >= 1, "ncomp must be >= 1");
   const auto n = r.assigned_work.size();
-  std::vector<std::int64_t> cells(n * n, 0);
   const auto& as = r.assignments;
-  for (std::size_t i = 0; i < as.size(); ++i)
-    for (std::size_t j = 0; j < as.size(); ++j) {
-      if (i == j || as[i].owner == as[j].owner) continue;
-      const auto src = static_cast<std::size_t>(as[j].owner);
-      const auto dst = static_cast<std::size_t>(as[i].owner);
-      SSAMR_REQUIRE(src < n && dst < n, "owner out of range");
-      // as[i]'s ghost shell filled from as[j]: data flows owner(j) -> owner(i).
-      cells[src * n + dst] += shell_overlap_cells(as[i].box, as[j].box, ghost);
-    }
+  // The historical all-pairs scan range-checked every owner as soon as two
+  // assignments disagreed; preserve that contract.
+  bool mixed = false;
+  for (const BoxAssignment& a : as)
+    if (a.owner != as.front().owner) mixed = true;
+  if (mixed)
+    for (const BoxAssignment& a : as)
+      SSAMR_REQUIRE(a.owner >= 0 && static_cast<std::size_t>(a.owner) < n,
+                    "owner out of range");
   const std::int64_t cell_bytes =
       static_cast<std::int64_t>(ncomp) *
       static_cast<std::int64_t>(sizeof(real_t));
   std::vector<RankFlow> flows;
-  for (std::size_t s = 0; s < n; ++s)
-    for (std::size_t d = 0; d < n; ++d)
-      if (cells[s * n + d] > 0)
-        flows.push_back({static_cast<rank_t>(s), static_cast<rank_t>(d),
-                         cells[s * n + d] * cell_bytes});
+  for (const auto& [pair, cells] : ghost_flow_cells(r, ghost))
+    if (cells > 0) flows.push_back({pair.first, pair.second,
+                                    cells * cell_bytes});
+  return flows;
+}
+
+std::vector<RankFlow> ownership_transfer_flows(const PartitionResult& previous,
+                                               const PartitionResult& next,
+                                               std::int64_t cell_bytes) {
+  SSAMR_REQUIRE(cell_bytes > 0, "cell_bytes must be positive");
+  std::map<std::pair<rank_t, rank_t>, std::int64_t> bytes;
+  if (previous.assignments.empty()) {
+    // Initial scatter from rank 0.
+    for (const BoxAssignment& a : next.assignments)
+      if (a.owner != 0)
+        bytes[{rank_t{0}, a.owner}] += a.box.cells() * cell_bytes;
+  } else {
+    std::vector<Box> prev_boxes;
+    prev_boxes.reserve(previous.assignments.size());
+    for (const BoxAssignment& ob : previous.assignments)
+      prev_boxes.push_back(ob.box);
+    const SfcKeyIndex index(prev_boxes);
+    std::vector<std::uint32_t> cand;
+    for (const BoxAssignment& nb : next.assignments) {
+      index.query(nb.box, cand);
+      for (std::uint32_t j : cand) {
+        const BoxAssignment& ob = previous.assignments[j];
+        if (nb.owner == ob.owner) continue;
+        const Box overlap = nb.box.intersection(ob.box);
+        // Cells in the overlap move from the old owner to the new one.
+        bytes[{ob.owner, nb.owner}] += overlap.cells() * cell_bytes;
+      }
+    }
+  }
+  std::vector<RankFlow> flows;
+  for (const auto& [pair, b] : bytes)
+    if (b > 0) flows.push_back({pair.first, pair.second, b});
   return flows;
 }
 

@@ -48,7 +48,23 @@ struct RankFlow {
 /// from boxes owned by src.  Sorted by (src, dst), zero flows omitted.
 /// Summing the flows incident to a rank (either side) reproduces
 /// rank_comm_bytes for that rank.
+///
+/// The comm metrics discover adjacencies through rank-local box views
+/// (hdda/local_view.hpp) rather than the historical all-pairs scan; the
+/// per-pair cell counts are integers, so the totals are identical.
 std::vector<RankFlow> pairwise_comm_bytes(const PartitionResult& r,
                                           coord_t ghost, int ncomp);
+
+/// Directed data movement when ownership changes from `previous` to `next`:
+/// for every same-level overlap whose owner differs between the two
+/// partitions, `overlap.cells() × cell_bytes` flows old owner → new owner.
+/// An empty `previous` means initial placement: everything scatters from
+/// rank 0 (flows 0 → owner for every box not owned by rank 0).  Sorted by
+/// (src, dst), zero flows omitted.  Overlaps are discovered with an SFC key
+/// index over `previous` (O((|prev|+|next|) log |prev|)), not the
+/// historical |prev|·|next| double loop; byte counts are identical.
+std::vector<RankFlow> ownership_transfer_flows(const PartitionResult& previous,
+                                               const PartitionResult& next,
+                                               std::int64_t cell_bytes);
 
 }  // namespace ssamr

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <deque>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "partition/partition_audit.hpp"
 #include "util/audit.hpp"
@@ -130,54 +130,59 @@ std::optional<std::pair<Box, Box>> split_for_work(
   return b.split(best_axis, best_planes);
 }
 
-PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
-                                const std::vector<real_t>& targets,
-                                const std::vector<rank_t>& proc_order,
-                                const WorkModel& work,
-                                const PartitionConstraints& constraints) {
-  SSAMR_REQUIRE(!targets.empty(), "need at least one processor");
-  SSAMR_REQUIRE(targets.size() == proc_order.size(),
+AssignmentWalk::AssignmentWalk(const std::vector<real_t>& targets,
+                               const std::vector<rank_t>& proc_order,
+                               const WorkModel& work,
+                               const PartitionConstraints& constraints)
+    : work_(work),
+      constraints_(constraints),
+      targets_(targets),
+      proc_order_(proc_order) {
+  SSAMR_REQUIRE(!targets_.empty(), "need at least one processor");
+  SSAMR_REQUIRE(targets_.size() == proc_order_.size(),
                 "targets/proc_order size mismatch");
-  const std::size_t nproc = targets.size();
-
-  PartitionResult result;
-  result.assigned_work.assign(nproc, 0);
-  result.target_work.assign(nproc, 0);
+  const std::size_t nproc = targets_.size();
+  result_.assigned_work.assign(nproc, 0);
+  result_.target_work.assign(nproc, 0);
   for (std::size_t p = 0; p < nproc; ++p)
-    result.target_work[static_cast<std::size_t>(proc_order[p])] = targets[p];
+    result_.target_work[static_cast<std::size_t>(proc_order_[p])] =
+        targets_[p];
+}
 
-  // Work queue, consumed front to back; split remainders go back on front.
-  std::deque<Box> queue(ordered_boxes.begin(), ordered_boxes.end());
+void AssignmentWalk::feed(const Box& box) {
+  // This is the historical deque walk of assign_sequence with the queue
+  // replaced by one in-flight box: the original only ever re-examined the
+  // *front* remainder before consuming the next input box, so a single
+  // `cur` carries the identical state — and the identical FP operation
+  // sequence, which the bit-identity tests rely on.
+  const std::size_t nproc = targets_.size();
+  Box cur = box;
+  for (;;) {
+    const rank_t rank = proc_order_[p_];
+    auto& assigned = result_.assigned_work[static_cast<std::size_t>(rank)];
+    const bool last = (p_ + 1 == nproc);
 
-  std::size_t p = 0;  // position in proc_order
-  while (!queue.empty()) {
-    const rank_t rank = proc_order[p];
-    auto& assigned = result.assigned_work[static_cast<std::size_t>(rank)];
-    const bool last = (p + 1 == nproc);
-
-    if (!last && assigned >= targets[p]) {
-      ++p;
+    if (!last && assigned >= targets_[p_]) {
+      ++p_;
       continue;
     }
 
-    Box box = queue.front();
-    queue.pop_front();
-    const real_t w = box_work(box, work);
-    const real_t remaining = targets[p] - assigned;
+    const real_t w = box_work(cur, work_);
+    const real_t remaining = targets_[p_] - assigned;
 
     if (last || w <= remaining) {
-      result.assignments.push_back({box, rank});
+      result_.assignments.push_back({cur, rank});
       assigned += w;
-      continue;
+      return;
     }
 
-    const auto pieces = split_for_work(box, remaining, work, constraints);
+    const auto pieces = split_for_work(cur, remaining, work_, constraints_);
     if (pieces) {
-      ++result.splits;
-      result.assignments.push_back({pieces->first, rank});
-      assigned += box_work(pieces->first, work);
-      queue.push_front(pieces->second);
-      ++p;
+      ++result_.splits;
+      result_.assignments.push_back({pieces->first, rank});
+      assigned += box_work(pieces->first, work_);
+      cur = pieces->second;
+      ++p_;
       continue;
     }
 
@@ -185,18 +190,30 @@ PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
     // than half of it fits (better here than overloading a later
     // processor), otherwise hand it to the next processor.
     if (remaining >= 0.5 * w) {
-      result.assignments.push_back({box, rank});
+      result_.assignments.push_back({cur, rank});
       assigned += w;
-      ++p;
-    } else {
-      queue.push_front(box);
-      ++p;
+      ++p_;
+      return;
     }
+    ++p_;
   }
+}
+
+PartitionResult AssignmentWalk::take() { return std::move(result_); }
+
+PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
+                                const std::vector<real_t>& targets,
+                                const std::vector<rank_t>& proc_order,
+                                const WorkModel& work,
+                                const PartitionConstraints& constraints) {
+  AssignmentWalk walk(targets, proc_order, work, constraints);
+  for (const Box& b : ordered_boxes) walk.feed(b);
+  PartitionResult result = walk.take();
 
   // Self-audit the walk in Debug/audit builds: coverage, disjointness and
   // split legality against the capacities implied by the targets.
   SSAMR_AUDIT([&] {
+    const std::size_t nproc = targets.size();
     const real_t sum =
         std::accumulate(targets.begin(), targets.end(), real_t{0});
     std::vector<real_t> caps(nproc, real_t{1} / static_cast<real_t>(nproc));

@@ -96,13 +96,50 @@ std::optional<std::pair<Box, Box>> split_for_work(
     const Box& b, real_t target_work, const WorkModel& work,
     const PartitionConstraints& constraints);
 
-/// The greedy assignment walk shared by the partitioners (paper §5.3):
+/// The greedy assignment walk of paper §5.3 as a resumable state machine:
 /// processors are visited in `proc_order`, the p-th visited processor aims
-/// for `targets[p]` work; boxes are consumed from `ordered_boxes` front to
-/// back, splitting (split_for_work) when a box exceeds the processor's
-/// remaining target and assigning whole otherwise.  The last processor
-/// absorbs the remainder.  `targets` and `proc_order` must have equal,
-/// non-zero size.
+/// for `targets[p]` work; curve-ordered boxes are fed one at a time,
+/// splitting (split_for_work) when a box exceeds the processor's remaining
+/// target and assigning whole otherwise.  The last processor absorbs the
+/// remainder.
+///
+/// Extracting the walk from assign_sequence lets producers that never
+/// materialize the global ordered box list — the distributed prefix-sum
+/// partitioner streams boxes out of a shard merge — execute the *identical*
+/// floating-point operation sequence as the global-view schemes.  Between
+/// feed() calls the walk's state is one cursor plus the per-rank
+/// accumulators (O(P)), which is exactly the pipelined carry a real
+/// distributed implementation would pass along the curve; bit-identity to
+/// assign_sequence is pinned by tests/distributed_partition_test.cpp.
+///
+/// `work` is captured by reference and must outlive the walk.
+class AssignmentWalk {
+ public:
+  /// `targets` and `proc_order` must have equal, non-zero size.
+  AssignmentWalk(const std::vector<real_t>& targets,
+                 const std::vector<rank_t>& proc_order, const WorkModel& work,
+                 const PartitionConstraints& constraints);
+
+  /// Consume the next box along the curve order.
+  void feed(const Box& box);
+
+  /// Finish the walk and surrender the accumulated result.  The walk must
+  /// not be fed afterwards.
+  PartitionResult take();
+
+ private:
+  const WorkModel& work_;
+  PartitionConstraints constraints_;
+  std::vector<real_t> targets_;
+  std::vector<rank_t> proc_order_;
+  std::size_t p_ = 0;  ///< position in proc_order
+  PartitionResult result_;
+};
+
+/// The greedy assignment walk over a fully materialized box order (the
+/// global-view partitioners' entry point): feeds `ordered_boxes` through an
+/// AssignmentWalk front to back.  `targets` and `proc_order` must have
+/// equal, non-zero size.
 PartitionResult assign_sequence(const std::vector<Box>& ordered_boxes,
                                 const std::vector<real_t>& targets,
                                 const std::vector<rank_t>& proc_order,

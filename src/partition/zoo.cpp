@@ -1,5 +1,6 @@
 #include "partition/zoo.hpp"
 
+#include "partition/distributed_sfc.hpp"
 #include "partition/grace_default.hpp"
 #include "partition/greedy.hpp"
 #include "partition/heterogeneous.hpp"
@@ -17,25 +18,29 @@ const std::vector<ZooEntry>& partitioner_zoo() {
   static const std::vector<ZooEntry> zoo = {
       {"default", /*capacity_aware=*/false, /*splits_boxes=*/true,
        /*sfc_contiguous=*/true, /*permutation_equivariant=*/false,
-       [] { return std::make_unique<GraceDefaultPartitioner>(); }},
+       /*local_view=*/false, [] { return std::make_unique<GraceDefaultPartitioner>(); }},
       {"heterogeneous", /*capacity_aware=*/true, /*splits_boxes=*/true,
        /*sfc_contiguous=*/false, /*permutation_equivariant=*/true,
-       [] { return std::make_unique<HeterogeneousPartitioner>(); }},
+       /*local_view=*/false, [] { return std::make_unique<HeterogeneousPartitioner>(); }},
       {"multiaxis", /*capacity_aware=*/true, /*splits_boxes=*/true,
        /*sfc_contiguous=*/false, /*permutation_equivariant=*/true,
-       [] { return std::make_unique<MultiAxisPartitioner>(); }},
+       /*local_view=*/false, [] { return std::make_unique<MultiAxisPartitioner>(); }},
       {"sfc-heterogeneous", /*capacity_aware=*/true, /*splits_boxes=*/true,
        /*sfc_contiguous=*/true, /*permutation_equivariant=*/false,
-       [] { return std::make_unique<SfcHeterogeneousPartitioner>(); }},
+       /*local_view=*/false, [] { return std::make_unique<SfcHeterogeneousPartitioner>(); }},
       {"greedy", /*capacity_aware=*/true, /*splits_boxes=*/false,
        /*sfc_contiguous=*/false, /*permutation_equivariant=*/true,
-       [] { return std::make_unique<GreedyPartitioner>(); }},
+       /*local_view=*/false, [] { return std::make_unique<GreedyPartitioner>(); }},
       {"knapsack", /*capacity_aware=*/true, /*splits_boxes=*/false,
        /*sfc_contiguous=*/false, /*permutation_equivariant=*/true,
-       [] { return std::make_unique<KnapsackPartitioner>(); }},
+       /*local_view=*/false, [] { return std::make_unique<KnapsackPartitioner>(); }},
       {"sfc-knapsack", /*capacity_aware=*/true, /*splits_boxes=*/false,
        /*sfc_contiguous=*/true, /*permutation_equivariant=*/false,
-       [] { return std::make_unique<SfcKnapsackHybrid>(); }},
+       /*local_view=*/false, [] { return std::make_unique<SfcKnapsackHybrid>(); }},
+      {"distributed-sfc", /*capacity_aware=*/true, /*splits_boxes=*/true,
+       /*sfc_contiguous=*/true, /*permutation_equivariant=*/false,
+       /*local_view=*/true,
+       [] { return std::make_unique<DistributedSfcPartitioner>(); }},
   };
   return zoo;
 }

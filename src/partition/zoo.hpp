@@ -36,6 +36,10 @@ struct ZooEntry {
   /// `assigned_work` and `target_work` identically — i.e. assignment
   /// depends on capacity values, not rank positions.
   bool permutation_equivariant = false;
+  /// True when the scheme decides from shard-local curve scans (local box
+  /// views + prefix sums) rather than a materialized global box list; the
+  /// global list appears only inside its debug audits (DESIGN.md §11).
+  bool local_view = false;
   /// Construct a fresh instance of the scheme.
   std::function<std::unique_ptr<Partitioner>()> make;
 };

@@ -42,6 +42,14 @@ Seconds EventExecutor::horizon() const {
   return h;
 }
 
+void EventExecutor::run_network(std::vector<Transfer>& transfers, Seconds t) {
+  const std::vector<MbitsPerSec> bw = bandwidths_at(t);
+  events_ += cluster_.size() > kIndexedSimRanks
+                 ? simulate_transfers_indexed(transfers, bw,
+                                              cluster_.network(), net_ws_)
+                 : simulate_transfers(transfers, bw, cluster_.network());
+}
+
 Seconds EventExecutor::sense(Seconds t, Seconds sweep_s, int iteration) {
   // The sweep occupies the monitor lane only: sensing overlaps execution.
   // The driver is charged only when the monitor is still busy with the
@@ -81,7 +89,7 @@ Seconds EventExecutor::migrate(const PartitionResult& previous,
   for (const RankFlow& f : flows)
     transfers.push_back(
         Transfer{f.src, f.dst, Bytes{f.bytes}, begin, Seconds{0}});
-  simulate_transfers(transfers, bandwidths_at(t), cluster_.network());
+  run_network(transfers, t);
 
   const auto n = static_cast<std::size_t>(cluster_.size());
   std::vector<Seconds> done(n, begin);
@@ -119,9 +127,18 @@ StepCost EventExecutor::advance(const PartitionResult& r, Seconds t,
   // receiving rank still needs all its incoming messages before its next
   // span.  Transfers contend for endpoint bandwidth.
   const real_t overlap = exec_.config().comm_overlap.value();
-  const std::vector<RankFlow> flows = pairwise_comm_bytes(
-      r, exec_.config().ghost, exec_.config().ncomp);
-  std::vector<Transfer> transfers;
+  // The flow set is a pure function of the partition; between regrids the
+  // partition is stable, so neighbor discovery runs once per partition
+  // instead of once per iteration.
+  if (!ghost_flows_valid_ || !(ghost_flows_key_ == r)) {
+    ghost_flows_ = pairwise_comm_bytes(r, exec_.config().ghost,
+                                       exec_.config().ncomp);
+    ghost_flows_key_ = r;
+    ghost_flows_valid_ = true;
+  }
+  const std::vector<RankFlow>& flows = ghost_flows_;
+  std::vector<Transfer>& transfers = transfer_buf_;
+  transfers.clear();
   transfers.reserve(flows.size());
   for (const RankFlow& f : flows) {
     const auto s = static_cast<std::size_t>(f.src);
@@ -129,7 +146,7 @@ StepCost EventExecutor::advance(const PartitionResult& r, Seconds t,
     transfers.push_back(
         Transfer{f.src, f.dst, Bytes{f.bytes}, post, Seconds{0}});
   }
-  simulate_transfers(transfers, bandwidths_at(t), cluster_.network());
+  run_network(transfers, t);
 
   std::vector<Seconds> ready(compute_end);
   for (const Transfer& tr : transfers)

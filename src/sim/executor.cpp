@@ -16,14 +16,18 @@ VirtualExecutor::VirtualExecutor(const Cluster& cluster, ExecutorConfig cfg)
   SSAMR_REQUIRE(report.ok(), report.summary());
 }
 
+MegaBytes VirtualExecutor::memory_from_cells(std::int64_t cells) const {
+  const real_t bytes = static_cast<real_t>(cells) * cfg_.ncomp *
+                       cfg_.bytes_per_value * cfg_.time_levels;
+  return cfg_.app_base_memory_mb + MegaBytes{bytes / 1.0e6};
+}
+
 MegaBytes VirtualExecutor::memory_demand_mb(const PartitionResult& r,
                                             rank_t rank) const {
   std::int64_t cells = 0;
   for (const BoxAssignment& a : r.assignments)
     if (a.owner == rank) cells += a.box.cells();
-  const real_t bytes = static_cast<real_t>(cells) * cfg_.ncomp *
-                       cfg_.bytes_per_value * cfg_.time_levels;
-  return cfg_.app_base_memory_mb + MegaBytes{bytes / 1.0e6};
+  return memory_from_cells(cells);
 }
 
 std::vector<Seconds> VirtualExecutor::compute_times(const PartitionResult& r,
@@ -31,12 +35,18 @@ std::vector<Seconds> VirtualExecutor::compute_times(const PartitionResult& r,
   const auto n = static_cast<std::size_t>(cluster_.size());
   SSAMR_REQUIRE(r.assigned_work.size() == n,
                 "partition arity must match cluster size");
-  // Ranks are evaluated independently (each scans the assignment list for
-  // its own memory footprint), each writing only its own slot.
+  // One O(|assignments|) pass scatters the resident cells to their ranks
+  // (the historical per-rank rescans were O(N·P)); integer accumulation,
+  // so the per-rank totals — and the memory model fed from them — match
+  // memory_demand_mb bit for bit.
+  std::vector<std::int64_t> cells(n, 0);
+  for (const BoxAssignment& a : r.assignments)
+    if (a.owner >= 0 && static_cast<std::size_t>(a.owner) < n)
+      cells[static_cast<std::size_t>(a.owner)] += a.box.cells();
   std::vector<Seconds> out(n, Seconds{0});
   ThreadPool::global().parallel_for(n, [&](std::size_t k) {
     const auto rank = static_cast<rank_t>(k);
-    const MegaBytes mem = memory_demand_mb(r, rank);
+    const MegaBytes mem = memory_from_cells(cells[k]);
     // A transiently crashed node pauses: work assigned to it waits out the
     // episode and resumes at rejoin rate, rather than "progressing" at the
     // availability floor (which would price one iteration at ~1000× its
@@ -53,17 +63,26 @@ std::vector<Seconds> VirtualExecutor::compute_times(const PartitionResult& r,
 std::vector<Seconds> VirtualExecutor::comm_times(const PartitionResult& r,
                                                  Seconds t) const {
   const auto n = static_cast<std::size_t>(cluster_.size());
-  // rank_comm_bytes is O(assignments²) per rank — the dominant cost here —
-  // and ranks are independent, so evaluate them in parallel.
+  // One flow extraction (local-view neighbor discovery, O(N log N)) and an
+  // integer incident-sum per rank reproduce every rank_comm_bytes value —
+  // flow bytes are cells × cell_bytes, so the incident sums factor exactly.
+  // The historical per-rank rescans were O(N²·P).
+  std::vector<std::int64_t> incident(n, 0);
+  for (const RankFlow& f : pairwise_comm_bytes(r, cfg_.ghost, cfg_.ncomp)) {
+    if (f.src >= 0 && static_cast<std::size_t>(f.src) < n)
+      incident[static_cast<std::size_t>(f.src)] += f.bytes;
+    if (f.dst >= 0 && static_cast<std::size_t>(f.dst) < n)
+      incident[static_cast<std::size_t>(f.dst)] += f.bytes;
+  }
   std::vector<Seconds> out(n, Seconds{0});
   ThreadPool::global().parallel_for(n, [&](std::size_t k) {
     const auto rank = static_cast<rank_t>(k);
-    const Bytes bytes{rank_comm_bytes(r, rank, cfg_.ghost, cfg_.ncomp)};
     // Price traffic at the node's rejoin-time bandwidth (the compute side
     // already charges the crash pause; a down node's bandwidth floor would
     // double-charge it as absurd transfer times).
     const NodeState s = cluster_.state_at(rank, cluster_.resume_time(rank, t));
-    out[k] = cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
+    out[k] = cluster_.network().exchange_time(Bytes{incident[k]},
+                                              s.bandwidth_mbps);
   });
   return out;
 }
@@ -98,81 +117,51 @@ Seconds VirtualExecutor::partition_time(std::size_t boxes) const {
 Bytes VirtualExecutor::migration_bytes(const PartitionResult& previous,
                                        const PartitionResult& next,
                                        rank_t rank) const {
+  // Cells moving between owners touch both endpoints but are counted once
+  // per flow, so the rank's volume is its incident flow sum.
   const std::int64_t cell_bytes =
       static_cast<std::int64_t>(cfg_.ncomp) * cfg_.bytes_per_value;
   std::int64_t total = 0;
-  if (previous.assignments.empty()) {
-    // Initial scatter from rank 0.
-    for (const BoxAssignment& a : next.assignments) {
-      if (a.owner == rank && rank != 0)
-        total += a.box.cells() * cell_bytes;
-      if (rank == 0 && a.owner != 0) total += a.box.cells() * cell_bytes;
-    }
-    return Bytes{total};
-  }
-  for (const BoxAssignment& nb : next.assignments) {
-    for (const BoxAssignment& ob : previous.assignments) {
-      if (nb.box.level() != ob.box.level()) continue;
-      if (nb.owner == ob.owner) continue;
-      const Box overlap = nb.box.intersection(ob.box);
-      if (overlap.empty()) continue;
-      // Cells moving from ob.owner to nb.owner touch both endpoints.
-      if (ob.owner == rank || nb.owner == rank)
-        total += overlap.cells() * cell_bytes;
-    }
-  }
+  for (const RankFlow& f :
+       ownership_transfer_flows(previous, next, cell_bytes))
+    if (f.src == rank || f.dst == rank) total += f.bytes;
   return Bytes{total};
 }
 
 std::vector<RankFlow> VirtualExecutor::migration_flows(
     const PartitionResult& previous, const PartitionResult& next) const {
   const auto n = static_cast<std::size_t>(cluster_.size());
-  std::vector<std::int64_t> bytes(n * n, 0);
   const std::int64_t cell_bytes =
       static_cast<std::int64_t>(cfg_.ncomp) * cfg_.bytes_per_value;
-  auto add = [&](rank_t src, rank_t dst, std::int64_t b) {
-    SSAMR_REQUIRE(src >= 0 && static_cast<std::size_t>(src) < n &&
-                      dst >= 0 && static_cast<std::size_t>(dst) < n,
+  std::vector<RankFlow> flows =
+      ownership_transfer_flows(previous, next, cell_bytes);
+  for (const RankFlow& f : flows)
+    SSAMR_REQUIRE(f.src >= 0 && static_cast<std::size_t>(f.src) < n &&
+                      f.dst >= 0 && static_cast<std::size_t>(f.dst) < n,
                   "owner out of range");
-    bytes[static_cast<std::size_t>(src) * n +
-          static_cast<std::size_t>(dst)] += b;
-  };
-  if (previous.assignments.empty()) {
-    // Initial scatter from rank 0.
-    for (const BoxAssignment& a : next.assignments)
-      if (a.owner != 0) add(0, a.owner, a.box.cells() * cell_bytes);
-  } else {
-    for (const BoxAssignment& nb : next.assignments)
-      for (const BoxAssignment& ob : previous.assignments) {
-        if (nb.box.level() != ob.box.level()) continue;
-        if (nb.owner == ob.owner) continue;
-        const Box overlap = nb.box.intersection(ob.box);
-        if (overlap.empty()) continue;
-        add(ob.owner, nb.owner, overlap.cells() * cell_bytes);
-      }
-  }
-  std::vector<RankFlow> flows;
-  for (std::size_t s = 0; s < n; ++s)
-    for (std::size_t d = 0; d < n; ++d)
-      if (bytes[s * n + d] > 0)
-        flows.push_back({static_cast<rank_t>(s), static_cast<rank_t>(d),
-                         bytes[s * n + d]});
   return flows;
 }
 
 Seconds VirtualExecutor::migration_time(const PartitionResult& previous,
                                         const PartitionResult& next,
                                         Seconds t) const {
-  // migration_bytes is O(|previous| · |next|) per rank; the max over ranks
-  // is combined in fixed rank order (bit-identical to the serial loop).
+  // One flow extraction, integer incident sums per rank (identical to the
+  // historical per-rank migration_bytes rescans), then the max over ranks
+  // combined in fixed rank order (bit-identical to the serial loop).
+  const auto n = static_cast<std::size_t>(cluster_.size());
+  std::vector<std::int64_t> incident(n, 0);
+  for (const RankFlow& f : migration_flows(previous, next)) {
+    incident[static_cast<std::size_t>(f.src)] += f.bytes;
+    if (f.dst != f.src) incident[static_cast<std::size_t>(f.dst)] += f.bytes;
+  }
   return ThreadPool::global().transform_reduce_ordered(
-      static_cast<std::size_t>(cluster_.size()), Seconds{0},
+      n, Seconds{0},
       [&](std::size_t k) {
         const auto rank = static_cast<rank_t>(k);
-        const Bytes bytes = migration_bytes(previous, next, rank);
         const NodeState s =
             cluster_.state_at(rank, cluster_.resume_time(rank, t));
-        return cluster_.network().exchange_time(bytes, s.bandwidth_mbps);
+        return cluster_.network().exchange_time(Bytes{incident[k]},
+                                                s.bandwidth_mbps);
       },
       [](Seconds a, Seconds b) { return std::max(a, b); });
 }

@@ -97,6 +97,11 @@ class VirtualExecutor {
   const ExecutorConfig& config() const { return cfg_; }
 
  private:
+  /// The memory model of memory_demand_mb for a known resident cell count
+  /// (one shared expression so the batched and per-rank paths stay
+  /// bit-identical).
+  MegaBytes memory_from_cells(std::int64_t cells) const;
+
   const Cluster& cluster_;
   ExecutorConfig cfg_;
 };

@@ -23,20 +23,89 @@
 /// zero bytes completes at its post time, mirroring
 /// NetworkModel::transfer_time.
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "cluster/network.hpp"
 #include "sim/event.hpp"
+#include "sim/event_queue.hpp"
 #include "util/types.hpp"
 #include "util/units.hpp"
 
 namespace ssamr::sim {
 
+/// Reusable scratch for simulate_transfers_indexed.  One simulation of
+/// 400k transfers across 16k endpoints touches ~40 MB of working state
+/// and tens of thousands of per-lane vectors; a caller that simulates
+/// every iteration (the event executor) keeps one workspace alive so each
+/// call pays a reset instead of an allocation storm — the buffers and the
+/// lane vectors' capacities persist across calls.  The fields are the
+/// simulator's internals, exposed only so they can outlive a call; treat
+/// them as opaque.  Reuse never changes results: every field is fully
+/// re-initialized per call.
+struct SimWorkspace {
+  struct Entry {
+    Seconds time{0};
+    std::uint32_t id = 0;
+  };
+  /// One transfer's entire fluid state, packed to half a cache line and
+  /// aligned so it never straddles one.  The re-rate pass reads these in
+  /// data-dependent random order over the whole transfer range; at
+  /// P = 16384 that range is far past L2, so splitting rate, endpoints
+  /// and residual across separate arrays costs up to three cold lines per
+  /// visit where this layout costs one.
+  struct alignas(32) Fluid {
+    real_t rate = -1;    ///< <0 inactive, 0 awaiting first share
+    std::uint32_t src = 0, dst = 0;
+    real_t remaining = 0;
+    Seconds last{0};
+  };
+  std::vector<BytesPerSec> cap;
+  std::vector<Entry> starts;
+  std::vector<Fluid> fluid;
+  std::vector<std::vector<std::uint32_t>> tx_list, rx_list;
+  std::vector<int> tx_degree, rx_degree;
+  std::vector<BytesPerSec> share_tx, share_rx;
+  RetimableEventQueue completions;
+  std::vector<std::size_t> pending_tx, pending_rx, cur_tx, cur_rx;
+};
+
 /// Resolve `transfers` (post_time/bytes/src/dst set) against per-endpoint
 /// deliverable bandwidths `deliverable_mbps`, filling every finish_time.
 /// Endpoint indices must lie in [0, deliverable_mbps.size()).
-void simulate_transfers(std::vector<Transfer>& transfers,
-                        const std::vector<MbitsPerSec>& deliverable_mbps,
-                        const NetworkModel& net);
+/// Returns the discrete events processed (one admission + one completion
+/// per transfer that actually enters the network; zero-byte and self
+/// transfers complete at their post time without events).
+///
+/// Every event re-evaluates the rate of *every* in-flight transfer, so a
+/// step costs O(active) — exact for ties and the historical bit-pattern,
+/// but quadratic in the concurrent transfer count.
+std::size_t simulate_transfers(std::vector<Transfer>& transfers,
+                               const std::vector<MbitsPerSec>& deliverable_mbps,
+                               const NetworkModel& net);
+
+/// Same fluid model, indexed: per-endpoint incident lists localize each
+/// event to the transfers sharing an endpoint with it, completions live in
+/// a lazily-invalidated retimable heap, and in-flight residuals settle
+/// lazily (`remaining -= rate · Δt`) when one of their endpoints changes
+/// degree.  A step costs O(deg · log E) instead of O(active), which is
+/// what lets the event model reach P = 16384 ranks (DESIGN.md §11).
+///
+/// The piecewise-constant fluid solution is the same as
+/// simulate_transfers(); finish times agree to rounding (≈1e-9 s) but are
+/// NOT bit-identical — residuals accumulate in a different grouping.  The
+/// event executor therefore switches to this path only above its
+/// rank-count threshold, keeping small-P goldens byte-stable.
+std::size_t simulate_transfers_indexed(
+    std::vector<Transfer>& transfers,
+    const std::vector<MbitsPerSec>& deliverable_mbps, const NetworkModel& net);
+
+/// As above, reusing `ws` for every internal buffer.  Results are
+/// identical to the workspace-free form; only allocation traffic differs.
+std::size_t simulate_transfers_indexed(
+    std::vector<Transfer>& transfers,
+    const std::vector<MbitsPerSec>& deliverable_mbps, const NetworkModel& net,
+    SimWorkspace& ws);
 
 }  // namespace ssamr::sim

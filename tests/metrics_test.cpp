@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "util/error.hpp"
 #include "partition/metrics.hpp"
 
@@ -117,6 +123,78 @@ TEST(Imbalance, MalformedResultRejected) {
   r.assigned_work = {1.0};
   r.target_work = {1.0, 2.0};
   EXPECT_THROW(load_imbalance_pct(r), Error);
+}
+
+/// Brute-force reference for ownership_transfer_flows: all-pairs
+/// same-level overlap between old and new owners, accumulated in sorted
+/// (src, dst) order.
+std::vector<RankFlow> brute_transfer_flows(const PartitionResult& prev,
+                                           const PartitionResult& next,
+                                           std::int64_t cell_bytes) {
+  std::map<std::pair<rank_t, rank_t>, std::int64_t> bytes;
+  for (const auto& nb : next.assignments)
+    for (const auto& ob : prev.assignments) {
+      if (ob.box.level() != nb.box.level() || ob.owner == nb.owner) continue;
+      const Box overlap = ob.box.intersection(nb.box);
+      if (!overlap.empty())
+        bytes[{ob.owner, nb.owner}] += overlap.cells() * cell_bytes;
+    }
+  std::vector<RankFlow> out;
+  for (const auto& [key, b] : bytes)
+    if (b > 0) out.push_back(RankFlow{key.first, key.second, b});
+  return out;
+}
+
+TEST(TransferFlows, MatchBruteForceOverlapScan) {
+  // A 3-rank relayout with partial overlaps: rank 0's box splits between
+  // ranks 1 and 2, rank 1's moves wholesale, a refined box stays put.
+  PartitionResult prev;
+  prev.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(8, 4, 4), 0), 0});
+  prev.assignments.push_back(
+      {Box::from_extent(IntVec(8, 0, 0), IntVec(4, 4, 4), 0), 1});
+  prev.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(8, 8, 8), 1), 2});
+  PartitionResult next;
+  next.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 1});
+  next.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(4, 4, 4), 0), 2});
+  next.assignments.push_back(
+      {Box::from_extent(IntVec(8, 0, 0), IntVec(4, 4, 4), 0), 2});
+  next.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(8, 8, 8), 1), 2});
+  const std::int64_t cell_bytes = 40;
+  const auto got = ownership_transfer_flows(prev, next, cell_bytes);
+  const auto want = brute_transfer_flows(prev, next, cell_bytes);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].src, want[i].src) << i;
+    EXPECT_EQ(got[i].dst, want[i].dst) << i;
+    EXPECT_EQ(got[i].bytes, want[i].bytes) << i;
+  }
+  // Sorted (src, dst), no self or zero flows.
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NE(got[i].src, got[i].dst);
+    EXPECT_GT(got[i].bytes, 0);
+    if (i > 0)
+      EXPECT_TRUE(std::make_pair(got[i - 1].src, got[i - 1].dst) <
+                  std::make_pair(got[i].src, got[i].dst));
+  }
+}
+
+TEST(TransferFlows, EmptyPreviousScattersFromRankZero) {
+  PartitionResult next;
+  next.assignments.push_back(
+      {Box::from_extent(IntVec(0, 0, 0), IntVec(4, 4, 4), 0), 0});
+  next.assignments.push_back(
+      {Box::from_extent(IntVec(4, 0, 0), IntVec(4, 4, 4), 0), 2});
+  const auto flows = ownership_transfer_flows(PartitionResult{}, next, 8);
+  ASSERT_EQ(flows.size(), 1u);  // rank 0's own box moves nothing
+  EXPECT_EQ(flows[0].src, 0);
+  EXPECT_EQ(flows[0].dst, 2);
+  EXPECT_EQ(flows[0].bytes, 64 * 8);
+  EXPECT_THROW(ownership_transfer_flows(PartitionResult{}, next, 0), Error);
 }
 
 }  // namespace

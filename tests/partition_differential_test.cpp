@@ -326,7 +326,8 @@ TEST(PartitionerDifferential, KnapsackNeverWorseThanGreedySeed) {
 
 TEST(PartitionerDifferential, ZooRegistryIsConsistent) {
   const auto& zoo = partitioner_zoo();
-  ASSERT_GE(zoo.size(), 7u);
+  ASSERT_GE(zoo.size(), 8u);
+  std::size_t local_view_schemes = 0;
   for (std::size_t i = 0; i < zoo.size(); ++i) {
     for (std::size_t j = i + 1; j < zoo.size(); ++j)
       EXPECT_NE(zoo[i].id, zoo[j].id);
@@ -334,7 +335,16 @@ TEST(PartitionerDifferential, ZooRegistryIsConsistent) {
     const auto p = make_partitioner(zoo[i].id);
     ASSERT_NE(p, nullptr);
     EXPECT_FALSE(p->name().empty());
+    if (zoo[i].local_view) {
+      ++local_view_schemes;
+      // A scheme that decides from shard-local curve scans necessarily
+      // walks the space-filling curve and honors capacities.
+      EXPECT_TRUE(zoo[i].sfc_contiguous) << zoo[i].id;
+      EXPECT_TRUE(zoo[i].capacity_aware) << zoo[i].id;
+      EXPECT_EQ(zoo[i].id, "distributed-sfc");
+    }
   }
+  EXPECT_EQ(local_view_schemes, 1u);
   EXPECT_THROW(make_partitioner("no-such-scheme"), Error);
 }
 

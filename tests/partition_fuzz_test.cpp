@@ -148,7 +148,8 @@ INSTANTIATE_TEST_SUITE_P(AllSchemes, PartitionerFuzzTest,
                          ::testing::Values("default", "heterogeneous",
                                            "multiaxis", "sfc-heterogeneous",
                                            "greedy", "knapsack",
-                                           "sfc-knapsack"));
+                                           "sfc-knapsack",
+                                           "distributed-sfc"));
 
 }  // namespace
 }  // namespace ssamr

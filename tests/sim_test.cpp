@@ -44,6 +44,130 @@ TEST(EventQueue, EmptyQueueRejectsAccess) {
   EXPECT_THROW(q.pop(), Error);
 }
 
+
+// ---------------------------------------------------------------------------
+// RetimableEventQueue: the indexed decrease-key heap under the fluid
+// simulator.  Differential-tested against a brute-force reference (linear
+// argmin over (time, sequence)) so the directional single-sift moves and
+// the position map are exercised under random churn.
+
+TEST(RetimableEventQueue, PopsInTimeOrderAndRetimesBothWays) {
+  RetimableEventQueue q(4);
+  q.schedule(Seconds{3.0}, 0);
+  q.schedule(Seconds{1.0}, 1);
+  q.schedule(Seconds{2.0}, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.next_time().value(), 1.0);
+  q.schedule(Seconds{0.5}, 0);  // decrease-key to the front
+  EXPECT_EQ(q.pop(), 0u);
+  q.schedule(Seconds{5.0}, 1);  // increase-key past the other entry
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RetimableEventQueue, EqualTimesPopInLatestScheduleOrder) {
+  RetimableEventQueue q(3);
+  q.schedule(Seconds{1.0}, 2);
+  q.schedule(Seconds{1.0}, 0);
+  q.schedule(Seconds{1.0}, 1);
+  q.schedule(Seconds{1.0}, 2);  // re-stamp: now the freshest entry
+  EXPECT_EQ(q.pop(), 0u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), 2u);
+}
+
+TEST(RetimableEventQueue, CancelDropsOnlyTheTarget) {
+  RetimableEventQueue q(3);
+  q.schedule(Seconds{1.0}, 0);
+  q.schedule(Seconds{2.0}, 1);
+  q.schedule(Seconds{3.0}, 2);
+  q.cancel(1);
+  q.cancel(1);  // absent: no-op
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 0u);
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RetimableEventQueue, MatchesBruteForceReferenceUnderChurn) {
+  constexpr std::size_t kIds = 181;
+  constexpr int kOps = 20000;
+  RetimableEventQueue q(kIds);
+  // Reference: per-id (time, stamp), argmin by (time, stamp) — the
+  // documented pop order.  Stamps advance on every schedule call exactly
+  // like the queue's internal sequence.
+  struct Ref {
+    bool live = false;
+    double time = 0;
+    std::uint64_t stamp = 0;
+  };
+  std::vector<Ref> ref(kIds);
+  std::uint64_t next_stamp = 0;
+  std::size_t live = 0;
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;  // fixed-seed xorshift
+  const auto rand_u32 = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return static_cast<std::uint32_t>(rng >> 32);
+  };
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint32_t r = rand_u32();
+    const auto id = static_cast<std::size_t>(rand_u32() % kIds);
+    if (r % 100 < 55) {
+      // Times from a small lattice so equal-time ties actually occur.
+      const double time = 0.125 * static_cast<double>(rand_u32() % 64);
+      q.schedule(Seconds{time}, id);
+      if (!ref[id].live) ++live;
+      ref[id] = Ref{true, time, next_stamp++};
+    } else if (r % 100 < 70) {
+      q.cancel(id);
+      if (ref[id].live) --live;
+      ref[id].live = false;
+    } else if (live > 0) {
+      std::size_t best = kIds;
+      for (std::size_t i = 0; i < kIds; ++i) {
+        if (!ref[i].live) continue;
+        if (best == kIds || ref[i].time < ref[best].time ||
+            (ref[i].time == ref[best].time && ref[i].stamp < ref[best].stamp))
+          best = i;
+      }
+      ASSERT_DOUBLE_EQ(q.next_time().value(), ref[best].time);
+      ASSERT_EQ(q.pop(), best);
+      ref[best].live = false;
+      --live;
+    }
+    ASSERT_EQ(q.size(), live);
+    ASSERT_EQ(q.empty(), live == 0);
+  }
+  // Drain: full agreement to the end.
+  while (live > 0) {
+    std::size_t best = kIds;
+    for (std::size_t i = 0; i < kIds; ++i) {
+      if (!ref[i].live) continue;
+      if (best == kIds || ref[i].time < ref[best].time ||
+          (ref[i].time == ref[best].time && ref[i].stamp < ref[best].stamp))
+        best = i;
+    }
+    ASSERT_EQ(q.pop(), best);
+    ref[best].live = false;
+    --live;
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RetimableEventQueue, ResetReusesAcrossRuns) {
+  RetimableEventQueue q;
+  for (int run = 0; run < 3; ++run) {
+    q.reset(8);
+    EXPECT_TRUE(q.empty());
+    for (std::size_t id = 0; id < 8; ++id)
+      q.schedule(Seconds{static_cast<double>(7 - id)}, id);
+    for (std::size_t id = 8; id-- > 0;) EXPECT_EQ(q.pop(), id);
+  }
+}
+
 TEST(Timeline, BucketsSpansByKind) {
   RankTimeline tl(0);
   tl.advance(Seconds{1.0}, SpanKind::kCompute, 0);
@@ -277,6 +401,91 @@ TEST(MessageSim, ActiveListMatchesFullScanReferenceBitExactly) {
   reference_simulate(slow, bw, net);
   for (std::size_t i = 0; i < ts.size(); ++i)
     EXPECT_EQ(fast[i].finish_time, slow[i].finish_time) << "transfer " << i;
+}
+
+/// The 200-transfer churn mix from the reference test above, reused for
+/// the indexed-simulator comparisons.
+std::vector<Transfer> churn_mix(int nodes) {
+  std::vector<Transfer> ts;
+  std::uint64_t s = 12345;
+  const auto next = [&s] {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return s >> 33;
+  };
+  for (int i = 0; i < 200; ++i) {
+    Transfer t;
+    t.src = static_cast<rank_t>(next() % nodes);
+    t.dst = static_cast<rank_t>(next() % nodes);
+    t.bytes = (next() % 5 == 0)
+                  ? Bytes{0}
+                  : Bytes{static_cast<std::int64_t>(1 + next() % 2000000)};
+    t.post_time = Seconds{static_cast<real_t>(next() % 1000) * 0.01};
+    ts.push_back(t);
+  }
+  return ts;
+}
+
+TEST(MessageSimIndexed, AgreesWithExactSimulatorToRounding) {
+  // Same fluid model, different FP grouping: the indexed simulator settles
+  // residuals lazily per lane instead of sweeping all active transfers, so
+  // finish times agree to rounding but not bit-for-bit.
+  NetworkModel net;
+  const std::vector<MbitsPerSec> bw = {MbitsPerSec{100.0}, MbitsPerSec{80.0},
+                                       MbitsPerSec{120.0}, MbitsPerSec{60.0},
+                                       MbitsPerSec{100.0}, MbitsPerSec{90.0}};
+  std::vector<Transfer> exact = churn_mix(6);
+  std::vector<Transfer> indexed = exact;
+  const std::size_t exact_events = simulate_transfers(exact, bw, net);
+  const std::size_t indexed_events = simulate_transfers_indexed(indexed, bw,
+                                                                net);
+  EXPECT_EQ(exact_events, indexed_events);
+  for (std::size_t i = 0; i < exact.size(); ++i)
+    EXPECT_NEAR(indexed[i].finish_time.value(), exact[i].finish_time.value(),
+                1e-6)
+        << "transfer " << i;
+}
+
+TEST(MessageSimIndexed, IsDeterministic) {
+  NetworkModel net;
+  const std::vector<MbitsPerSec> bw(6, MbitsPerSec{100.0});
+  std::vector<Transfer> a = churn_mix(6);
+  std::vector<Transfer> b = a;
+  EXPECT_EQ(simulate_transfers_indexed(a, bw, net),
+            simulate_transfers_indexed(b, bw, net));
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i].finish_time, b[i].finish_time) << "transfer " << i;
+}
+
+TEST(MessageSimIndexed, CountsTwoEventsPerNetworkTransfer) {
+  // One admission + one completion per transfer that actually enters the
+  // network; zero-byte and self transfers are free and uncounted.  Both
+  // simulators must agree on the count.
+  NetworkModel net;
+  const std::vector<MbitsPerSec> bw(3, MbitsPerSec{100.0});
+  std::vector<Transfer> ts = {
+      Transfer{0, 1, Bytes{1 << 20}, Seconds{0}, Seconds{0}},
+      Transfer{1, 2, Bytes{1 << 18}, Seconds{0.1}, Seconds{0}},
+      Transfer{0, 0, Bytes{1 << 20}, Seconds{0}, Seconds{0}},  // self
+      Transfer{2, 1, Bytes{0}, Seconds{0}, Seconds{0}}};       // empty
+  std::vector<Transfer> ts2 = ts;
+  EXPECT_EQ(simulate_transfers(ts, bw, net), 4u);
+  EXPECT_EQ(simulate_transfers_indexed(ts2, bw, net), 4u);
+}
+
+TEST(MessageSimIndexed, FanOutContentionMatchesClosedForm) {
+  // Two concurrent sends from one source: each sees half the tx lane, so
+  // both finish in twice the solo time (plus latency) — same closed form
+  // the exact path pins in ConcurrentSendsShareTheSourceNic.
+  NetworkModel net;
+  net.latency_s = Seconds{0};
+  net.efficiency = Fraction{1.0};
+  const std::vector<MbitsPerSec> bw(3, MbitsPerSec{100.0});
+  const Bytes bytes{1250000};  // 0.1 s solo at 100 Mbit/s
+  std::vector<Transfer> ts = {Transfer{0, 1, bytes, Seconds{0}, Seconds{0}},
+                              Transfer{0, 2, bytes, Seconds{0}, Seconds{0}}};
+  simulate_transfers_indexed(ts, bw, net);
+  EXPECT_NEAR(ts[0].finish_time.value(), 0.2, 1e-9);
+  EXPECT_NEAR(ts[1].finish_time.value(), 0.2, 1e-9);
 }
 
 PartitionResult two_adjacent_boxes() {

@@ -35,22 +35,6 @@ using namespace ssamr;
 
 namespace {
 
-real_t env_real(const char* name, real_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  return (end != v && *end == '\0') ? static_cast<real_t>(parsed) : fallback;
-}
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  return (end != v && *end == '\0') ? static_cast<int>(parsed) : fallback;
-}
-
 std::vector<real_t> env_rates() {
   std::vector<real_t> rates;
   const char* v = std::getenv("SSAMR_FAULT_RATES");
@@ -67,15 +51,15 @@ std::vector<real_t> env_rates() {
 FaultPlan plan_for_rate(real_t rate, int nodes, real_t horizon) {
   if (rate <= 0) return FaultPlan{};
   const real_t timeout_frac =
-      env_real("SSAMR_FAULT_TIMEOUT_FRACTION", 0.5);
+      exp::env_real("SSAMR_FAULT_TIMEOUT_FRACTION", 0.5, 0.0, 1.0);
   FaultProfile profile;
   profile.probe_timeout_rate = rate * timeout_frac;
   profile.probe_drop_rate = rate * (1.0 - timeout_frac);
-  profile.stale_windows = env_int("SSAMR_FAULT_STALE_WINDOWS", 2);
-  profile.crash_episodes = env_int("SSAMR_FAULT_CRASHES", 1);
+  profile.stale_windows = exp::env_int("SSAMR_FAULT_STALE_WINDOWS", 2, 0);
+  profile.crash_episodes = exp::env_int("SSAMR_FAULT_CRASHES", 1, 0);
   return FaultPlan::scripted(
       nodes, Seconds{horizon}, profile,
-      static_cast<std::uint64_t>(env_int("SSAMR_FAULT_SEED", 1724)));
+      static_cast<std::uint64_t>(exp::env_int("SSAMR_FAULT_SEED", 1724, 0)));
 }
 
 RunTrace run_one(const Partitioner& p, const FaultPlan& plan, real_t tau,

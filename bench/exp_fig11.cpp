@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
 
   const ExecModelKind model = exp::select_exec_model(argc, argv);
   std::cout << "execution model: " << exec_model_name(model)
-            << " (--exec-model=bsp|event, or SSAMR_EXEC_MODEL)\n\n";
+            << " (--exec-model=bsp|event|proc, or SSAMR_EXEC_MODEL)\n\n";
 
   // ~30 regrids at regrid_interval 5 => 150 iterations; sensing every 50
   // iterations yields exactly two mid-run samplings.

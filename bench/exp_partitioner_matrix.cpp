@@ -24,7 +24,7 @@
 /// cross-product acts as a regression net for every future PR.
 ///
 /// Flags / environment:
-///   --exec-model=bsp|event  run only that model (default: both)
+///   --exec-model=bsp|event|proc  run only that model (default: both)
 ///   SSAMR_EXP_ITERS         iterations per run (default 100)
 ///   SSAMR_FAULT_RATE        probe failure rate of the fault family (0.2)
 ///   SSAMR_FAULT_SEED / SSAMR_FAULT_STALE_WINDOWS / SSAMR_FAULT_CRASHES /
@@ -46,22 +46,6 @@ using namespace ssamr;
 
 namespace {
 
-real_t env_real(const char* name, real_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(v, &end);
-  return (end != v && *end == '\0') ? static_cast<real_t>(parsed) : fallback;
-}
-
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  return (end != v && *end == '\0') ? static_cast<int>(parsed) : fallback;
-}
-
 const std::vector<std::string> kWorkloads = {"rm3d", "particle", "comm",
                                              "fault"};
 constexpr int kProcs = 4;
@@ -70,17 +54,18 @@ constexpr real_t kParticleCost = 50.0;
 
 /// Fault plan of the `fault` family (ablation_faults conventions).
 FaultPlan fault_plan(real_t horizon) {
-  const real_t rate = env_real("SSAMR_FAULT_RATE", 0.2);
+  const real_t rate = exp::env_real("SSAMR_FAULT_RATE", 0.2, 0.0, 1.0);
   if (rate <= 0) return FaultPlan{};
-  const real_t timeout_frac = env_real("SSAMR_FAULT_TIMEOUT_FRACTION", 0.5);
+  const real_t timeout_frac =
+      exp::env_real("SSAMR_FAULT_TIMEOUT_FRACTION", 0.5, 0.0, 1.0);
   FaultProfile profile;
   profile.probe_timeout_rate = rate * timeout_frac;
   profile.probe_drop_rate = rate * (1.0 - timeout_frac);
-  profile.stale_windows = env_int("SSAMR_FAULT_STALE_WINDOWS", 2);
-  profile.crash_episodes = env_int("SSAMR_FAULT_CRASHES", 1);
+  profile.stale_windows = exp::env_int("SSAMR_FAULT_STALE_WINDOWS", 2, 0);
+  profile.crash_episodes = exp::env_int("SSAMR_FAULT_CRASHES", 1, 0);
   return FaultPlan::scripted(
       kProcs, Seconds{horizon}, profile,
-      static_cast<std::uint64_t>(env_int("SSAMR_FAULT_SEED", 1724)));
+      static_cast<std::uint64_t>(exp::env_int("SSAMR_FAULT_SEED", 1724, 0)));
 }
 
 /// Trace configuration of one workload family.

@@ -60,14 +60,6 @@ using namespace ssamr;
 
 namespace {
 
-int env_int(const char* name, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  return (end != v && *end == '\0') ? static_cast<int>(parsed) : fallback;
-}
-
 /// Four 8³ level-0 boxes per rank on a cube-ish lattice; every eighth box
 /// carries a half-depth refined child.  Linear in P, fixed per-rank shape.
 BoxList scale_workload(int nprocs) {
@@ -211,7 +203,9 @@ int main() {
   std::cout << "=== exp_scale: distributed-metadata sweep under the event"
                " model ===\n\n";
   const int iterations = exp::run_iterations(40);
-  const int max_p = env_int("SSAMR_SCALE_MAX_P", 16384);
+  // Validated: a zero or negative cap (e.g. a stray SSAMR_SCALE_MAX_P=-4)
+  // must not underflow scale_workload's 4·P box count — it falls back.
+  const int max_p = exp::env_int("SSAMR_SCALE_MAX_P", 16384, /*min=*/1);
 
   std::vector<int> sweep;
   for (const int p : {128, 1024, 4096, 16384})
@@ -245,12 +239,12 @@ int main() {
 
   std::cout << "\nwrote " << exp::results_path("exp_scale.csv") << '\n';
 
-  if (env_int("SSAMR_SCALE_CHECK", 0) != 0 && rows.size() >= 2) {
+  if (exp::env_int("SSAMR_SCALE_CHECK", 0, 0, 1) != 0 && rows.size() >= 2) {
     const ScaleRow& small = rows.front();
     const ScaleRow& big = rows.back();
     const double evps_small = small.events / small.advance_seconds;
     const double evps_big = big.events / big.advance_seconds;
-    const double floor = env_int("SSAMR_SCALE_FLOOR", 50) / 100.0;
+    const double floor = exp::env_int("SSAMR_SCALE_FLOOR", 50, 1, 100) / 100.0;
     const double boxes_ratio =
         static_cast<double>(big.boxes) / static_cast<double>(small.boxes);
     const double part_ratio = big.partition_seconds / small.partition_seconds;

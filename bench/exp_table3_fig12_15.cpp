@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
 
   const ExecModelKind model = exp::select_exec_model(argc, argv);
   std::cout << "execution model: " << exec_model_name(model)
-            << " (--exec-model=bsp|event, or SSAMR_EXEC_MODEL)\n\n";
+            << " (--exec-model=bsp|event|proc, or SSAMR_EXEC_MODEL)\n\n";
 
   const int iterations = exp::run_iterations(200);
   const int paper_times[] = {316, 277, 286, 293};

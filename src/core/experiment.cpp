@@ -7,6 +7,32 @@
 
 namespace ssamr::exp {
 
+int env_int(const char* name, int fallback, int min_value, int max_value) {
+  SSAMR_REQUIRE(min_value <= max_value, "env_int: empty valid range");
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0') return fallback;
+  if (parsed < static_cast<long>(min_value) ||
+      parsed > static_cast<long>(max_value))
+    return fallback;
+  return static_cast<int>(parsed);
+}
+
+real_t env_real(const char* name, real_t fallback, real_t min_value,
+                real_t max_value) {
+  SSAMR_REQUIRE(min_value <= max_value, "env_real: empty valid range");
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0') return fallback;
+  // Written so NaN fails: !(lo <= x && x <= hi), not (x < lo || x > hi).
+  if (!(parsed >= min_value && parsed <= max_value)) return fallback;
+  return static_cast<real_t>(parsed);
+}
+
 std::string results_path(const std::string& filename) {
   namespace fs = std::filesystem;
   const char* env = std::getenv("SSAMR_RESULTS_DIR");

@@ -7,12 +7,26 @@
 /// scripts and runtime parameters stay consistent with the descriptions in
 /// EXPERIMENTS.md.
 
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/ssamr.hpp"
 
 namespace ssamr::exp {
+
+/// Validated integer environment knob: parse `$name` as a base-10 integer
+/// and return it when the whole string parses and the value lies in
+/// [min_value, max_value]; otherwise return `fallback` (unset, empty,
+/// trailing garbage, and out-of-range values all fall back — an operator
+/// typo must never smuggle a zero or negative count into a driver).
+int env_int(const char* name, int fallback, int min_value,
+            int max_value = std::numeric_limits<int>::max());
+
+/// Validated floating-point environment knob; same fallback-on-garbage
+/// contract as env_int (NaN never passes the range check).
+real_t env_real(const char* name, real_t fallback, real_t min_value,
+                real_t max_value);
 
 /// Path for a generated result file: `$SSAMR_RESULTS_DIR/filename`
 /// (default directory `results/`, created on demand).  Keeps generated
@@ -56,9 +70,10 @@ void apply_dynamic_loads(Cluster& cluster, real_t timescale_s);
 RuntimeConfig paper_runtime_config(int iterations, int sensing_interval);
 
 /// Select the execution model for subsequent paper_runtime_config() calls:
-/// a `--exec-model=bsp|event` argument wins, else the SSAMR_EXEC_MODEL
-/// environment variable, else the BSP default.  Bench drivers call this
-/// from main(); returns the selection so drivers can print it.
+/// a `--exec-model=bsp|event|proc` argument wins, else the
+/// SSAMR_EXEC_MODEL environment variable, else the BSP default.  Bench
+/// drivers call this from main(); returns the selection so drivers can
+/// print it.
 ExecModelKind select_exec_model(int argc, char** argv);
 
 /// Force the execution model programmatically (overrides the environment).

@@ -1,0 +1,23 @@
+#pragma once
+/// \file proc_exit.hpp
+/// The sanctioned process-exit seam for forked rank processes.
+///
+/// A forked child must NEVER return into the parent's stack or run the
+/// parent's atexit handlers / static destructors — the coordinator still
+/// owns those (flushing its stdio or tearing down its thread pool from the
+/// child would corrupt shared fds and double-run cleanup).  _exit(2) is the
+/// only correct way out, so this header is the one place allowed to call it
+/// (tools/lint.sh excludes this file from the exit-call ban; everywhere
+/// else, raw exit calls stay forbidden).
+
+#include <unistd.h>
+
+namespace ssamr::net {
+
+/// Terminate the calling (forked) process immediately: no atexit handlers,
+/// no static destructors, no stdio flush.  Child-process use only.
+[[noreturn]] inline void hard_exit(int code) {
+  ::_exit(code);
+}
+
+}  // namespace ssamr::net

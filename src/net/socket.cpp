@@ -1,0 +1,108 @@
+#include "net/socket.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace ssamr::net {
+namespace {
+
+[[noreturn]] void fail(const char* what) {
+  throw Error(std::string("net: ") + what + ": " + ::strerror(errno));
+}
+
+void set_nonblock_cloexec(int fd) {
+  const int fl = ::fcntl(fd, F_GETFL, 0);
+  SSAMR_REQUIRE(fl >= 0, "fcntl(F_GETFL)");
+  SSAMR_REQUIRE(::fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0,
+                "fcntl(F_SETFL, O_NONBLOCK)");
+  const int fd_fl = ::fcntl(fd, F_GETFD, 0);
+  SSAMR_REQUIRE(fd_fl >= 0, "fcntl(F_GETFD)");
+  SSAMR_REQUIRE(::fcntl(fd, F_SETFD, fd_fl | FD_CLOEXEC) == 0,
+                "fcntl(F_SETFD, FD_CLOEXEC)");
+}
+
+StreamPair make_unix_pair() {
+  int sv[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+    fail("socketpair(AF_UNIX)");
+  set_nonblock_cloexec(sv[0]);
+  set_nonblock_cloexec(sv[1]);
+  return StreamPair{sv[0], sv[1]};
+}
+
+/// Loopback TCP self-connect: listen on an ephemeral 127.0.0.1 port,
+/// connect a client socket to it, accept — then throw the listener away.
+StreamPair make_tcp_pair() {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) fail("socket(AF_INET) listener");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    close_fd(lfd);
+    fail("bind(127.0.0.1:0)");
+  }
+  socklen_t alen = sizeof addr;
+  if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen) != 0) {
+    close_fd(lfd);
+    fail("getsockname");
+  }
+  if (::listen(lfd, 1) != 0) {
+    close_fd(lfd);
+    fail("listen");
+  }
+  const int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (cfd < 0) {
+    close_fd(lfd);
+    fail("socket(AF_INET) client");
+  }
+  // Blocking connect to our own listener: loopback, completes immediately.
+  if (::connect(cfd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    close_fd(cfd);
+    close_fd(lfd);
+    fail("connect(loopback)");
+  }
+  int afd = -1;
+  for (;;) {
+    afd = ::accept(lfd, nullptr, nullptr);
+    if (afd >= 0 || errno != EINTR) break;
+  }
+  close_fd(lfd);
+  if (afd < 0) {
+    close_fd(cfd);
+    fail("accept");
+  }
+  const int one = 1;
+  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  ::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_nonblock_cloexec(cfd);
+  set_nonblock_cloexec(afd);
+  return StreamPair{cfd, afd};
+}
+
+}  // namespace
+
+StreamPair make_stream_pair(bool use_tcp) {
+  return use_tcp ? make_tcp_pair() : make_unix_pair();
+}
+
+void close_fd(int fd) {
+  if (fd < 0) return;
+  for (;;) {
+    if (::close(fd) == 0 || errno != EINTR) return;
+  }
+}
+
+}  // namespace ssamr::net

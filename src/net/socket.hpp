@@ -1,0 +1,29 @@
+#pragma once
+/// \file socket.hpp
+/// Connected stream-socket pairs for the proc backend (DESIGN.md §12).
+///
+/// The default transport is an AF_UNIX socketpair — the coordinator forks
+/// its ranks, so both ends exist before fork() and no filesystem path or
+/// port is ever exposed.  The TCP fallback binds a loopback listener on an
+/// ephemeral port and connects to itself, for environments where
+/// AF_UNIX is unavailable (some containers) or when cross-checking the
+/// framing layer over a real TCP stack.  Both ends come back nonblocking
+/// and CLOEXEC; TCP ends additionally have TCP_NODELAY set so small control
+/// frames are not Nagle-delayed.
+
+namespace ssamr::net {
+
+/// Two connected nonblocking stream endpoints.  After fork(), the parent
+/// keeps one end and closes the other; the child does the reverse.
+struct StreamPair {
+  int a = -1;
+  int b = -1;
+};
+
+/// Create a connected pair.  Throws ssamr::Error on resource exhaustion.
+StreamPair make_stream_pair(bool use_tcp);
+
+/// close(2) with EINTR retry; ignores already-closed fds (fd < 0).
+void close_fd(int fd);
+
+}  // namespace ssamr::net

@@ -2,6 +2,7 @@
 
 #include "sim/bsp_model.hpp"
 #include "sim/event_executor.hpp"
+#include "sim/proc_model.hpp"
 #include "util/error.hpp"
 
 namespace ssamr {
@@ -10,6 +11,7 @@ const char* exec_model_name(ExecModelKind kind) {
   switch (kind) {
     case ExecModelKind::kBsp: return "bsp";
     case ExecModelKind::kEvent: return "event";
+    case ExecModelKind::kProc: return "proc";
   }
   return "unknown";
 }
@@ -17,8 +19,9 @@ const char* exec_model_name(ExecModelKind kind) {
 ExecModelKind parse_exec_model_name(const std::string& name) {
   if (name == "bsp") return ExecModelKind::kBsp;
   if (name == "event") return ExecModelKind::kEvent;
-  SSAMR_REQUIRE(false,
-                "unknown execution model '" + name + "' (want bsp|event)");
+  if (name == "proc") return ExecModelKind::kProc;
+  SSAMR_REQUIRE(
+      false, "unknown execution model '" + name + "' (want bsp|event|proc)");
   return ExecModelKind::kBsp;  // unreachable
 }
 
@@ -29,6 +32,8 @@ std::unique_ptr<ExecutionModel> make_execution_model(
       return std::make_unique<sim::BspModel>(cluster, cfg);
     case ExecModelKind::kEvent:
       return std::make_unique<sim::EventExecutor>(cluster, cfg);
+    case ExecModelKind::kProc:
+      return std::make_unique<sim::ProcModel>(cluster, cfg);
   }
   SSAMR_REQUIRE(false, "unknown execution model kind");
   return nullptr;  // unreachable

@@ -16,8 +16,12 @@
 ///    fluid network simulation (endpoint bandwidth contention), probe
 ///    sweeps overlap execution on a separate monitor lane, and regrids are
 ///    the only global barriers.
+///  - ProcModel (proc_model.hpp): real forked OS processes — one per
+///    rank — exchanging framed ghost/migration traffic over Unix-domain
+///    sockets and reporting measured wall-clock back as normalized
+///    virtual time.  Nondeterministic by construction; never golden-pinned.
 ///
-/// Both models expose the same stage interface; each stage returns the
+/// All models expose the same stage interface; each stage returns the
 /// virtual time it adds to the driver's global clock.
 
 #include <memory>
@@ -36,13 +40,14 @@ namespace ssamr {
 enum class ExecModelKind {
   kBsp,    ///< closed-form BSP accounting (the paper's model; default)
   kEvent,  ///< message-level discrete-event simulation
+  kProc,   ///< real forked rank processes over local sockets (measured)
 };
 
-/// "bsp" / "event".
+/// "bsp" / "event" / "proc".
 const char* exec_model_name(ExecModelKind kind);
 
-/// Parse a model name ("bsp"/"event"); throws ssamr::Error on anything
-/// else, naming the valid spellings.
+/// Parse a model name ("bsp"/"event"/"proc"); throws ssamr::Error on
+/// anything else, naming the valid spellings.
 ExecModelKind parse_exec_model_name(const std::string& name);
 
 /// Cost of one coarse-iteration advance as charged to the global clock.

@@ -21,6 +21,24 @@
 
 namespace ssamr {
 
+/// Knobs of the proc backend (real forked rank processes;
+/// sim/proc_model.hpp).  Struct fields, not a cost API: these map virtual
+/// quantities onto wall-clock emulation budgets.
+struct ProcOptions {
+  /// Wall seconds of nanosleep per virtual second of modeled compute.
+  /// The default compresses Table I-sized runs (hundreds of virtual
+  /// seconds) into wall milliseconds per phase while staying far above
+  /// scheduler quantum noise.
+  double time_scale = 1e-3;
+  /// Wire bytes actually shipped per modeled byte of ghost/migration
+  /// traffic (1.0 = byte-for-byte over the sockets).
+  double bytes_scale = 1.0;
+  /// Per-message deadline on every data-plane frame and phase exchange.
+  double frame_timeout_s = 30.0;
+  /// Use loopback TCP instead of AF_UNIX socketpairs.
+  bool use_tcp = false;
+};
+
 /// Cost-model knobs.
 struct ExecutorConfig {
   /// Fixed regrid overhead per regrid event (flagging + clustering).
@@ -44,6 +62,8 @@ struct ExecutorConfig {
   /// Fraction of ghost-exchange time hidden behind interior computation
   /// (SAMR runtimes post asynchronous sends while updating the interior).
   Fraction comm_overlap{0.7};
+  /// Proc-backend knobs (ignored by the bsp/event models).
+  ProcOptions proc;
 };
 
 /// Computes virtual-time costs of executing a partitioned SAMR hierarchy.

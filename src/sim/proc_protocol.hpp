@@ -1,0 +1,147 @@
+#pragma once
+/// \file proc_protocol.hpp
+/// Message vocabulary between the proc-backend coordinator and its forked
+/// rank processes (DESIGN.md §12).
+///
+/// All messages ride net/frame.hpp frames; the frame `type` field carries
+/// the ProcMsg id and the payload is wire.hpp host-endian scalars.  The
+/// protocol is strictly coordinator-driven request/reply on the control
+/// sockets — a rank never initiates — plus peer-to-peer kMsgData streams on
+/// the rank-pair data sockets during a phase.
+///
+/// Phase lifecycle:
+///   coordinator --kMsgPhase(PhasePlan)--> every rank
+///   ranks: emulate compute (nanosleep), exchange planned bytes with peers
+///   rank --kMsgDone(PhaseReport)--> coordinator
+///
+/// The plan carries everything a rank needs for one phase: its compute
+/// budget in wall seconds, the exact per-peer byte counts to send and to
+/// expect (both sides get coordinator-computed numbers, so they always
+/// agree), and — on repartition phases — the new box-ownership vector and
+/// the capacity vector the partitioner consumed, so the rank lifecycle
+/// stays explicit for later malleability work.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/error.hpp"
+
+namespace ssamr::sim {
+
+/// Frame `type` values on proc-backend sockets.
+enum ProcMsg : std::uint32_t {
+  kMsgHello = 1,     ///< rank -> coordinator: alive after fork (payload: rank)
+  kMsgPhase = 2,     ///< coordinator -> rank: PhasePlan
+  kMsgDone = 3,      ///< rank -> coordinator: PhaseReport
+  kMsgShutdown = 4,  ///< coordinator -> rank: exit cleanly
+  kMsgData = 5,      ///< rank -> rank: one chunk of phase payload bytes
+};
+
+/// What a phase asks of one rank.
+enum class PhaseKind : std::uint32_t {
+  kAdvance = 0,  ///< compute emulation + ghost exchange
+  kMigrate = 1,  ///< data migration traffic (no compute)
+  kBarrier = 2,  ///< rendezvous only (tests, liveness checks)
+};
+
+/// One directed peer transfer within a phase (wire bytes, post-scaling).
+struct WireFlow {
+  std::int32_t peer = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Coordinator -> rank: one phase of work.
+struct PhasePlan {
+  PhaseKind kind = PhaseKind::kBarrier;
+  std::int32_t iteration = -1;
+  double compute_wall_s = 0;     ///< nanosleep budget (wall seconds)
+  std::vector<WireFlow> sends;   ///< bytes this rank pushes, per peer
+  std::vector<WireFlow> recvs;   ///< bytes this rank expects, per peer
+  /// Repartition payload (kMigrate only): owner per box in SFC order and
+  /// the capacity vector behind the new cut.  Empty otherwise.
+  std::vector<std::int32_t> owners;
+  std::vector<double> capacities;
+};
+
+/// Rank -> coordinator: measured wall-clock split of one phase.
+struct PhaseReport {
+  double compute_wall_s = 0;  ///< time spent in compute emulation
+  double comm_wall_s = 0;     ///< time spent in the exchange engine
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+inline std::vector<std::uint8_t> encode_phase_plan(const PhasePlan& p) {
+  net::WireWriter w;
+  w.u32(static_cast<std::uint32_t>(p.kind));
+  w.i32(p.iteration);
+  w.f64(p.compute_wall_s);
+  w.u32(static_cast<std::uint32_t>(p.sends.size()));
+  w.u32(static_cast<std::uint32_t>(p.recvs.size()));
+  w.u32(static_cast<std::uint32_t>(p.owners.size()));
+  w.u32(static_cast<std::uint32_t>(p.capacities.size()));
+  for (const WireFlow& f : p.sends) {
+    w.i32(f.peer);
+    w.u64(f.bytes);
+  }
+  for (const WireFlow& f : p.recvs) {
+    w.i32(f.peer);
+    w.u64(f.bytes);
+  }
+  for (const std::int32_t o : p.owners) w.i32(o);
+  for (const double c : p.capacities) w.f64(c);
+  return w.bytes();
+}
+
+inline PhasePlan decode_phase_plan(const std::uint8_t* data,
+                                   std::size_t size) {
+  net::WireReader r(data, size);
+  PhasePlan p;
+  p.kind = static_cast<PhaseKind>(r.u32());
+  p.iteration = r.i32();
+  p.compute_wall_s = r.f64();
+  const std::uint32_t nsend = r.u32();
+  const std::uint32_t nrecv = r.u32();
+  const std::uint32_t nown = r.u32();
+  const std::uint32_t ncap = r.u32();
+  p.sends.resize(nsend);
+  for (WireFlow& f : p.sends) {
+    f.peer = r.i32();
+    f.bytes = r.u64();
+  }
+  p.recvs.resize(nrecv);
+  for (WireFlow& f : p.recvs) {
+    f.peer = r.i32();
+    f.bytes = r.u64();
+  }
+  p.owners.resize(nown);
+  for (std::int32_t& o : p.owners) o = r.i32();
+  p.capacities.resize(ncap);
+  for (double& c : p.capacities) c = r.f64();
+  SSAMR_REQUIRE(r.done(), "proc: trailing bytes in PhasePlan");
+  return p;
+}
+
+inline std::vector<std::uint8_t> encode_phase_report(const PhaseReport& p) {
+  net::WireWriter w;
+  w.f64(p.compute_wall_s);
+  w.f64(p.comm_wall_s);
+  w.u64(p.bytes_sent);
+  w.u64(p.bytes_received);
+  return w.bytes();
+}
+
+inline PhaseReport decode_phase_report(const std::uint8_t* data,
+                                       std::size_t size) {
+  net::WireReader r(data, size);
+  PhaseReport p;
+  p.compute_wall_s = r.f64();
+  p.comm_wall_s = r.f64();
+  p.bytes_sent = r.u64();
+  p.bytes_received = r.u64();
+  SSAMR_REQUIRE(r.done(), "proc: trailing bytes in PhaseReport");
+  return p;
+}
+
+}  // namespace ssamr::sim

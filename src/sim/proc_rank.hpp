@@ -1,0 +1,38 @@
+#pragma once
+/// \file proc_rank.hpp
+/// The forked rank process of the proc backend (DESIGN.md §12).
+///
+/// run_rank_process() is the child-side main loop: block on the control
+/// socket for a PhasePlan, emulate the compute budget with nanosleep (so P
+/// sleeping ranks overlap on one core exactly like P dedicated nodes
+/// would), push/pull the planned bytes with peer ranks through a
+/// nonblocking poll engine, reply with a PhaseReport, repeat until
+/// kMsgShutdown.  It never returns: every path ends in
+/// net::hard_exit — a forked child must not unwind into the coordinator's
+/// stack or run its static destructors.
+
+#include <vector>
+
+namespace ssamr::sim {
+
+/// Everything a rank process inherits across fork().
+struct RankEndpoints {
+  int rank = 0;
+  int nranks = 1;
+  int ctrl_fd = -1;             ///< control socket to the coordinator
+  std::vector<int> peer_fds;    ///< data socket per peer rank; -1 at self
+  double frame_timeout_s = 30;  ///< per-message deadline during a phase
+};
+
+/// Child-side exit codes (coordinator sees them via waitpid).
+enum RankExitCode : int {
+  kRankExitOk = 0,
+  kRankExitProtocol = 3,   ///< framing/protocol error on any socket
+  kRankExitTimeout = 4,    ///< phase deadline expired
+  kRankExitInternal = 5,   ///< unexpected exception
+};
+
+/// Run the rank main loop.  Calls net::hard_exit on every path.
+[[noreturn]] void run_rank_process(const RankEndpoints& ep);
+
+}  // namespace ssamr::sim

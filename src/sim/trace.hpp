@@ -95,7 +95,7 @@ struct RunTrace {
   Seconds regrid_time{0};
   Seconds migrate_time{0};
 
-  /// Execution-model identifier ("bsp" or "event").
+  /// Execution-model identifier ("bsp", "event" or "proc").
   std::string model;
   /// Cluster size of the run (timeline lane count; monitor lane is extra).
   int num_ranks = 0;

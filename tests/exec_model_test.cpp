@@ -57,8 +57,10 @@ RunTrace run_scenario(ExecModelKind model) {
 TEST(ExecModel, NamesRoundTrip) {
   EXPECT_STREQ(exec_model_name(ExecModelKind::kBsp), "bsp");
   EXPECT_STREQ(exec_model_name(ExecModelKind::kEvent), "event");
+  EXPECT_STREQ(exec_model_name(ExecModelKind::kProc), "proc");
   EXPECT_EQ(parse_exec_model_name("bsp"), ExecModelKind::kBsp);
   EXPECT_EQ(parse_exec_model_name("event"), ExecModelKind::kEvent);
+  EXPECT_EQ(parse_exec_model_name("proc"), ExecModelKind::kProc);
   EXPECT_THROW(parse_exec_model_name("fluid"), Error);
 }
 

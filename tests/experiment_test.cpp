@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
 
 #include "util/error.hpp"
@@ -10,6 +11,52 @@
 
 namespace ssamr {
 namespace {
+
+// Regression for the exp_scale env_int bug: zero/negative/garbage values
+// must fall back, never reach a driver as a box or rank count.
+TEST(Experiment, EnvIntValidatesRangeAndGarbage) {
+  ASSERT_EQ(::unsetenv("SSAMR_TEST_ENV_INT"), 0);
+  EXPECT_EQ(exp::env_int("SSAMR_TEST_ENV_INT", 7, 1), 7);  // unset
+
+  const auto with = [](const char* v, int fallback, int lo, int hi) {
+    ::setenv("SSAMR_TEST_ENV_INT", v, 1);
+    const int got = exp::env_int("SSAMR_TEST_ENV_INT", fallback, lo, hi);
+    ::unsetenv("SSAMR_TEST_ENV_INT");
+    return got;
+  };
+  EXPECT_EQ(with("12", 7, 1, 100), 12);       // clean parse in range
+  EXPECT_EQ(with("", 7, 1, 100), 7);          // empty
+  EXPECT_EQ(with("abc", 7, 1, 100), 7);       // garbage
+  EXPECT_EQ(with("12abc", 7, 1, 100), 7);     // trailing garbage
+  EXPECT_EQ(with("0", 7, 1, 100), 7);         // below min (the old bug)
+  EXPECT_EQ(with("-4", 7, 1, 100), 7);        // negative (the old bug)
+  EXPECT_EQ(with("101", 7, 1, 100), 7);       // above max
+  EXPECT_EQ(with("1", 7, 1, 100), 1);         // boundaries included
+  EXPECT_EQ(with("100", 7, 1, 100), 100);
+  EXPECT_EQ(with("99999999999999999999", 7, 1, 100), 7);  // overflow-ish
+  EXPECT_THROW(exp::env_int("SSAMR_TEST_ENV_INT", 7, 5, 4), Error);
+}
+
+TEST(Experiment, EnvRealValidatesRangeAndGarbage) {
+  ASSERT_EQ(::unsetenv("SSAMR_TEST_ENV_REAL"), 0);
+  EXPECT_DOUBLE_EQ(exp::env_real("SSAMR_TEST_ENV_REAL", 0.5, 0.0, 1.0), 0.5);
+
+  const auto with = [](const char* v, real_t fallback, real_t lo, real_t hi) {
+    ::setenv("SSAMR_TEST_ENV_REAL", v, 1);
+    const real_t got =
+        exp::env_real("SSAMR_TEST_ENV_REAL", fallback, lo, hi);
+    ::unsetenv("SSAMR_TEST_ENV_REAL");
+    return got;
+  };
+  EXPECT_DOUBLE_EQ(with("0.25", 0.5, 0.0, 1.0), 0.25);
+  EXPECT_DOUBLE_EQ(with("2.5", 0.5, 0.0, 1.0), 0.5);   // above max
+  EXPECT_DOUBLE_EQ(with("-0.1", 0.5, 0.0, 1.0), 0.5);  // below min
+  EXPECT_DOUBLE_EQ(with("x", 0.5, 0.0, 1.0), 0.5);     // garbage
+  EXPECT_DOUBLE_EQ(with("0.1y", 0.5, 0.0, 1.0), 0.5);  // trailing garbage
+  EXPECT_DOUBLE_EQ(with("nan", 0.5, 0.0, 1.0), 0.5);   // NaN never passes
+  EXPECT_DOUBLE_EQ(with("0", 0.5, 0.0, 1.0), 0.0);     // boundary
+  EXPECT_DOUBLE_EQ(with("1", 0.5, 0.0, 1.0), 1.0);
+}
 
 TEST(Experiment, ReferenceCapacitiesMatchThePaper) {
   const auto caps = exp::reference_capacities4();

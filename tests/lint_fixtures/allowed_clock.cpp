@@ -1,0 +1,17 @@
+// Fixture for the clock rule's allowance path: this file is listed in
+// tools/layering.toml [clock].allowed, so the wall-clock read below must
+// stay SILENT — the config-driven allowance (used by the proc execution
+// backend, which measures real processes) beats the token ban.  No
+// `// expect:` markers: a finding here is a fixture mismatch.
+// Not compiled into the library — parsed by tools/ssamr_lint.py.
+
+#include <chrono>
+
+namespace ssamr_fixture {
+
+double allowed_now_seconds() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace ssamr_fixture

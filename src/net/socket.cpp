@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "net/sysio.hpp"
 #include "util/error.hpp"
 
 namespace ssamr::net {
@@ -19,80 +20,72 @@ namespace {
   throw Error(std::string("net: ") + what + ": " + ::strerror(errno));
 }
 
-void set_nonblock_cloexec(int fd) {
+/// Nonblocking only.  CLOEXEC is never set here — descriptors must be born
+/// CLOEXEC (SOCK_CLOEXEC / accept4) or a fork between creation and fcntl
+/// leaks them into the child's exec image.
+void set_nonblock(int fd) {
   const int fl = ::fcntl(fd, F_GETFL, 0);
   SSAMR_REQUIRE(fl >= 0, "fcntl(F_GETFL)");
   SSAMR_REQUIRE(::fcntl(fd, F_SETFL, fl | O_NONBLOCK) == 0,
                 "fcntl(F_SETFL, O_NONBLOCK)");
-  const int fd_fl = ::fcntl(fd, F_GETFD, 0);
-  SSAMR_REQUIRE(fd_fl >= 0, "fcntl(F_GETFD)");
-  SSAMR_REQUIRE(::fcntl(fd, F_SETFD, fd_fl | FD_CLOEXEC) == 0,
-                "fcntl(F_SETFD, FD_CLOEXEC)");
 }
 
 StreamPair make_unix_pair() {
   int sv[2] = {-1, -1};
-  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0)
+  if (::socketpair(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0,
+                   sv) != 0)
     fail("socketpair(AF_UNIX)");
-  set_nonblock_cloexec(sv[0]);
-  set_nonblock_cloexec(sv[1]);
   return StreamPair{sv[0], sv[1]};
 }
 
 /// Loopback TCP self-connect: listen on an ephemeral 127.0.0.1 port,
 /// connect a client socket to it, accept — then throw the listener away.
+/// Every fd is held by a UniqueFd until the pair is assembled, so the
+/// throwing fail() paths cannot leak a descriptor.
 StreamPair make_tcp_pair() {
-  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (lfd < 0) fail("socket(AF_INET) listener");
+  UniqueFd listener(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (listener.get() < 0) fail("socket(AF_INET) listener");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = 0;  // ephemeral
-  if (::bind(lfd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    close_fd(lfd);
+  if (::bind(listener.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0)
     fail("bind(127.0.0.1:0)");
-  }
   socklen_t alen = sizeof addr;
-  if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen) != 0) {
-    close_fd(lfd);
+  if (::getsockname(listener.get(), reinterpret_cast<sockaddr*>(&addr),
+                    &alen) != 0)
     fail("getsockname");
-  }
-  if (::listen(lfd, 1) != 0) {
-    close_fd(lfd);
-    fail("listen");
-  }
-  const int cfd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (cfd < 0) {
-    close_fd(lfd);
-    fail("socket(AF_INET) client");
-  }
-  // Blocking connect to our own listener: loopback, completes immediately.
-  if (::connect(cfd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof addr) != 0) {
-    close_fd(cfd);
-    close_fd(lfd);
+  if (::listen(listener.get(), 1) != 0) fail("listen");
+  UniqueFd client(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (client.get() < 0) fail("socket(AF_INET) client");
+  // Blocking connect to our own listener: loopback completes immediately,
+  // and an EINTR mid-handshake resumes via the poll path in connect_retry.
+  // The client stays blocking until after the connect — a nonblocking
+  // connect would return EINPROGRESS instead.
+  if (connect_retry(client.get(), reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof addr) != 0)
     fail("connect(loopback)");
-  }
-  int afd = -1;
+  UniqueFd accepted;
   for (;;) {
-    afd = ::accept(lfd, nullptr, nullptr);
-    if (afd >= 0 || errno != EINTR) break;
+    accepted.reset(::accept4(listener.get(), nullptr, nullptr, SOCK_CLOEXEC));
+    if (accepted.get() >= 0 || errno != EINTR) break;
   }
-  close_fd(lfd);
-  if (afd < 0) {
-    close_fd(cfd);
-    fail("accept");
-  }
+  if (accepted.get() < 0) fail("accept4");
   const int one = 1;
-  ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  ::setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  set_nonblock_cloexec(cfd);
-  set_nonblock_cloexec(afd);
-  return StreamPair{cfd, afd};
+  ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  ::setsockopt(accepted.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  set_nonblock(client.get());
+  set_nonblock(accepted.get());
+  return StreamPair{client.release(), accepted.release()};
 }
 
 }  // namespace
+
+void UniqueFd::reset(int fd) {
+  close_fd(fd_);
+  fd_ = fd;
+}
 
 StreamPair make_stream_pair(bool use_tcp) {
   return use_tcp ? make_tcp_pair() : make_unix_pair();
@@ -100,9 +93,10 @@ StreamPair make_stream_pair(bool use_tcp) {
 
 void close_fd(int fd) {
   if (fd < 0) return;
-  for (;;) {
-    if (::close(fd) == 0 || errno != EINTR) return;
-  }
+  // One shot, EINTR deliberately not retried: Linux releases the fd even
+  // when close() is interrupted, so a retry could close an fd another
+  // thread has already been handed under the same number.
+  ::close(fd);
 }
 
 }  // namespace ssamr::net

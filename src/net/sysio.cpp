@@ -1,0 +1,51 @@
+#include "net/sysio.hpp"
+
+#include <errno.h>
+#include <sys/wait.h>
+
+namespace ssamr::net {
+
+int poll_retry(struct pollfd* fds, nfds_t nfds, int timeout_ms) {
+  for (;;) {
+    const int rc = ::poll(fds, nfds, timeout_ms);
+    if (rc >= 0 || errno != EINTR) return rc;
+  }
+}
+
+pid_t waitpid_retry(pid_t pid, int* status, int options) {
+  for (;;) {
+    const pid_t got = ::waitpid(pid, status, options);
+    if (got >= 0 || errno != EINTR) return got;
+  }
+}
+
+int connect_retry(int fd, const struct sockaddr* addr, socklen_t addrlen) {
+  // Retrying connect() after EINTR is wrong (the second call reports
+  // EALREADY while the first attempt is still in flight); the sanctioned
+  // resume is the writability wait below, so this one raw call is
+  // exempted from the in-loop requirement.
+  // ssamr-lint: allow(eintr-retry)
+  if (::connect(fd, addr, addrlen) == 0) return 0;
+  if (errno != EINTR && errno != EINPROGRESS) return -1;
+  // The interrupted attempt completes in the background; wait for the
+  // socket to become writable, then surface the attempt's real outcome.
+  struct pollfd pfd {};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  for (;;) {
+    const int rc = ::poll(&pfd, 1, /*timeout_ms=*/-1);
+    if (rc > 0) break;
+    if (rc < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  int err = 0;
+  socklen_t len = sizeof err;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return -1;
+  if (err != 0) {
+    errno = err;
+    return -1;
+  }
+  return 0;
+}
+
+}  // namespace ssamr::net

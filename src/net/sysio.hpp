@@ -1,0 +1,41 @@
+#pragma once
+/// \file sysio.hpp
+/// The sanctioned raw-syscall seam of the proc backend (DESIGN.md §13).
+///
+/// Raw read/write/poll/waitpid/connect are banned outside src/net by the
+/// `eintr-retry` lint rule: every one of them can return EINTR mid-run
+/// (the proc backend forks, reaps and measures under real signals), and a
+/// call site that forgets the retry loop turns a benign signal into a
+/// spurious phase failure.  Inside src/net the same rule requires every
+/// raw call site to sit under an EINTR retry loop — these wrappers are
+/// where those loops live exactly once, so callers outside the seam can
+/// never get the retry protocol wrong.
+///
+/// Frame-level I/O keeps its own loops in frame.cpp (read_some/write_some
+/// fold EINTR handling into partial-I/O handling); everything else routes
+/// through here.
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace ssamr::net {
+
+/// poll(2), retrying EINTR with the same timeout slice.  Callers run
+/// bounded slices under their own deadline arithmetic (net/frame.cpp
+/// style), so a retried slice can only delay one deadline re-check, never
+/// extend the deadline itself.
+int poll_retry(struct pollfd* fds, nfds_t nfds, int timeout_ms);
+
+/// waitpid(2) with EINTR retry.  WNOHANG calls pass through unchanged
+/// (they cannot block, hence cannot be meaningfully interrupted).
+pid_t waitpid_retry(pid_t pid, int* status, int options);
+
+/// connect(2) that survives interruption.  A blocking connect interrupted
+/// by a signal keeps establishing the connection asynchronously — calling
+/// connect() again yields EALREADY, not a retry — so the correct resume is
+/// to wait for writability and read SO_ERROR.  Returns 0 on success, -1
+/// with errno set on failure.
+int connect_retry(int fd, const struct sockaddr* addr, socklen_t addrlen);
+
+}  // namespace ssamr::net

@@ -37,6 +37,18 @@ struct ProcOptions {
   double frame_timeout_s = 30.0;
   /// Use loopback TCP instead of AF_UNIX socketpairs.
   bool use_tcp = false;
+
+  /// The sanctioned normalization seam between measured wall clock and the
+  /// virtual timeline: every wall measurement that feeds a RankTimeline,
+  /// RunTrace or CSV column must pass through here (the determinism-taint
+  /// lint rule keys on this name), so the only way real time enters a
+  /// golden-pinned artifact is already divided by time_scale.  The raw
+  /// double parameter is the point: measured wall seconds are untyped
+  /// until this conversion stamps them as virtual Seconds.
+  // ssamr-lint: allow(raw-double-cost-api)
+  Seconds to_virtual(double wall_s) const {
+    return Seconds{wall_s / time_scale};
+  }
 };
 
 /// Cost-model knobs.

@@ -11,7 +11,9 @@
 
 #include "net/proc_exit.hpp"
 #include "net/socket.hpp"
+#include "net/sysio.hpp"
 #include "partition/metrics.hpp"
+#include "sim/executor_audit.hpp"
 #include "sim/proc_rank.hpp"
 #include "util/error.hpp"
 #include "util/wallclock.hpp"
@@ -53,13 +55,8 @@ void sleep_ms(int ms) {
 ProcModel::ProcModel(const Cluster& cluster, const ExecutorConfig& cfg)
     : cluster_(cluster), exec_(cluster, cfg), opt_(cfg.proc) {
   const int n = cluster.size();
-  SSAMR_REQUIRE(n >= 1 && n <= kMaxProcRanks,
-                "proc model supports 1.." + std::to_string(kMaxProcRanks) +
-                    " ranks");
-  SSAMR_REQUIRE(opt_.time_scale > 0, "proc.time_scale must be positive");
-  SSAMR_REQUIRE(opt_.bytes_scale >= 0, "proc.bytes_scale must be >= 0");
-  SSAMR_REQUIRE(opt_.frame_timeout_s > 0,
-                "proc.frame_timeout_s must be positive");
+  const audit::AuditReport report = audit::validate_proc_options(opt_, n);
+  SSAMR_REQUIRE(report.ok(), report.summary());
 
   lanes_.reserve(static_cast<std::size_t>(n) + 1);
   for (int k = 0; k <= n; ++k) lanes_.emplace_back(k);
@@ -190,7 +187,7 @@ void ProcModel::shutdown_children() noexcept {
     for (pid_t& pid : pids_) {
       if (pid <= 0) continue;
       int status = 0;
-      const pid_t got = ::waitpid(pid, &status, WNOHANG);
+      const pid_t got = net::waitpid_retry(pid, &status, WNOHANG);
       if (got == pid || (got < 0 && errno == ECHILD))
         pid = -1;
       else
@@ -202,10 +199,7 @@ void ProcModel::shutdown_children() noexcept {
     if (pid <= 0) continue;
     ::kill(pid, SIGKILL);
     int status = 0;
-    for (;;) {
-      const pid_t got = ::waitpid(pid, &status, 0);
-      if (got == pid || (got < 0 && errno != EINTR)) break;
-    }
+    net::waitpid_retry(pid, &status, 0);
     pid = -1;
   }
 }
@@ -310,7 +304,7 @@ Seconds ProcModel::migrate(const PartitionResult& previous,
   }
   double window = 0;
   run_phase(plans, &window);
-  const Seconds cost{window / opt_.time_scale};
+  const Seconds cost = opt_.to_virtual(window);
   // Same clock splice as BspModel: the driver pre-sums regrid + migration,
   // so the lanes must land on t + (a + b) with that exact rounding.
   const Seconds end = t + (pending_regrid_s_ + cost);
@@ -348,7 +342,7 @@ StepCost ProcModel::advance(const PartitionResult& r, Seconds t,
 
   double window = 0;
   const std::vector<PhaseReport> reports = run_phase(plans, &window);
-  const Seconds elapsed{window / opt_.time_scale};
+  const Seconds elapsed = opt_.to_virtual(window);
 
   // Per-rank measured spans, normalized to virtual seconds and clamped
   // into the coordinator window (child-side measurements are taken inside
@@ -357,8 +351,8 @@ StepCost ProcModel::advance(const PartitionResult& r, Seconds t,
   Seconds worst_comp{0};
   for (int k = 0; k < n; ++k) {
     const PhaseReport& rep = reports[static_cast<std::size_t>(k)];
-    Seconds comp_v{rep.compute_wall_s / opt_.time_scale};
-    Seconds comm_v{rep.comm_wall_s / opt_.time_scale};
+    Seconds comp_v = opt_.to_virtual(rep.compute_wall_s);
+    Seconds comm_v = opt_.to_virtual(rep.comm_wall_s);
     comp_v = std::min(comp_v, elapsed);
     comm_v = std::min(comm_v, elapsed - comp_v);
     comm_v = std::max(comm_v, Seconds{0});

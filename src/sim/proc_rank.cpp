@@ -10,6 +10,7 @@
 
 #include "net/frame.hpp"
 #include "net/proc_exit.hpp"
+#include "net/sysio.hpp"
 #include "sim/proc_protocol.hpp"
 #include "util/wallclock.hpp"
 
@@ -90,11 +91,9 @@ int exchange_phase(std::vector<PeerIo>& peers, double deadline_s) {
     const double left = deadline_s - wallclock_seconds();
     if (left <= 0) return kRankExitTimeout;
     const int ms = static_cast<int>(std::clamp(left * 1e3, 1.0, 1000.0));
-    const int rc = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), ms);
-    if (rc < 0) {
-      if (errno == EINTR) continue;
-      return kRankExitInternal;
-    }
+    const int rc =
+        net::poll_retry(pfds.data(), static_cast<nfds_t>(pfds.size()), ms);
+    if (rc < 0) return kRankExitInternal;
     if (rc == 0) continue;  // slice elapsed; re-check the deadline
 
     for (std::size_t i = 0; i < pfds.size(); ++i) {

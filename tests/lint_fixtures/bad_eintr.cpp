@@ -1,0 +1,28 @@
+// eintr-retry fixture, out-of-seam arm: this file is NOT listed in
+// tools/layering.toml [eintr].wrappers, so every raw retryable syscall is
+// banned outright — a signal landing mid-call would surface as a spurious
+// failure here because nothing retries.  The net:: wrapper calls below
+// must stay silent.
+#include <poll.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include "net/sysio.hpp"
+
+namespace fixture {
+
+long raw_read(int fd, void* buf, unsigned long n) {
+  return ::read(fd, buf, n);  // expect: eintr-retry
+}
+
+int raw_wait(pid_t pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);  // expect: eintr-retry
+  return status;
+}
+
+int wrapped_poll(struct pollfd* fds, nfds_t n, int timeout_ms) {
+  return ssamr::net::poll_retry(fds, n, timeout_ms);
+}
+
+}  // namespace fixture

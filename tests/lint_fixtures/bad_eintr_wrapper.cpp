@@ -1,0 +1,28 @@
+// eintr-retry fixture, in-seam arm: this file rides tools/layering.toml
+// [eintr].wrappers (the same config-riding scheme as bad_raw_double_api
+// and allowed_clock), so raw syscalls are permitted — but each call site
+// must be dominated by a retry loop whose body handles EINTR.  write_all
+// pins the sanctioned shape; read_once pins the violation.
+#include <errno.h>
+#include <unistd.h>
+
+namespace fixture {
+
+long write_all(int fd, const char* p, unsigned long n) {
+  unsigned long done = 0;
+  while (done < n) {
+    const long k = ::write(fd, p + done, n - done);
+    if (k < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    done += static_cast<unsigned long>(k);
+  }
+  return static_cast<long>(done);
+}
+
+long read_once(int fd, char* p, unsigned long n) {
+  return ::read(fd, p, n);  // expect: eintr-retry
+}
+
+}  // namespace fixture

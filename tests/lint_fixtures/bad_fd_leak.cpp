@@ -1,0 +1,53 @@
+// fd-lifecycle fixture: one socket created without SOCK_CLOEXEC, one fd
+// leaked on an early-return path, one leaked across a throwing call.  The
+// clean functions below pin the rule's negative space: guarded failure
+// branches, close-on-every-path, and RAII/ownership transfer must stay
+// silent.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/socket.hpp"
+#include "util/error.hpp"
+
+namespace fixture {
+
+int missing_cloexec() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // expect: fd-lifecycle
+  if (fd < 0) return -1;
+  ::close(fd);
+  return 0;
+}
+
+int leak_on_early_return(bool flag) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (flag) return -1;  // expect: fd-lifecycle
+  ::close(fd);
+  return 0;
+}
+
+void leak_across_throwing_call(int want) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return;
+  SSAMR_REQUIRE(want > 0, "demand");  // expect: fd-lifecycle
+  ::close(fd);
+}
+
+int closed_on_every_path(bool flag) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (flag) {
+    ::close(fd);
+    return -1;
+  }
+  ::close(fd);
+  return 0;
+}
+
+int ownership_transferred() {
+  ssamr::net::UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  SSAMR_REQUIRE(fd.get() >= 0, "socket");
+  return fd.release();
+}
+
+}  // namespace fixture

@@ -1,0 +1,32 @@
+// lock-escape fixture: a pointer bound to an SSAMR_GUARDED_BY field while
+// the MutexLock is held, then dereferenced after the lock scope closes —
+// the aliasing hole Clang's -Wthread-safety cannot see.  The in-scope
+// reader below must stay silent.
+#include "util/thread_safety.hpp"
+
+namespace fixture {
+
+ssamr::Mutex g_mu;
+int g_count SSAMR_GUARDED_BY(g_mu) = 0;
+
+int escape_through_scope() {
+  const int* p = nullptr;
+  {
+    ssamr::MutexLock lock(g_mu);
+    p = &g_count;
+  }
+  return *p;  // expect: lock-escape
+}
+
+const int* escape_through_return() {
+  ssamr::MutexLock lock(g_mu);
+  return &g_count;  // expect: lock-escape
+}
+
+int read_within_scope() {
+  ssamr::MutexLock lock(g_mu);
+  const int* p = &g_count;
+  return *p;
+}
+
+}  // namespace fixture

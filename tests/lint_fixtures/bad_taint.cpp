@@ -1,0 +1,26 @@
+// determinism-taint fixture: measured wall seconds flowing into a
+// RankTimeline sink without passing through the ProcOptions::to_virtual
+// normalization seam.  Raw wall time varies run to run, so feeding it to a
+// trace sink breaks replay determinism; the normalized function below pins
+// the sanctioned shape and must stay silent.
+#include "sim/executor.hpp"
+#include "sim/timeline.hpp"
+#include "util/units.hpp"
+#include "util/wallclock.hpp"
+
+namespace fixture {
+
+void record_raw(ssamr::sim::RankTimeline& lane) {
+  const double w0 = ssamr::wallclock_seconds();
+  const double wall = ssamr::wallclock_seconds() - w0;
+  lane.advance(ssamr::Seconds{wall}, ssamr::sim::SpanKind::kCompute, 0);  // expect: determinism-taint
+}
+
+void record_normalized(ssamr::sim::RankTimeline& lane,
+                       const ssamr::ProcOptions& opt) {
+  const double w0 = ssamr::wallclock_seconds();
+  const double wall = ssamr::wallclock_seconds() - w0;
+  lane.advance(opt.to_virtual(wall), ssamr::sim::SpanKind::kCompute, 0);
+}
+
+}  // namespace fixture

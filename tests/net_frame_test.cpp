@@ -5,14 +5,18 @@
 // behaviour, and a two-process echo round-trip.
 
 #include <fcntl.h>
+#include <poll.h>
 #include <pthread.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +24,7 @@
 #include "net/frame.hpp"
 #include "net/proc_exit.hpp"
 #include "net/socket.hpp"
+#include "net/sysio.hpp"
 #include "net/wire.hpp"
 #include "util/error.hpp"
 
@@ -364,6 +369,98 @@ TEST(FrameIo, TwoProcessEchoRoundTrip) {
   ASSERT_EQ(waitpid(pid, &status, 0), pid);
   EXPECT_TRUE(WIFEXITED(status));
   EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+// ---- descriptor hygiene and the sysio retry seam --------------------------
+
+TEST_P(FramedSocketTest, DescriptorsAreCloexec) {
+  // CLOEXEC must be set atomically at creation (SOCK_CLOEXEC / accept4),
+  // not by a later fcntl: a concurrent fork between the two would leak the
+  // descriptor into the child's exec image.  F_GETFD observes the result.
+  const StreamPair pair = make_stream_pair(GetParam());
+  for (const int fd : {pair.a, pair.b}) {
+    const int flags = fcntl(fd, F_GETFD);
+    ASSERT_GE(flags, 0);
+    EXPECT_NE(flags & FD_CLOEXEC, 0) << "fd " << fd << " not CLOEXEC";
+  }
+  close_fd(pair.a);
+  close_fd(pair.b);
+}
+
+TEST(Sysio, PollRetrySurvivesSignalStorm) {
+  const StreamPair pair = make_stream_pair(false);
+  const std::uint8_t byte = 0x5A;
+  ASSERT_EQ(::send(pair.b, &byte, 1, 0), 1);
+  {
+    SignalStorm storm;
+    for (int i = 0; i < 64; ++i) {
+      struct pollfd pfd {pair.a, POLLIN, 0};
+      // A raw ::poll here would intermittently return EINTR under the
+      // storm; the wrapper must always report the readable descriptor.
+      const int rc = poll_retry(&pfd, 1, 1000);
+      ASSERT_EQ(rc, 1);
+      ASSERT_NE(pfd.revents & POLLIN, 0);
+    }
+  }
+  close_fd(pair.a);
+  close_fd(pair.b);
+}
+
+TEST(Sysio, WaitpidRetrySurvivesSignalStorm) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    struct timespec ts {0, 50'000'000};  // 50 ms: storm is up before exit
+    nanosleep(&ts, nullptr);
+    hard_exit(7);
+  }
+  int status = 0;
+  {
+    SignalStorm storm;
+    // Blocking wait across the child's lifetime: EINTR is near-certain
+    // without the retry loop.
+    ASSERT_EQ(waitpid_retry(pid, &status, 0), pid);
+  }
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 7);
+}
+
+TEST(Sysio, TcpPairCreationSurvivesSignalStorm) {
+  // make_tcp_pair drives connect_retry and the accept4 loop; under the
+  // storm both must complete and the pair must still carry a frame.
+  SignalStorm storm;
+  const StreamPair pair = make_stream_pair(true);
+  const auto msg = payload_bytes("storm-born pair");
+  ASSERT_EQ(write_frame(pair.a, 3, msg.data(), msg.size(), 10.0),
+            IoStatus::kOk);
+  FrameDecoder d;
+  Frame f;
+  ASSERT_EQ(read_frame(pair.b, d, f, 10.0), IoStatus::kOk);
+  EXPECT_EQ(f.payload, msg);
+  close_fd(pair.a);
+  close_fd(pair.b);
+}
+
+TEST(Sysio, UniqueFdOwnsAndReleases) {
+  int raw = -1;
+  {
+    UniqueFd fd(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    ASSERT_GE(fd.get(), 0);
+    raw = fd.get();
+    UniqueFd moved = std::move(fd);
+    EXPECT_EQ(fd.get(), -1);
+    EXPECT_EQ(moved.get(), raw);
+  }  // moved's destructor closes raw
+  EXPECT_EQ(fcntl(raw, F_GETFD), -1);
+  EXPECT_EQ(errno, EBADF);
+
+  UniqueFd kept(::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  const int released = kept.release();
+  ASSERT_GE(released, 0);
+  EXPECT_EQ(kept.get(), -1);
+  // release() transferred ownership: the fd must still be alive.
+  EXPECT_GE(fcntl(released, F_GETFD), 0);
+  close_fd(released);
 }
 
 }  // namespace

@@ -10,11 +10,13 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "net/proc_exit.hpp"
+#include "sim/executor_audit.hpp"
 #include "sim/proc_model.hpp"
 #include "util/error.hpp"
 #include "util/wallclock.hpp"
@@ -155,6 +157,50 @@ TEST(ProcModel, RejectsBadOptions) {
   cfg = fast_config();
   cfg.proc.frame_timeout_s = -1.0;
   EXPECT_THROW(sim::ProcModel(cluster, cfg), Error);
+  cfg = fast_config();
+  cfg.proc.time_scale = -1e-3;
+  EXPECT_THROW(sim::ProcModel(cluster, cfg), Error);
+  cfg = fast_config();
+  cfg.proc.time_scale = std::nan("");  // NaN must not pass a > 0 gate
+  EXPECT_THROW(sim::ProcModel(cluster, cfg), Error);
+  cfg = fast_config();
+  cfg.proc.bytes_scale = -0.5;
+  EXPECT_THROW(sim::ProcModel(cluster, cfg), Error);
+}
+
+TEST(ProcModel, RejectsRankCountBeyondCap) {
+  // Validation runs before any fork: a cluster past kMaxProcRanks must
+  // throw without ever spawning a process.
+  Cluster cluster = Cluster::homogeneous(sim::kMaxProcRanks + 1);
+  EXPECT_THROW(sim::ProcModel(cluster, fast_config()), Error);
+}
+
+TEST(ValidateProcOptions, ReportsEveryBadKnobByKey) {
+  ProcOptions opt;  // defaults are valid
+  EXPECT_TRUE(audit::validate_proc_options(opt, 2).ok());
+
+  opt.time_scale = std::nan("");
+  opt.bytes_scale = -1.0;
+  opt.frame_timeout_s = 0.0;
+  const audit::AuditReport r = audit::validate_proc_options(opt, 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.has("proc.time_scale"));
+  EXPECT_TRUE(r.has("proc.bytes_scale"));
+  EXPECT_TRUE(r.has("proc.frame_timeout"));
+  EXPECT_TRUE(r.has("proc.ranks"));
+
+  ProcOptions ok;
+  EXPECT_TRUE(audit::validate_proc_options(ok, sim::kMaxProcRanks).ok());
+  EXPECT_TRUE(audit::validate_proc_options(ok, sim::kMaxProcRanks + 1)
+                  .has("proc.ranks"));
+}
+
+TEST(ProcOptions, ToVirtualIsTheNormalizationSeam) {
+  ProcOptions opt;
+  opt.time_scale = 1e-3;  // 1 ms wall == 1 virtual second
+  EXPECT_DOUBLE_EQ(opt.to_virtual(2e-3).value(), 2.0);
+  opt.time_scale = 1.0;
+  EXPECT_DOUBLE_EQ(opt.to_virtual(0.25).value(), 0.25);
 }
 
 // The CI-critical guarantee: if the coordinator dies without running the

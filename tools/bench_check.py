@@ -66,6 +66,54 @@ def normalize(times):
     return {name: t / gmean for name, t in times.items()}
 
 
+def load_baseline(path):
+    """Parse the committed baseline; returns (dict, None) or (None, error).
+
+    A corrupted baseline must fail the gate with a message naming the file,
+    not a JSON traceback — the fix is `--update-baseline`, and the error
+    should say so.
+    """
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except OSError as e:
+        return None, f"cannot read baseline {path}: {e}"
+    except json.JSONDecodeError as e:
+        return None, (f"malformed baseline {path}: {e}; regenerate it "
+                      "with --update-baseline")
+    if not isinstance(data, dict) or not all(
+            isinstance(v, dict) for v in data.values()):
+        return None, (f"malformed baseline {path}: expected "
+                      "{binary: {benchmark: normalized_time}}; regenerate "
+                      "it with --update-baseline")
+    return data, None
+
+
+def gate(report, baseline, threshold, out=sys.stdout):
+    """Compare a run report against the baseline.
+
+    Returns the list of (binary, name, ratio) regressions beyond
+    `threshold`.  Benchmarks absent from the baseline are announced but
+    never fail the gate — a new benchmark has no history to regress from.
+    """
+    failures = []
+    for binary, data in report["binaries"].items():
+        base = baseline.get(binary, {})
+        for name, norm in data["normalized"].items():
+            if name not in base:
+                out.write(f"  new benchmark (no baseline): "
+                          f"{binary}:{name}\n")
+                continue
+            ratio = norm / base[name]
+            marker = "REGRESSION" if ratio > 1 + threshold else "ok"
+            out.write(f"  {binary}:{name}: normalized {norm:.3f} vs "
+                      f"baseline {base[name]:.3f} ({ratio - 1:+.1%}) "
+                      f"{marker}\n")
+            if ratio > 1 + threshold:
+                failures.append((binary, name, ratio))
+    return failures
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--bench-dir", required=True,
@@ -110,23 +158,12 @@ def main():
         sys.stderr.write(
             f"no baseline at {args.baseline}; run with --update-baseline\n")
         return 1
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    baseline, err = load_baseline(args.baseline)
+    if err:
+        sys.stderr.write(err + "\n")
+        return 1
 
-    failures = []
-    for binary, data in report["binaries"].items():
-        base = baseline.get(binary, {})
-        for name, norm in data["normalized"].items():
-            if name not in base:
-                print(f"  new benchmark (no baseline): {binary}:{name}")
-                continue
-            ratio = norm / base[name]
-            marker = "REGRESSION" if ratio > 1 + args.threshold else "ok"
-            print(f"  {binary}:{name}: normalized {norm:.3f} vs "
-                  f"baseline {base[name]:.3f} ({ratio - 1:+.1%}) {marker}")
-            if ratio > 1 + args.threshold:
-                failures.append((binary, name, ratio))
-
+    failures = gate(report, baseline, args.threshold)
     if failures:
         sys.stderr.write(
             f"\n{len(failures)} hot-path regression(s) beyond "

@@ -79,7 +79,13 @@ fi
 # verdicts.
 if command -v python3 >/dev/null 2>&1; then
   python3 tools/ssamr_lint.py --check-fixtures tests/lint_fixtures || fail=1
+  # The src/ gate also enforces the suppression-debt budget: every
+  # `ssamr-lint: allow()` marker under src/ is counted per rule and the
+  # totals must not exceed tools/suppression_budget.json.  The per-site
+  # report lands in build/ for the CI artifact upload.
   python3 tools/ssamr_lint.py -p build \
+    --budget tools/suppression_budget.json \
+    --suppressions-out build/lint_suppressions.json \
     --timing-out build/lint_rule_timing.json || fail=1
 else
   echo "note: python3 not found — skipping ssamr_lint.py"

@@ -58,6 +58,40 @@ the line above):
                   go through the named conversions in the seam so the
                   factors exist exactly once.
 
+Flow-sensitive rules (DESIGN.md §13): both backends share a statement-tree
+CFG built from the comment/string-stripped text (python libclang does not
+expose clang's CFG, and the textual backend has no AST at all), so the
+verdicts are identical by construction:
+
+  fd-lifecycle    a descriptor from ::socket/::socketpair/::accept/::open/
+                  ::pipe/::dup must be closed or ownership-transferred on
+                  every path out of the function (returns, throws, calls
+                  that may unwind), and must be created CLOEXEC atomically
+                  (SOCK_CLOEXEC / accept4 / O_CLOEXEC / pipe2), never via
+                  a later fcntl.
+  eintr-retry     raw ::read/::write/::poll/::waitpid/::connect outside
+                  the sanctioned wrapper files (tools/layering.toml
+                  [eintr].wrappers) are banned; inside a wrapper, every
+                  raw call site must sit under a retry loop whose body
+                  handles EINTR.
+  lock-escape     a pointer/reference bound to an SSAMR_GUARDED_BY field
+                  under a MutexLock must not outlive the lock scope (used
+                  after the scope's closing brace, or returned) — the
+                  escape hole Clang's thread-safety annotations don't
+                  close.
+  determinism-taint
+                  values from util/wallclock.hpp, PhaseReport measured
+                  wall fields, /proc reads, or other [taint].sources may
+                  reach RankTimeline/CSV sinks ([taint].sinks) only
+                  through a sanctioner ([taint].sanitizers — the
+                  ProcOptions::to_virtual time_scale seam), so real time
+                  can never leak into a golden-pinned trace un-normalized.
+
+Suppressions are budgeted: `--budget tools/suppression_budget.json` fails
+the run when the per-rule count of `ssamr-lint: allow(...)` markers under
+src/ exceeds the checked-in budget, and `--suppressions-out` writes the
+per-rule counts + sites as a JSON artifact.
+
 Architecture conformance (tools/layering.toml):
 
   tools/ssamr_lint.py --layering
@@ -119,6 +153,14 @@ RULES = {
         "bare double/real_t in a cost-model signature (use units.hpp types)",
     "narrowing-unit":
         "unit cast/re-wrap outside the util/units.hpp seam",
+    "fd-lifecycle":
+        "fd not closed/transferred on every path, or not created CLOEXEC",
+    "eintr-retry":
+        "raw syscall outside the src/net seam, or not under an EINTR loop",
+    "lock-escape":
+        "pointer/ref to a GUARDED_BY field outliving its MutexLock scope",
+    "determinism-taint":
+        "measured wall clock reaching a trace/CSV sink unnormalized",
 }
 
 SUPPRESS_RE = re.compile(r"ssamr-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
@@ -589,6 +631,665 @@ def check_units_rules(ctx: FileContext, cfg, findings):
 
 
 # --------------------------------------------------------------------------
+# Flow-sensitive engine (DESIGN.md §13).
+#
+# A statement-tree CFG is parsed out of the comment/string-stripped text of
+# each function body (function_spans provides the bodies).  Both backends
+# run the same analyses over the same tree: the python libclang bindings do
+# not expose clang's CFG, and building the tree from text keeps the
+# textual/libclang verdicts identical by construction — which the fixture
+# self-test then pins.
+#
+# The tree is deliberately small: if/else, loops (while/for/do; switch and
+# try/catch degrade to linear blocks), and simple statements.  Loops are
+# analyzed as execute-0-or-1-times, which is sound for the must-close and
+# taint lattices used here (no fact becomes *more* true with iteration
+# count).
+
+
+class Stmt:
+    __slots__ = ("kind", "text", "line", "children", "else_children",
+                 "cond", "start", "end")
+
+    def __init__(self, kind, text, line, start, end,
+                 children=None, else_children=None, cond=""):
+        self.kind = kind          # 'if' | 'loop' | 'block' | 'simple'
+        self.text = text
+        self.line = line
+        self.start = start        # [start, end) offsets into the span text
+        self.end = end
+        self.children = children or []
+        self.else_children = else_children  # None = no else clause
+        self.cond = cond
+
+
+def _match_paren(text, i):
+    """Index just past the ')' matching text[i] == '('."""
+    depth = 0
+    for j in range(i, len(text)):
+        if text[j] == "(":
+            depth += 1
+        elif text[j] == ")":
+            depth -= 1
+            if depth == 0:
+                return j + 1
+    return len(text)
+
+
+def _simple_end(text, i):
+    """End of a simple statement starting at i: the first ';' at bracket
+    depth 0 (parens/braces/brackets balanced, so brace-init and lambdas
+    stay inside the statement)."""
+    depth = 0
+    for j in range(i, len(text)):
+        c = text[j]
+        if c in "([{":
+            depth += 1
+        elif c in ")]}":
+            if depth == 0:
+                return j  # stray closer: the enclosing block's brace
+            depth -= 1
+        elif c == ";" and depth == 0:
+            return j + 1
+    return len(text)
+
+
+def _parse_seq(text, i, line_of):
+    """Parse statements until the enclosing '}' (consumed) or EOF.
+    Returns (stmts, next_index)."""
+    stmts = []
+    n = len(text)
+    while i < n:
+        while i < n and text[i] in " \t\r\n":
+            i += 1
+        if i >= n:
+            break
+        if text[i] == "}":
+            return stmts, i + 1
+        st, i2 = _parse_one(text, i, line_of)
+        if i2 <= i:  # malformed input; never loop forever
+            i2 = i + 1
+        i = i2
+        if st is not None:
+            stmts.append(st)
+    return stmts, i
+
+
+def _parse_body(text, i, line_of):
+    """A statement body: either a braced block or one statement."""
+    n = len(text)
+    while i < n and text[i] in " \t\r\n":
+        i += 1
+    if i < n and text[i] == "{":
+        return _parse_seq(text, i + 1, line_of)
+    st, j = _parse_one(text, i, line_of)
+    return ([st] if st is not None else []), j
+
+
+def _parse_one(text, i, line_of):
+    n = len(text)
+    start = i
+    m = re.match(r"[A-Za-z_]\w*", text[i:])
+    kw = m.group(0) if m else ""
+    if text[i] == "{":
+        body, j = _parse_seq(text, i + 1, line_of)
+        return Stmt("block", "", line_of(i), start, j, children=body), j
+    if kw in ("if", "while", "for", "switch"):
+        jp = text.find("(", i)
+        if jp < 0:
+            e = _simple_end(text, i)
+            return Stmt("simple", text[i:e], line_of(i), start, e), e
+        k = _match_paren(text, jp)
+        cond = text[jp + 1:k - 1]
+        body, j = _parse_body(text, k, line_of)
+        if kw == "if":
+            els = None
+            j2 = j
+            while j2 < n and text[j2] in " \t\r\n":
+                j2 += 1
+            if text.startswith("else", j2) and \
+                    not re.match(r"\w", text[j2 + 4:j2 + 5] or " "):
+                els, j = _parse_body(text, j2 + 4, line_of)
+            return Stmt("if", "", line_of(i), start, j,
+                        children=body, else_children=els, cond=cond), j
+        kind = "loop" if kw in ("while", "for") else "block"
+        return Stmt(kind, kw, line_of(i), start, j,
+                    children=body, cond=cond), j
+    if kw == "do":
+        body, j = _parse_body(text, i + 2, line_of)
+        cond = ""
+        j2 = j
+        while j2 < n and text[j2] in " \t\r\n":
+            j2 += 1
+        if text.startswith("while", j2):
+            jp = text.find("(", j2)
+            if jp >= 0:
+                k = _match_paren(text, jp)
+                cond = text[jp + 1:k - 1]
+                e = text.find(";", k)
+                j = (e + 1) if e >= 0 else k
+        return Stmt("loop", "do", line_of(i), start, j,
+                    children=body, cond=cond), j
+    if kw == "try":
+        jb = text.find("{", i)
+        if jb < 0:
+            e = _simple_end(text, i)
+            return Stmt("simple", text[i:e], line_of(i), start, e), e
+        body, j = _parse_seq(text, jb + 1, line_of)
+        children = list(body)
+        while True:
+            j2 = j
+            while j2 < n and text[j2] in " \t\r\n":
+                j2 += 1
+            if not text.startswith("catch", j2):
+                break
+            jp = text.find("(", j2)
+            k = _match_paren(text, jp) if jp >= 0 else j2 + 5
+            jb2 = text.find("{", k)
+            if jb2 < 0:
+                break
+            cbody, j = _parse_seq(text, jb2 + 1, line_of)
+            children.extend(cbody)
+        return Stmt("block", "try", line_of(i), start, j,
+                    children=children), j
+    e = _simple_end(text, i)
+    return Stmt("simple", text[i:e], line_of(i), start, e), e
+
+
+def parse_function(span_text, start_line):
+    """Parse one function_spans entry into (stmts, line_of, body_end_line).
+    Returns (None, None, None) when no body brace is found (declarations)."""
+    depth = 0
+    body = -1
+    for idx, c in enumerate(span_text):
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+        elif c == "{" and depth == 0:
+            body = idx
+            break
+    if body < 0:
+        return None, None, None
+
+    def line_of(pos):
+        return start_line + span_text.count("\n", 0, pos)
+
+    stmts, end = _parse_seq(span_text, body + 1, line_of)
+    return stmts, line_of, line_of(min(end, len(span_text) - 1))
+
+
+def walk_simple_stmts(stmts):
+    """Yield every 'simple' node, plus synthetic nodes for if/loop
+    conditions (a call in a condition is still a call site)."""
+    for st in stmts:
+        if st.kind == "simple":
+            yield st
+        else:
+            if st.cond:
+                yield Stmt("simple", st.cond, st.line, st.start, st.start)
+            yield from walk_simple_stmts(st.children)
+            if st.else_children:
+                yield from walk_simple_stmts(st.else_children)
+
+
+def loop_intervals(stmts, span_text):
+    """(start, end, has_eintr) for every loop node in the tree."""
+    out = []
+    for st in stmts:
+        if st.kind == "loop":
+            out.append((st.start, st.end,
+                        "EINTR" in span_text[st.start:st.end]))
+        out.extend(loop_intervals(st.children, span_text))
+        if st.else_children:
+            out.extend(loop_intervals(st.else_children, span_text))
+    return out
+
+
+# ---- fd-lifecycle --------------------------------------------------------
+
+FD_CREATE_RE = re.compile(
+    r"(?<![\w>])::\s*(socketpair|socket|accept4|accept|open|pipe2|pipe|dup)"
+    r"\s*\(")
+# Creation flag that makes the fd CLOEXEC atomically, per creation call.
+FD_CLOEXEC_FLAG = {
+    "socket": "SOCK_CLOEXEC", "socketpair": "SOCK_CLOEXEC",
+    "accept4": "SOCK_CLOEXEC", "open": "O_CLOEXEC", "pipe2": "O_CLOEXEC",
+}
+# Calls with no CLOEXEC-at-creation form: the finding names the atomic
+# replacement.
+FD_CLOEXEC_ADVICE = {
+    "accept": "use ::accept4(..., SOCK_CLOEXEC)",
+    "pipe": "use ::pipe2(..., O_CLOEXEC)",
+    "dup": "use ::fcntl(fd, F_DUPFD_CLOEXEC, 0)",
+}
+# Functions assumed not to throw when deciding unwind edges.  Everything
+# else (a lowercase free-function call that is not ::-qualified and not a
+# member call) conservatively may throw — SSAMR_REQUIRE is everywhere.
+NOTHROW_CALLS = {
+    "close_fd", "strerror", "htonl", "htons", "ntohl", "ntohs", "memcpy",
+    "memset", "move", "min", "max", "clamp", "swap",
+}
+FREE_CALL_RE = re.compile(r"(?<![\w.:>])([a-z_]\w*)\s*\(")
+THROW_MARK_RE = re.compile(
+    r"\bthrow\b|\bSSAMR_REQUIRE\b|\bSSAMR_ASSERT\b|\bfail\s*\(")
+TERMINAL_THROW_RE = re.compile(r"^\s*(?:fail\s*\(|throw\b)")
+RETURN_RE = re.compile(r"^\s*(?:co_)?return\b")
+
+
+def may_unwind(text):
+    if THROW_MARK_RE.search(text):
+        return True
+    for name in FREE_CALL_RE.findall(text):
+        if name not in NOTHROW_CALLS and name not in NOT_A_FUNCTION:
+            return True
+    return False
+
+
+def fd_creations(span_text):
+    """Creation sites in one function body.  Each entry:
+    {fn, offset, var (None = untracked), birth_transfer, args}."""
+    out = []
+    for m in FD_CREATE_RE.finditer(span_text):
+        fn = m.group(1)
+        args = balanced_region(span_text, m.end() - 1)
+        before = span_text[:m.start()].rstrip()
+        birth_transfer = before.endswith(("(", ","))
+        var = None
+        if not birth_transfer:
+            if fn in ("socketpair", "pipe", "pipe2"):
+                am = re.search(r"([A-Za-z_]\w*)\s*\)?\s*$", args)
+                var = am.group(1) if am else None
+            else:
+                am = re.search(r"([A-Za-z_]\w*)\s*=\s*$", before + " ")
+                var = am.group(1) if am else None
+        out.append({"fn": fn, "offset": m.start(), "var": var,
+                    "birth_transfer": birth_transfer, "args": args})
+    return out
+
+
+def _fd_closes(text, var):
+    return re.search(
+        rf"(?:\bclose_fd|::\s*close)\s*\([^()]*\b{re.escape(var)}\b", text)
+
+
+_FD_TRANSFER_FMTS = (
+    r"\breturn\b[^;]*\b{v}\b",                       # returned to the caller
+    r"\b[A-Z]\w*\s*[({{][^;]*\b{v}\b",               # handed to a ctor/agg
+    r"\.\s*(?:reset|push_back|emplace_back|assign)\s*\([^;]*\b{v}\b",
+    r"(?:\w+_|\]|\.\w+|->\w+)\s*=[^=][^;]*\b{v}\b",  # stored into a member
+)
+
+
+def _fd_transfers(text, var):
+    v = re.escape(var)
+    return any(re.search(f.format(v=v), text) for f in _FD_TRANSFER_FMTS)
+
+
+def _fd_refine(cond, var, status):
+    """Branch refinement for `if (cond)`: C fd idioms make the fd invalid
+    on exactly one side of a sign test."""
+    if status != "open":
+        return status, status
+    v = re.escape(var)
+    if re.search(rf"\b{v}\b(?:\s*\.\s*\w+\s*\(\s*\))?\s*(?:<\s*0|==\s*-1)",
+                 cond):
+        return "off", "open"
+    if re.search(rf"\b{v}\b(?:\s*\.\s*\w+\s*\(\s*\))?\s*(?:>=\s*0|!=\s*-1)",
+                 cond):
+        return "open", "off"
+    return "open", "open"
+
+
+# Creation inside an if-condition: polarity of the comparison decides which
+# branch holds a valid fd.  `< 0`/`== -1`/`!= 0` test failure; `>= 0`/
+# `== 0`/`!= -1` test success.
+_COND_FAIL_RE = re.compile(r"\)\s*(?:<\s*0|==\s*-1|!=\s*0)\s*$")
+_COND_OK_RE = re.compile(r"\)\s*(?:>=\s*0|==\s*0|!=\s*-1)\s*$")
+
+
+class FdTracker:
+    """Must-close walk for one creation site over one function tree."""
+
+    def __init__(self, ctx, cr, span_text):
+        self.ctx = ctx
+        self.cr = cr
+        self.var = cr["var"]
+        self.var_re = re.compile(rf"\b{re.escape(self.var)}\b")
+        self.create_re = re.compile(
+            rf"(?<![\w>])::\s*{cr['fn']}\s*\(")
+        self.leaks = {}  # line -> message
+
+    def _is_creation(self, text):
+        if not self.create_re.search(text):
+            return False
+        crs = fd_creations(text)
+        return any(c["var"] == self.var for c in crs)
+
+    def _leak(self, line, how):
+        self.leaks.setdefault(
+            line,
+            f"fd '{self.var}' from ::{self.cr['fn']} leaks {how} — close "
+            "it, transfer ownership, or hold it in net::UniqueFd")
+
+    def walk_seq(self, stmts, statuses):
+        for st in stmts:
+            if not statuses:
+                break
+            statuses = self.walk_stmt(st, statuses)
+        return statuses
+
+    def walk_stmt(self, st, statuses):
+        if st.kind == "simple":
+            return self.walk_simple(st, statuses)
+        if st.kind == "loop":
+            inner = self.walk_seq(st.children, set(statuses))
+            return statuses | inner
+        if st.kind == "block":
+            if st.cond:  # switch condition may contain calls — treat flat
+                statuses = self.walk_simple(
+                    Stmt("simple", st.cond, st.line, st.start, st.start),
+                    statuses)
+            return self.walk_seq(st.children, statuses)
+        # if
+        cond = st.cond
+        created = self._is_creation(cond)
+        then_in, else_in = set(), set()
+        for s in statuses:
+            if created:
+                s = "open"
+                if _COND_FAIL_RE.search(cond.strip()):
+                    then_in.add("off")
+                    else_in.add(s)
+                    continue
+                if _COND_OK_RE.search(cond.strip()):
+                    then_in.add(s)
+                    else_in.add("off")
+                    continue
+            t_s, e_s = _fd_refine(cond, self.var, s)
+            then_in.add(t_s)
+            else_in.add(e_s)
+        then_out = self.walk_seq(st.children, then_in)
+        if st.else_children is not None:
+            else_out = self.walk_seq(st.else_children, else_in)
+        else:
+            else_out = else_in
+        return then_out | else_out
+
+    def walk_simple(self, st, statuses):
+        text = st.text
+        out = set()
+        for s in statuses:
+            cur = s
+            if self._is_creation(text):
+                cur = "open"
+            if cur == "open" and (_fd_closes(text, self.var)
+                                  or _fd_transfers(text, self.var)):
+                cur = "off"
+            if RETURN_RE.match(text):
+                if cur == "open":
+                    self._leak(st.line, "at this return")
+                continue
+            if TERMINAL_THROW_RE.match(text.lstrip()):
+                if cur == "open":
+                    self._leak(st.line, "on this throw path")
+                continue
+            if cur == "open" and may_unwind(text):
+                self._leak(st.line, "if this statement throws")
+            out.add(cur)
+        return out
+
+
+def check_fd_lifecycle(ctx: FileContext, findings):
+    if not ctx.in_src() or not FD_CREATE_RE.search(ctx.stripped):
+        return
+    for start_line, _end_line, span_text in function_spans(ctx):
+        stmts, line_of, body_end = parse_function(span_text, start_line)
+        if stmts is None:
+            continue
+        for cr in fd_creations(span_text):
+            line = line_of(cr["offset"])
+            fn = cr["fn"]
+            flag = FD_CLOEXEC_FLAG.get(fn)
+            if flag is not None and flag not in cr["args"]:
+                findings.append(Finding(
+                    ctx.rel, line, "fd-lifecycle",
+                    f"::{fn} without {flag} — descriptors must be CLOEXEC "
+                    "at creation (a fork between creation and fcntl leaks "
+                    "the fd into the child's exec image)"))
+            elif fn in FD_CLOEXEC_ADVICE:
+                findings.append(Finding(
+                    ctx.rel, line, "fd-lifecycle",
+                    f"::{fn} cannot create the fd CLOEXEC atomically — "
+                    f"{FD_CLOEXEC_ADVICE[fn]}"))
+            if cr["var"] is None or cr["birth_transfer"]:
+                continue
+            tracker = FdTracker(ctx, cr, span_text)
+            leftover = tracker.walk_seq(stmts, {"untracked"})
+            if "open" in leftover:
+                tracker._leak(body_end, "at the end of the function")
+            for lline, msg in sorted(tracker.leaks.items()):
+                findings.append(Finding(ctx.rel, lline, "fd-lifecycle", msg))
+
+
+# ---- eintr-retry ---------------------------------------------------------
+
+RAW_SYSCALL_RE = re.compile(
+    r"(?<![\w>])::\s*(read|write|poll|waitpid|connect)\b\s*\(")
+
+
+def check_eintr_retry(ctx: FileContext, cfg, findings):
+    if cfg is None or not ctx.in_src():
+        return
+    if not RAW_SYSCALL_RE.search(ctx.stripped):
+        return
+    wrappers = set(cfg.get("eintr", {}).get("wrappers", ()))
+    if ctx.rel not in wrappers:
+        for m in RAW_SYSCALL_RE.finditer(ctx.stripped):
+            line = ctx.stripped.count("\n", 0, m.start()) + 1
+            findings.append(Finding(
+                ctx.rel, line, "eintr-retry",
+                f"raw ::{m.group(1)} outside the sanctioned syscall seam "
+                "(layering.toml [eintr].wrappers) — call the net:: "
+                "wrapper so the EINTR protocol exists exactly once"))
+        return
+    # Inside a wrapper: every raw call site must be dominated by a retry
+    # loop that handles EINTR.
+    for start_line, _e, span_text in function_spans(ctx):
+        stmts, line_of, _ = parse_function(span_text, start_line)
+        if stmts is None:
+            continue
+        loops = loop_intervals(stmts, span_text)
+        for m in RAW_SYSCALL_RE.finditer(span_text):
+            ok = any(s <= m.start() < e and has_eintr
+                     for s, e, has_eintr in loops)
+            if not ok:
+                findings.append(Finding(
+                    ctx.rel, line_of(m.start()), "eintr-retry",
+                    f"raw ::{m.group(1)} in a wrapper file is not "
+                    "dominated by an EINTR retry loop"))
+
+
+# ---- lock-escape ---------------------------------------------------------
+
+GUARDED_DECL_RE = re.compile(r"\b(\w+)\s+SSAMR_GUARDED_BY\s*\(")
+MUTEXLOCK_RE = re.compile(r"\bMutexLock\b")
+
+
+def _lock_scopes(stmts, parent_end):
+    """(scope_start, scope_end) per MutexLock declaration: from the end of
+    the declaring statement to the end of its enclosing block."""
+    scopes = []
+    for st in stmts:
+        if st.kind == "simple" and MUTEXLOCK_RE.search(st.text):
+            scopes.append((st.end, parent_end))
+        scopes.extend(_lock_scopes(st.children, st.end))
+        if st.else_children:
+            scopes.extend(_lock_scopes(st.else_children, st.end))
+    return scopes
+
+
+def check_lock_escape(ctx: FileContext, findings):
+    if not ctx.in_src() or ctx.is_seam(THREAD_SAFETY_SEAM):
+        return
+    guarded = set(GUARDED_DECL_RE.findall(ctx.stripped))
+    if not guarded or not MUTEXLOCK_RE.search(ctx.stripped):
+        return
+    for start_line, _e, span_text in function_spans(ctx):
+        stmts, line_of, _ = parse_function(span_text, start_line)
+        if stmts is None:
+            continue
+        for s, e in _lock_scopes(stmts, len(span_text)):
+            scope = span_text[s:e]
+            after = span_text[e:]
+            for g in sorted(guarded):
+                gq = re.escape(g)
+                for m in re.finditer(rf"\breturn\b[^;]*&\s*{gq}\b", scope):
+                    findings.append(Finding(
+                        ctx.rel, line_of(s + m.start()), "lock-escape",
+                        f"address of GUARDED_BY field '{g}' escapes via "
+                        "return — the pointer outlives the MutexLock"))
+                cands = set()
+                for m in re.finditer(
+                        rf"[&*]\s*(\w+)\s*=\s*[^;]*\b{gq}\b", scope):
+                    cands.add(m.group(1))
+                for m in re.finditer(rf"\b(\w+)\s*=\s*&\s*{gq}\b", scope):
+                    cands.add(m.group(1))
+                cands.discard(g)
+                for cand in sorted(cands):
+                    cq = re.escape(cand)
+                    um = re.search(rf"\b{cq}\b", after)
+                    if um:
+                        findings.append(Finding(
+                            ctx.rel, line_of(e + um.start()), "lock-escape",
+                            f"'{cand}' aliases GUARDED_BY field '{g}' and "
+                            "is used after its MutexLock scope ends"))
+                    rm = re.search(rf"\breturn\s+{cq}\s*;", scope)
+                    if rm:
+                        findings.append(Finding(
+                            ctx.rel, line_of(s + rm.start()), "lock-escape",
+                            f"'{cand}' aliases GUARDED_BY field '{g}' and "
+                            "escapes via return"))
+
+
+# ---- determinism-taint ---------------------------------------------------
+
+
+def _split_assign(text):
+    """(lhs_var, rhs) of the first depth-0 assignment, or (None, None).
+    Compound assignments (+= etc.) count; comparisons do not."""
+    depth = 0
+    for j, c in enumerate(text):
+        if c in "([{<":
+            depth += 1 if c != "<" else 0
+        elif c in ")]}>":
+            depth -= 1 if c != ">" else 0
+        elif c == "=" and depth == 0:
+            if j + 1 < len(text) and text[j + 1] == "=":
+                return None, None
+            if j > 0 and text[j - 1] in "=!<>":
+                return None, None
+            lhs = text[:j].rstrip()
+            if lhs.endswith(("+", "-", "*", "/", "%", "&", "|", "^")):
+                lhs = lhs[:-1].rstrip()
+            rhs = text[j + 1:]
+            lhs = re.sub(r"\[[^\]]*\]\s*$", "", lhs)
+            vm = re.search(r"([A-Za-z_]\w*)\s*$", lhs)
+            return (vm.group(1) if vm else None), rhs
+    return None, None
+
+
+def check_determinism_taint(ctx: FileContext, cfg, findings):
+    taint_cfg = (cfg or {}).get("taint", {})
+    sources = list(taint_cfg.get("sources", ()))
+    sinks = list(taint_cfg.get("sinks", ()))
+    sanitizers = list(taint_cfg.get("sanitizers", ()))
+    if not sources or not sinks or not ctx.in_src():
+        return
+    if ctx.is_seam(WALLCLOCK_SEAM):
+        return
+    tok_sources = [s for s in sources if not s.startswith("/")]
+    raw_sources = [s for s in sources if s.startswith("/")]
+    src_re = re.compile(
+        r"\b(?:" + "|".join(re.escape(s) for s in tok_sources) + r")\b") \
+        if tok_sources else None
+    if (src_re is None or not src_re.search(ctx.stripped)) and \
+            not any(s in ctx.raw for s in raw_sources):
+        return
+    sink_re = re.compile(
+        r"(?:\.|->)\s*(?:" + "|".join(re.escape(s) for s in sinks) +
+        r")\s*\(")
+    san_re = re.compile(
+        r"\b(?:" + "|".join(re.escape(s) for s in sanitizers) + r")\s*\(") \
+        if sanitizers else None
+
+    def sanitized(expr):
+        return san_re is not None and san_re.search(expr)
+
+    # Lines whose RAW text reads /proc (strings are blanked in `stripped`,
+    # so path sources are matched against the raw line).
+    raw_source_lines = {
+        idx for idx, line in enumerate(ctx.raw_lines, start=1)
+        if any(s in line for s in raw_sources)}
+
+    def has_source(stmt):
+        return (src_re is not None and src_re.search(stmt.text)) or \
+            stmt.line in raw_source_lines
+
+    for start_line, _e, span_text in function_spans(ctx):
+        stmts, line_of, _ = parse_function(span_text, start_line)
+        if stmts is None:
+            continue
+        simple = list(walk_simple_stmts(stmts))
+        tainted = set()
+        for _pass in range(10):
+            grew = False
+            for st in simple:
+                is_src = has_source(st)
+                lhs, rhs = _split_assign(st.text)
+                if lhs is not None and not sanitized(rhs):
+                    rhs_tainted = (src_re is not None
+                                   and src_re.search(rhs)) or \
+                        (st.line in raw_source_lines) or \
+                        any(re.search(rf"\b{re.escape(t)}\b", rhs)
+                            for t in tainted)
+                    if rhs_tainted and lhs not in tainted:
+                        tainted.add(lhs)
+                        grew = True
+                # A source call handed `&x` writes a measurement into x
+                # (the run_phase out-param idiom).
+                if is_src and not sanitized(st.text):
+                    for m in re.finditer(r"&\s*([A-Za-z_]\w*)", st.text):
+                        if m.group(1) not in tainted:
+                            tainted.add(m.group(1))
+                            grew = True
+            if not grew:
+                break
+        for st in simple:
+            for m in sink_re.finditer(st.text):
+                op = st.text.find("(", m.end() - 1)
+                args = balanced_region(st.text, op) if op >= 0 else ""
+                if sanitized(args):
+                    continue
+                dirty = (src_re is not None and src_re.search(args)) or \
+                    any(re.search(rf"\b{re.escape(t)}\b", args)
+                        for t in tainted)
+                if dirty:
+                    findings.append(Finding(
+                        ctx.rel, st.line, "determinism-taint",
+                        "measured wall time reaches a deterministic "
+                        "trace/CSV sink without passing a [taint]."
+                        "sanitizers seam (ProcOptions::to_virtual)"))
+
+
+def check_flow_rules(ctx: FileContext, cfg, findings):
+    timed("fd-lifecycle", check_fd_lifecycle, ctx, findings)
+    timed("eintr-retry", check_eintr_retry, ctx, cfg, findings)
+    timed("lock-escape", check_lock_escape, ctx, findings)
+    timed("determinism-taint", check_determinism_taint, ctx, cfg, findings)
+
+
+# --------------------------------------------------------------------------
 # Textual backend for the type-dependent rules
 
 
@@ -641,6 +1342,7 @@ def lint_file_textual(ctx: FileContext, cfg, findings):
     timed("float-cast", check_float_cast_textual, ctx, findings)
     timed("unordered-iter", check_unordered_iter_textual, ctx, findings)
     check_units_rules(ctx, cfg, findings)
+    check_flow_rules(ctx, cfg, findings)
 
 
 # --------------------------------------------------------------------------
@@ -748,6 +1450,7 @@ def lint_libclang(cindex, tus, ctx_by_path, cfg, findings):
     for ctx in ctx_by_path.values():
         check_token_rules(ctx, cfg, findings)
         check_units_rules(ctx, cfg, findings)
+        check_flow_rules(ctx, cfg, findings)
     seen_tu_errors = []
     for path, args in tus:
         try:
@@ -849,20 +1552,90 @@ def default_file_set(build_dir):
     return [f for f in files if f.is_file()]
 
 
+def count_suppressions(files, pretend=None):
+    """Per-rule `ssamr-lint: allow(...)` marker counts and sites over the
+    src/-relative subset of `files`."""
+    counts, sites = {}, {}
+    for f in files:
+        rel = pretend.get(f) if pretend else None
+        rel = rel if rel is not None else rel_to_repo(f)
+        if not rel.startswith("src/"):
+            continue
+        try:
+            lines = f.read_text(encoding="utf-8",
+                                errors="replace").splitlines()
+        except OSError:
+            continue
+        for idx, line in enumerate(lines, start=1):
+            m = SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            for rule in (r.strip() for r in m.group(1).split(",")):
+                counts[rule] = counts.get(rule, 0) + 1
+                sites.setdefault(rule, []).append(f"{rel}:{idx}")
+    return counts, sites
+
+
+def enforce_budget(files, budget_path, report_path):
+    """Returns a list of violation strings (empty = within budget)."""
+    counts, sites = count_suppressions(files)
+    if report_path:
+        Path(report_path).write_text(json.dumps(
+            {"counts": dict(sorted(counts.items())),
+             "sites": {k: sorted(v) for k, v in sorted(sites.items())}},
+            indent=2) + "\n")
+    problems = []
+    if budget_path:
+        budget = json.loads(Path(budget_path).read_text())
+        budget = {k: v for k, v in budget.items() if not k.startswith("_")}
+        for rule in sorted(set(counts) | set(budget)):
+            have = counts.get(rule, 0)
+            allowed = budget.get(rule, 0)
+            if have > allowed:
+                where = ", ".join(sites.get(rule, []))
+                problems.append(
+                    f"suppression budget exceeded for [{rule}]: {have} "
+                    f"allow() markers vs budget {allowed} ({where}) — "
+                    "fix the finding or raise the budget in "
+                    f"{budget_path} with review")
+    return problems
+
+
 def run_lint(args):
     files = [Path(f) for f in args.files] if args.files \
         else default_file_set(args.build)
     cfg = load_config(args.config)
+    pretend = None
+    if args.pretend:
+        if len(files) != 1:
+            print("error: --pretend requires exactly one input file",
+                  file=sys.stderr)
+            return 2
+        pretend = {files[0]: args.pretend}
     findings, used = collect_findings(files, args.backend, args.build,
-                                      cfg=cfg)
+                                      pretend=pretend, cfg=cfg)
+    if args.select:
+        selected = {r.strip() for r in args.select.split(",")}
+        unknown = selected - set(RULES)
+        if unknown:
+            print(f"error: --select of unknown rule(s): "
+                  f"{', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+        findings = [fd for fd in findings if fd.rule in selected]
     for fd in findings:
         print(fd)
+    budget_problems = []
+    if args.budget or args.suppressions_out:
+        budget_problems = enforce_budget(files, args.budget,
+                                         args.suppressions_out)
+        for p in budget_problems:
+            print(p)
     n = len(findings)
     print(f"ssamr_lint ({used} backend): {len(files)} files, "
           f"{n} finding{'s' if n != 1 else ''}", file=sys.stderr)
     if args.timing_out:
         write_timings(args.timing_out, used, len(files))
-    return 1 if findings else 0
+    return 1 if findings or budget_problems else 0
 
 
 # --------------------------------------------------------------------------
@@ -1099,6 +1872,17 @@ def main():
                     "absent (negative test of the gate)")
     ap.add_argument("--timing-out", metavar="JSON",
                     help="write per-rule wall-time JSON artifact")
+    ap.add_argument("--select", metavar="RULES",
+                    help="comma-separated rule subset to report "
+                    "(negative-test hook; default: all rules)")
+    ap.add_argument("--pretend", metavar="REL",
+                    help="lint the single input file as this repo-relative "
+                    "path (fixture negative tests)")
+    ap.add_argument("--suppressions-out", metavar="JSON",
+                    help="write per-rule allow() counts + sites artifact")
+    ap.add_argument("--budget", metavar="JSON",
+                    help="fail when per-rule allow() counts under src/ "
+                    "exceed this checked-in budget file")
     args = ap.parse_args()
 
     if args.list_rules:

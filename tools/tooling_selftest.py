@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Self-test for the python result-checking tools.
+
+The golden and benchmark gates are the last line of defence for numerical
+regressions, so the checkers themselves need a negative proof: a checker
+whose tolerance math or malformed-input handling silently rots would wave
+every regression through.  This suite pins:
+
+  golden_check.diff_tables — exact mode, relative-tolerance edges (just
+      inside and just outside rtol), missing columns, missing rows, and
+      non-numeric field comparison;
+  bench_check.normalize    — geometric-mean normalization;
+  bench_check.load_baseline — graceful rejection of malformed or
+      wrong-shape baselines (message, not traceback);
+  bench_check.gate         — threshold edges and the new-benchmark
+      (no-baseline-entry) path.
+
+Run directly or via ctest (PyTooling.SelfTest).  Stdlib only.
+"""
+
+import importlib.util
+import io
+import os
+import sys
+import tempfile
+import unittest
+
+TOOLS = os.path.dirname(os.path.abspath(__file__))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        name, os.path.join(TOOLS, name + ".py"))
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+golden_check = _load("golden_check")
+bench_check = _load("bench_check")
+
+
+class DiffTablesTest(unittest.TestCase):
+    def test_identical_tables_exact_mode(self):
+        table = [["step", "ms"], ["0", "1.25"], ["1", "2.50"]]
+        self.assertEqual(golden_check.diff_tables(table, table, 0.0), [])
+
+    def test_exact_mode_flags_last_digit(self):
+        got = [["1.2500001"]]
+        want = [["1.25"]]
+        errors = golden_check.diff_tables(got, want, 0.0)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("row 0 col 0", errors[0])
+
+    def test_rtol_edge_inside(self):
+        # |100 - 109| / 109 = 0.0826 < 0.1: inside tolerance.
+        errors = golden_check.diff_tables([["100.0"]], [["109.0"]], 0.1)
+        self.assertEqual(errors, [])
+
+    def test_rtol_edge_outside(self):
+        # |100 - 112| = 12 > 0.1 * 112 = 11.2: outside tolerance.
+        errors = golden_check.diff_tables([["100.0"]], [["112.0"]], 0.1)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("rtol=0.1", errors[0])
+
+    def test_missing_column_reported_once_per_row(self):
+        got = [["a", "1"], ["b", "2"]]
+        want = [["a", "1", "extra"], ["b", "2", "extra"]]
+        errors = golden_check.diff_tables(got, want, 0.0)
+        self.assertEqual(len(errors), 2)
+        self.assertIn("got 2 cols, golden 3", errors[0])
+
+    def test_missing_row_reported(self):
+        got = [["a"]]
+        want = [["a"], ["b"]]
+        errors = golden_check.diff_tables(got, want, 0.0)
+        self.assertTrue(any("row count" in e for e in errors))
+
+    def test_non_numeric_fields_compare_exactly(self):
+        errors = golden_check.diff_tables([["greedy"]], [["hilbert"]], 0.5)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("'greedy'", errors[0])
+
+    def test_numeric_vs_text_is_a_mismatch(self):
+        errors = golden_check.diff_tables([["1.0"]], [["n/a"]], 0.5)
+        self.assertEqual(len(errors), 1)
+
+
+class NormalizeTest(unittest.TestCase):
+    def test_geometric_mean_normalization(self):
+        norm = bench_check.normalize({"a": 100.0, "b": 400.0})
+        self.assertAlmostEqual(norm["a"], 0.5)
+        self.assertAlmostEqual(norm["b"], 2.0)
+
+    def test_uniform_slowdown_cancels(self):
+        fast = bench_check.normalize({"a": 10.0, "b": 40.0})
+        slow = bench_check.normalize({"a": 30.0, "b": 120.0})
+        for name in fast:
+            self.assertAlmostEqual(fast[name], slow[name])
+
+
+class LoadBaselineTest(unittest.TestCase):
+    def _write(self, text):
+        f = tempfile.NamedTemporaryFile(
+            "w", suffix=".json", delete=False)
+        self.addCleanup(os.unlink, f.name)
+        f.write(text)
+        f.close()
+        return f.name
+
+    def test_valid_baseline(self):
+        path = self._write('{"bench_amr": {"BM_Step": 1.0}}')
+        data, err = bench_check.load_baseline(path)
+        self.assertIsNone(err)
+        self.assertEqual(data["bench_amr"]["BM_Step"], 1.0)
+
+    def test_truncated_json_is_an_error_not_a_traceback(self):
+        path = self._write('{"bench_amr": {"BM_Step": 1.')
+        data, err = bench_check.load_baseline(path)
+        self.assertIsNone(data)
+        self.assertIn("malformed baseline", err)
+        self.assertIn("--update-baseline", err)
+
+    def test_wrong_shape_rejected(self):
+        path = self._write('["not", "a", "mapping"]')
+        data, err = bench_check.load_baseline(path)
+        self.assertIsNone(data)
+        self.assertIn("malformed baseline", err)
+
+    def test_wrong_nested_shape_rejected(self):
+        path = self._write('{"bench_amr": 1.0}')
+        data, err = bench_check.load_baseline(path)
+        self.assertIsNone(data)
+        self.assertIn("malformed baseline", err)
+
+    def test_missing_file_is_an_error(self):
+        data, err = bench_check.load_baseline(
+            os.path.join(tempfile.gettempdir(), "ssamr-nope.json"))
+        self.assertIsNone(data)
+        self.assertIn("cannot read baseline", err)
+
+
+class GateTest(unittest.TestCase):
+    @staticmethod
+    def _report(normalized):
+        return {"binaries": {"bench_amr": {"normalized": normalized}}}
+
+    def test_within_threshold_passes(self):
+        failures = bench_check.gate(
+            self._report({"BM_Step": 1.10}), {"bench_amr": {"BM_Step": 1.0}},
+            0.15, out=io.StringIO())
+        self.assertEqual(failures, [])
+
+    def test_beyond_threshold_fails(self):
+        failures = bench_check.gate(
+            self._report({"BM_Step": 1.20}), {"bench_amr": {"BM_Step": 1.0}},
+            0.15, out=io.StringIO())
+        self.assertEqual(len(failures), 1)
+        binary, name, ratio = failures[0]
+        self.assertEqual((binary, name), ("bench_amr", "BM_Step"))
+        self.assertAlmostEqual(ratio, 1.20)
+
+    def test_new_benchmark_is_announced_not_failed(self):
+        out = io.StringIO()
+        failures = bench_check.gate(
+            self._report({"BM_New": 1.0}), {"bench_amr": {}}, 0.15, out=out)
+        self.assertEqual(failures, [])
+        self.assertIn("new benchmark", out.getvalue())
+
+    def test_speedup_never_fails(self):
+        failures = bench_check.gate(
+            self._report({"BM_Step": 0.5}), {"bench_amr": {"BM_Step": 1.0}},
+            0.15, out=io.StringIO())
+        self.assertEqual(failures, [])
+
+
+if __name__ == "__main__":
+    unittest.main(argv=[sys.argv[0], "-v"])
